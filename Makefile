@@ -1,0 +1,49 @@
+# Convenience targets for the NPTSN reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench bench-quick eval-micro eval-small examples coverage loc clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One iteration of every table/figure/ablation benchmark.
+bench-quick:
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Regenerate the evaluation figures at interactive scale.
+eval-micro:
+	$(GO) run ./cmd/nptsn-eval -fig all -scale micro
+
+eval-small:
+	$(GO) run ./cmd/nptsn-eval -fig all -scale small -cases 5 -flows 10,20,30,40,50
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ads
+	$(GO) run ./examples/custom-nbf
+	$(GO) run ./examples/simulate
+	$(GO) run ./examples/orion
+
+coverage:
+	$(GO) test -cover ./...
+
+loc:
+	@find . -name '*.go' | xargs wc -l | tail -1
+
+clean:
+	$(GO) clean -testcache

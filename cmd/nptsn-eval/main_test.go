@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScaleConfig(t *testing.T) {
+	paper, err := scaleConfig("paper", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.MaxEpoch != 256 || paper.MaxStep != 2048 {
+		t.Fatalf("paper scale = %+v, want Table II", paper)
+	}
+	micro, err := scaleConfig("micro", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micro.MaxEpoch >= paper.MaxEpoch {
+		t.Fatal("micro should be smaller than paper")
+	}
+	if _, err := scaleConfig("galactic", 1); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("10, 20,30")
+	if err != nil || len(got) != 3 || got[2] != 30 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := parseInts("a,b"); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := parseInts("-5"); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestRunFig5cMicroSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-fig", "5c", "-scale", "micro"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Fig 5(c)") || !strings.Contains(text, "K-16") {
+		t.Fatalf("output:\n%s", text)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "huge"}, &out); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-flows", "x"}, &out); err == nil {
+		t.Error("bad flows accepted")
+	}
+}
+
+func TestRunWritesCSVDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "5c", "-scale", "micro", "-csv-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "epoch,K-8,K-16,K-32") {
+		t.Fatalf("csv:\n%s", data)
+	}
+}

@@ -1,0 +1,162 @@
+// Command nptsn-sim replays a planned TSSDN on the slot-accurate simulator
+// under a failure scenario script, reporting frame delivery and recovery
+// timelines. It consumes the problem/solution JSON written by
+// `nptsn -dump-problem ... -out ...`.
+//
+//	nptsn -scenario ads -epochs 8 -steps 128 -dump-problem p.json -out s.json
+//	nptsn-sim -problem p.json -solution s.json -fail sw0@200 -fail sw1@800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/serialize"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nptsn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// failureFlag accumulates repeated -fail name@slot arguments.
+type failureFlag []string
+
+func (f *failureFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *failureFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nptsn-sim", flag.ContinueOnError)
+	var fails failureFlag
+	var (
+		problemPath  = fs.String("problem", "", "problem JSON (from nptsn -dump-problem)")
+		solutionPath = fs.String("solution", "", "solution JSON (from nptsn -out)")
+		horizon      = fs.Int("horizon", 64, "simulation horizon in base periods")
+		detection    = fs.Int("detect", -1, "failure detection latency in slots (-1 = one base period)")
+		reconfig     = fs.Int("reconfig", -1, "reconfiguration latency in slots (-1 = one base period)")
+	)
+	fs.Var(&fails, "fail", "failure event as <switch-name-or-id>@<slot>; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *problemPath == "" || *solutionPath == "" {
+		return fmt.Errorf("both -problem and -solution are required")
+	}
+
+	var probJSON serialize.ProblemJSON
+	if err := readJSONFile(*problemPath, &probJSON); err != nil {
+		return err
+	}
+	prob, err := serialize.DecodeProblem(probJSON, nbf.NewRegistry())
+	if err != nil {
+		return err
+	}
+	var solJSON serialize.SolutionJSON
+	if err := readJSONFile(*solutionPath, &solJSON); err != nil {
+		return err
+	}
+	sol, err := serialize.DecodeSolution(solJSON, prob.Connections)
+	if err != nil {
+		return err
+	}
+	if err := core.VerifySolution(prob, sol); err != nil {
+		return fmt.Errorf("solution does not satisfy the problem: %w", err)
+	}
+
+	events, err := parseFailures(fails, prob.Connections)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{HorizonBasePeriods: *horizon, DetectionSlots: *detection, ReconfigSlots: *reconfig}
+	if cfg.DetectionSlots < 0 {
+		cfg.DetectionSlots = prob.Net.SlotsPerBase
+	}
+	if cfg.ReconfigSlots < 0 {
+		cfg.ReconfigSlots = prob.Net.SlotsPerBase
+	}
+	s := &sim.Simulator{
+		Topo:  sol.Topology,
+		Net:   prob.Net,
+		Flows: prob.Flows,
+		NBF:   prob.NBF,
+		Cfg:   cfg,
+	}
+	res, err := s.Run(events)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "simulated %d base periods, %d failure events\n", cfg.HorizonBasePeriods, len(events))
+	fmt.Fprintf(out, "frames: %d released, %d delivered, %d lost (%.2f%% delivery)\n",
+		res.TotalReleased, res.TotalDelivered, res.TotalLost, res.DeliveryRate()*100)
+	for i, rec := range res.Recoveries {
+		status := "recovered"
+		if !rec.Recovered {
+			status = fmt.Sprintf("NOT recovered: %v", rec.UnrecoveredPairs)
+		}
+		fmt.Fprintf(out, "failure %d at slot %d: effective slot %d, gap losses %d, %s\n",
+			i+1, rec.InjectedAt, rec.EffectiveAt, rec.LostDuringGap, status)
+	}
+	return nil
+}
+
+// parseFailures converts -fail name@slot arguments into simulator events.
+func parseFailures(fails []string, gc *graph.Graph) ([]sim.Event, error) {
+	var events []sim.Event
+	for _, f := range fails {
+		parts := strings.SplitN(f, "@", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("invalid -fail %q (want name@slot)", f)
+		}
+		slot, err := strconv.Atoi(parts[1])
+		if err != nil || slot < 0 {
+			return nil, fmt.Errorf("invalid slot in -fail %q", f)
+		}
+		id, err := resolveVertex(gc, parts[0])
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, sim.Event{Slot: slot, Failure: nbf.Failure{Nodes: []int{id}}})
+	}
+	return events, nil
+}
+
+// resolveVertex finds a vertex by name or numeric ID.
+func resolveVertex(gc *graph.Graph, name string) (int, error) {
+	for i := 0; i < gc.NumVertices(); i++ {
+		if gc.MustVertex(i).Name == name {
+			return i, nil
+		}
+	}
+	if id, err := strconv.Atoi(name); err == nil && id >= 0 && id < gc.NumVertices() {
+		return id, nil
+	}
+	return 0, fmt.Errorf("unknown vertex %q", name)
+}
+
+func readJSONFile(path string, v interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := serialize.ReadJSON(f, v); err != nil {
+		return fmt.Errorf("read %s: %w", path, err)
+	}
+	return nil
+}

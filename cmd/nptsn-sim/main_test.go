@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/serialize"
+)
+
+// writeFixture builds a tiny valid problem + solution pair on disk.
+func writeFixture(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("es0", graph.KindEndStation)
+	g.AddVertex("es1", graph.KindEndStation)
+	g.AddVertex("swA", graph.KindSwitch)
+	g.AddVertex("swB", graph.KindSwitch)
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 4; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	probJSON := serialize.ProblemJSON{
+		Connections:     serialize.EncodeGraph(g),
+		BasePeriodNs:    500_000,
+		SlotsPerBase:    20,
+		NBF:             "stateless-greedy",
+		ReliabilityGoal: 1e-6,
+		MaxESDegree:     2,
+		ESLevel:         "D",
+		Flows: []serialize.FlowJSON{
+			{ID: 0, Src: 0, Dsts: []int{1}, PeriodNs: 500_000, DeadlineNs: 500_000, FrameSize: 64},
+		},
+	}
+	// Dual-homed ASIL-A solution (dual-A failures are safe at 1e-6).
+	solJSON := serialize.SolutionJSON{
+		Cost: 0,
+		Switches: []serialize.SwitchJSON{
+			{ID: 2, ASIL: "A"}, {ID: 3, ASIL: "A"},
+		},
+		Links: []serialize.LinkJSON{
+			{U: 0, V: 2, Length: 1, ASIL: "A"}, {U: 0, V: 3, Length: 1, ASIL: "A"},
+			{U: 1, V: 2, Length: 1, ASIL: "A"}, {U: 1, V: 3, Length: 1, ASIL: "A"},
+		},
+	}
+	probPath := filepath.Join(dir, "p.json")
+	solPath := filepath.Join(dir, "s.json")
+	for _, pair := range []struct {
+		path string
+		v    interface{}
+	}{{probPath, probJSON}, {solPath, solJSON}} {
+		f, err := os.Create(pair.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := serialize.WriteJSON(f, pair.v); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return probPath, solPath
+}
+
+func TestSimCLIRecoverableFailure(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir)
+	var out bytes.Buffer
+	err := run([]string{
+		"-problem", probPath, "-solution", solPath,
+		"-horizon", "16", "-fail", "swA@100",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "failure 1 at slot 100") || !strings.Contains(text, "recovered") {
+		t.Fatalf("unexpected output:\n%s", text)
+	}
+}
+
+func TestSimCLIByVertexID(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{
+		"-problem", probPath, "-solution", solPath,
+		"-horizon", "8", "-fail", "3@40",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "failure 1 at slot 40") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestSimCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir)
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing paths accepted")
+	}
+	if err := run([]string{"-problem", probPath, "-solution", "/nope.json"}, &out); err == nil {
+		t.Error("missing solution file accepted")
+	}
+	if err := run([]string{"-problem", probPath, "-solution", solPath, "-fail", "swA"}, &out); err == nil {
+		t.Error("malformed -fail accepted")
+	}
+	if err := run([]string{"-problem", probPath, "-solution", solPath, "-fail", "ghost@5"}, &out); err == nil {
+		t.Error("unknown vertex accepted")
+	}
+	if err := run([]string{"-problem", probPath, "-solution", solPath, "-fail", "swA@-2"}, &out); err == nil {
+		t.Error("negative slot accepted")
+	}
+}
+
+func TestSimCLIRejectsInvalidSolution(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir)
+	// Corrupt the solution: single-homed at ASIL-A leaves a non-safe
+	// single point of failure.
+	bad := serialize.SolutionJSON{
+		Switches: []serialize.SwitchJSON{{ID: 2, ASIL: "A"}},
+		Links: []serialize.LinkJSON{
+			{U: 0, V: 2, Length: 1, ASIL: "A"},
+			{U: 1, V: 2, Length: 1, ASIL: "A"},
+		},
+	}
+	f, err := os.Create(solPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serialize.WriteJSON(f, bad); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-problem", probPath, "-solution", solPath}, &out); err == nil {
+		t.Fatal("invalid solution accepted")
+	}
+}
+
+var (
+	_ = core.Solution{}
+	_ = asil.LevelA
+)

@@ -1,0 +1,242 @@
+// Command nptsn plans an in-vehicle TSSDN for one of the built-in design
+// scenarios: it trains the RL-based network generator and prints the best
+// topology, ASIL allocation and cost found.
+//
+// Examples:
+//
+//	nptsn -scenario ads -epochs 16 -steps 256
+//	nptsn -scenario orion -flows 10 -seed 3 -epochs 8 -steps 128 -workers 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/scenarios"
+	"repro/internal/serialize"
+	"repro/internal/tsn"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nptsn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nptsn", flag.ContinueOnError)
+	var (
+		scenarioName = fs.String("scenario", "ads", "design scenario: ads or orion")
+		flows        = fs.Int("flows", 0, "number of random TT flows (0 = scenario default)")
+		seed         = fs.Int64("seed", 1, "random seed for flows and training")
+		epochs       = fs.Int("epochs", 32, "training epochs (paper default 256)")
+		steps        = fs.Int("steps", 256, "steps per epoch (paper default 2048)")
+		k            = fs.Int("k", 16, "SOAG path actions K")
+		gcnLayers    = fs.Int("gcn", 2, "number of GCN layers")
+		mlpHidden    = fs.Int("mlp", 256, "actor/critic hidden layer width (two layers)")
+		workers      = fs.Int("workers", 1, "parallel exploration workers")
+		r            = fs.Float64("r", 1e-6, "reliability goal R")
+		recovery     = fs.String("nbf", "stateless-greedy", "recovery mechanism (see internal/nbf registry)")
+		solutionOut  = fs.String("out", "", "write the solution as JSON to this file")
+		problemOut   = fs.String("dump-problem", "", "write the problem as JSON to this file")
+		dotOut       = fs.String("dot", "", "write the solution as Graphviz DOT to this file")
+		csvOut       = fs.String("csv", "", "write per-epoch training statistics as CSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scen *scenarios.Scenario
+	switch *scenarioName {
+	case "ads":
+		scen = scenarios.ADS()
+	case "orion":
+		scen = scenarios.ORION()
+	default:
+		return fmt.Errorf("unknown scenario %q (want ads or orion)", *scenarioName)
+	}
+
+	var flowSet tsn.FlowSet
+	if *flows > 0 {
+		flowSet = scen.RandomFlows(*flows, *seed)
+	} else if *scenarioName == "ads" {
+		flowSet = scenarios.ADSFlows(*seed)
+	} else {
+		flowSet = scen.RandomFlows(10, *seed)
+	}
+
+	mech, err := nbf.NewRegistry().New(*recovery)
+	if err != nil {
+		return err
+	}
+	prob := scen.Problem(flowSet, mech, *r)
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.GCNLayers = *gcnLayers
+	cfg.MLPHidden = []int{*mlpHidden, *mlpHidden}
+	cfg.K = *k
+	cfg.MaxEpoch = *epochs
+	cfg.MaxStep = *steps
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+
+	fmt.Fprintf(out, "scenario %s: %d end stations, %d optional switches, %d optional links, %d flows\n",
+		scen.Name,
+		len(prob.EndStations()), len(prob.Switches()), prob.Connections.NumEdges(), len(flowSet))
+	fmt.Fprintf(out, "training: %d epochs x %d steps, K=%d, GCN-%d, MLP %dx%d, %d worker(s)\n",
+		cfg.MaxEpoch, cfg.MaxStep, cfg.K, cfg.GCNLayers, *mlpHidden, *mlpHidden, cfg.Workers)
+
+	planner, err := core.NewPlanner(prob, cfg)
+	if err != nil {
+		return err
+	}
+	report, err := planner.Plan()
+	if err != nil {
+		return err
+	}
+
+	for _, e := range report.Epochs {
+		if e.Epoch == 1 || e.Epoch%8 == 0 || e.Epoch == len(report.Epochs) {
+			fmt.Fprintf(out, "epoch %3d: reward %8.4f  trajectories %3d  solutions %2d  dead-ends %2d  best %.0f\n",
+				e.Epoch, e.Reward, e.Trajectories, e.Solutions, e.DeadEnds, e.BestCost)
+		}
+	}
+
+	if !report.GuaranteeMet() {
+		fmt.Fprintln(out, "result: no topology satisfying the reliability guarantee was found")
+		return nil
+	}
+	if err := core.VerifySolution(prob, report.Best); err != nil {
+		return fmt.Errorf("solution failed verification: %w", err)
+	}
+	fmt.Fprintf(out, "result: cost %.1f (found at epoch %d)\n", report.Best.Cost, report.Best.FoundAtEpoch)
+	fmt.Fprint(out, renderSolution(prob, report.Best))
+	if err := printLatencies(out, prob, report.Best); err != nil {
+		return err
+	}
+	if *problemOut != "" {
+		if err := writeJSONFile(*problemOut, serialize.EncodeProblem(prob, *recovery)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "problem written to %s\n", *problemOut)
+	}
+	if *solutionOut != "" {
+		if err := writeJSONFile(*solutionOut, serialize.EncodeSolution(report.Best)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "solution written to %s\n", *solutionOut)
+	}
+	if *dotOut != "" {
+		if err := writeFile(*dotOut, func(f io.Writer) error {
+			return viz.WriteSolution(f, prob, report.Best, "nptsn "+*scenarioName)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "DOT written to %s\n", *dotOut)
+	}
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, func(f io.Writer) error {
+			return eval.WriteTrainingCSV(f, report)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "training CSV written to %s\n", *csvOut)
+	}
+	return nil
+}
+
+// writeFile creates path and streams content through fn.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeJSONFile persists v as indented JSON.
+func writeJSONFile(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := serialize.WriteJSON(f, v); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// renderSolution prints the switches (with ASIL and degree) and links of a
+// solution in a stable order.
+func renderSolution(prob *core.Problem, sol *core.Solution) string {
+	var b strings.Builder
+	var sws []int
+	for sw := range sol.Assignment.Switches {
+		sws = append(sws, sw)
+	}
+	sort.Ints(sws)
+	b.WriteString("switches:\n")
+	for _, sw := range sws {
+		v := sol.Topology.MustVertex(sw)
+		name := v.Name
+		if name == "" {
+			name = fmt.Sprintf("sw#%d", sw)
+		}
+		fmt.Fprintf(&b, "  %-16s ASIL-%s  %d ports used\n",
+			name, sol.Assignment.Switches[sw], sol.Topology.Degree(sw))
+	}
+	b.WriteString("links:\n")
+	for _, e := range sol.Topology.Edges() {
+		fmt.Fprintf(&b, "  %s -- %s  ASIL-%s\n",
+			vertexLabel(sol.Topology, e.U), vertexLabel(sol.Topology, e.V),
+			sol.Assignment.LinkLevel(e.U, e.V))
+	}
+	return b.String()
+}
+
+// printLatencies reports the worst-case delays of the fault-free schedule
+// FI0 on the planned topology.
+func printLatencies(out io.Writer, prob *core.Problem, sol *core.Solution) error {
+	fi0, er, err := nbf.InitialState(prob.NBF, sol.Topology, prob.Net, prob.Flows)
+	if err != nil {
+		return err
+	}
+	if len(er) > 0 {
+		return fmt.Errorf("planned network cannot establish FI0 for pairs %v", er)
+	}
+	lats, err := tsn.Latencies(prob.Net, prob.Flows, fi0)
+	if err != nil {
+		return err
+	}
+	if slack, ok := tsn.MinSlack(lats); ok {
+		fmt.Fprintf(out, "schedule: max delay %v, min deadline slack %v over %d pairs\n",
+			tsn.MaxDelay(lats), slack, len(lats))
+	}
+	return nil
+}
+
+func vertexLabel(g *graph.Graph, id int) string {
+	v := g.MustVertex(id)
+	if v.Name != "" {
+		return v.Name
+	}
+	return fmt.Sprintf("%s#%d", v.Kind, id)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunADSMicro(t *testing.T) {
+	dir := t.TempDir()
+	probPath := filepath.Join(dir, "p.json")
+	solPath := filepath.Join(dir, "s.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", "ads", "-epochs", "2", "-steps", "48",
+		"-k", "4", "-mlp", "16", "-seed", "2",
+		"-dump-problem", probPath, "-out", solPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "scenario ads: 12 end stations, 4 optional switches, 54 optional links") {
+		t.Fatalf("missing scenario summary:\n%s", text)
+	}
+	if !strings.Contains(text, "epoch") {
+		t.Fatalf("missing training log:\n%s", text)
+	}
+	if strings.Contains(text, "result: cost") {
+		// A solution was found; the JSON artifacts must exist.
+		for _, p := range []string{probPath, solPath} {
+			if _, err := os.Stat(p); err != nil {
+				t.Fatalf("artifact %s missing: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "mars"}, &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunUnknownNBF(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nbf", "bogus"}, &out); err == nil {
+		t.Fatal("unknown NBF accepted")
+	}
+}
+
+func TestRunBadFlagValue(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-epochs", "0"}, &out); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestRunDotAndCSVOutputs(t *testing.T) {
+	dir := t.TempDir()
+	dotPath := filepath.Join(dir, "sol.dot")
+	csvPath := filepath.Join(dir, "train.csv")
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", "ads", "-epochs", "2", "-steps", "48",
+		"-k", "4", "-mlp", "16", "-seed", "2",
+		"-dot", dotPath, "-csv", csvPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "result: cost") {
+		dot, err := os.ReadFile(dotPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(dot), "graph") || !strings.Contains(string(dot), "ASIL-") {
+			t.Fatalf("dot output:\n%s", dot)
+		}
+		csvData, err := os.ReadFile(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(csvData), "epoch,reward") {
+			t.Fatalf("csv output:\n%s", csvData)
+		}
+	}
+}

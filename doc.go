@@ -1,0 +1,23 @@
+// Package repro is the root of the NPTSN reproduction: an RL-based network
+// planner with guaranteed reliability for in-vehicle Time-Sensitive
+// Software-Defined Networking (TSSDN), after Kong, Nabi & Goossens,
+// DSN 2023 (DOI 10.1109/DSN58367.2023.00019).
+//
+// The implementation lives under internal/:
+//
+//	graph      undirected graphs, Dijkstra, Yen's K shortest paths
+//	asil       ISO 26262 levels, component library, cost model (Eq. 1-2)
+//	tsn        TT flows, TAS slot model, the TT scheduler
+//	nbf        network behaviour functions (recovery mechanisms)
+//	failure    the failure analyzer (Algorithm 3, Eq. 6 reduction)
+//	nn         matrices, dense + GCN layers (Eq. 4), Adam, masked softmax
+//	rl         PPO (Eq. 5), GAE-λ buffers
+//	core       NPTSN: SOAG (Algorithm 1), encoding, planner (Algorithm 2)
+//	baselines  Original, TRH [4], NeuroPlan [16]
+//	scenarios  ORION [30] and ADS [31] design scenarios
+//	eval       the Fig. 4 / Fig. 5 experiment harness
+//
+// Executables: cmd/nptsn (plan a scenario) and cmd/nptsn-eval (regenerate
+// every figure). Runnable examples live under examples/. The root-level
+// bench_test.go regenerates each table/figure as a Go benchmark.
+package repro

@@ -1,0 +1,97 @@
+// Quickstart: plan a minimal in-vehicle TSSDN with NPTSN.
+//
+// Four end stations, two candidate switches, three time-triggered flows.
+// NPTSN must find a topology + ASIL allocation whose run-time recovery
+// survives every failure with probability >= 1e-6, at minimum cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+func main() {
+	// 1. Describe the connection graph Gc: which links COULD be built.
+	gc := graph.New()
+	sensors := []string{"camera", "radar", "planner", "brake"}
+	for _, n := range sensors {
+		gc.AddVertex(n, graph.KindEndStation)
+	}
+	swA := gc.AddVertex("swA", graph.KindSwitch)
+	swB := gc.AddVertex("swB", graph.KindSwitch)
+	for es := 0; es < 4; es++ {
+		must(gc.AddEdge(es, swA, 1.0)) // cable lengths in unit length
+		must(gc.AddEdge(es, swB, 1.5))
+	}
+	must(gc.AddEdge(swA, swB, 1.0))
+
+	// 2. Declare the TT flows (period = deadline = base period).
+	net := tsn.DefaultNetwork() // 500 µs base period, 20 slots
+	flows := tsn.FlowSet{
+		{ID: 0, Name: "camera->planner", Src: 0, Dsts: []int{2}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 256},
+		{ID: 1, Name: "radar->planner", Src: 1, Dsts: []int{2}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 128},
+		{ID: 2, Name: "planner->brake", Src: 2, Dsts: []int{3}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64},
+	}
+
+	// 3. Build the planning problem: the recovery mechanism (NBF), the
+	// reliability goal R and the component library (Table I).
+	prob := &core.Problem{
+		Connections:     gc,
+		Net:             net,
+		Flows:           flows,
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+
+	// 4. Train the planner (scaled-down budget; Table II defaults are
+	// core.DefaultConfig()).
+	cfg := core.DefaultConfig()
+	cfg.MaxEpoch = 8
+	cfg.MaxStep = 128
+	cfg.K = 8
+	cfg.MLPHidden = []int{64, 64}
+	cfg.Seed = 42
+
+	planner, err := core.NewPlanner(prob, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := planner.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !report.GuaranteeMet() {
+		log.Fatal("no reliable topology found; increase the training budget")
+	}
+
+	// 5. Independently verify and inspect the result.
+	if err := core.VerifySolution(prob, report.Best); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network cost: %.1f (found at epoch %d)\n", report.Best.Cost, report.Best.FoundAtEpoch)
+	for sw, lvl := range report.Best.Assignment.Switches {
+		fmt.Printf("switch %s: ASIL-%s, %d ports\n",
+			gc.MustVertex(sw).Name, lvl, report.Best.Topology.Degree(sw))
+	}
+	for _, e := range report.Best.Topology.Edges() {
+		fmt.Printf("link %s--%s: ASIL-%s\n",
+			gc.MustVertex(e.U).Name, gc.MustVertex(e.V).Name,
+			report.Best.Assignment.LinkLevel(e.U, e.V))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// tinyProblem mirrors the core test fixture: 4 ES, 2 optional switches,
+// full ES-SW + SW-SW connections, 3 flows, R = 1e-6.
+func tinyProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	for es := 0; es < 4; es++ {
+		for sw := 4; sw < 6; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(4, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	net := tsn.DefaultNetwork()
+	mk := func(id, src, dst int) tsn.Flow {
+		return tsn.Flow{ID: id, Src: src, Dsts: []int{dst}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}
+	}
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{mk(0, 0, 1), mk(1, 2, 3), mk(2, 1, 2)},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+// dualHomedManual builds the fully dual-homed manual topology over the
+// tiny problem's vertex set.
+func dualHomedManual(t testing.TB, prob *core.Problem) *graph.Graph {
+	t.Helper()
+	topo := prob.Connections.EmptyLike()
+	for es := 0; es < 4; es++ {
+		for sw := 4; sw < 6; sw++ {
+			if err := topo.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return topo
+}
+
+// singleHomedManual connects every ES to switch 4 only.
+func singleHomedManual(t testing.TB, prob *core.Problem) *graph.Graph {
+	t.Helper()
+	topo := prob.Connections.EmptyLike()
+	for es := 0; es < 4; es++ {
+		if err := topo.AddEdge(es, 4, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+func TestOriginalDualHomedValid(t *testing.T) {
+	prob := tinyProblem(t)
+	o := &Original{Topology: dualHomedManual(t, prob)}
+	res, err := o.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GuaranteeMet {
+		t.Fatalf("dual-homed ASIL-D design rejected: %s", res.Reason)
+	}
+	// 2 × 4-port... degree 4 -> 4-port ASIL-D switch (27) ×2, 8 ASIL-D
+	// unit links ×8 = 54 + 64 = 118.
+	if res.Solution.Cost != 2*27+8*8 {
+		t.Fatalf("cost = %v, want 118", res.Solution.Cost)
+	}
+}
+
+func TestOriginalSingleHomedValidAtPaperR(t *testing.T) {
+	// Single-homed with ASIL-D: cfp(D) < 1e-6 = R, so the single point of
+	// failure is a safe fault (the ORION argument of §VI-A).
+	prob := tinyProblem(t)
+	o := &Original{Topology: singleHomedManual(t, prob)}
+	res, err := o.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GuaranteeMet {
+		t.Fatalf("single-homed ASIL-D design must pass at R=1e-6: %s", res.Reason)
+	}
+
+	// Tightening R exposes the single point of failure.
+	prob.ReliabilityGoal = 9e-7
+	res, err = o.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuaranteeMet {
+		t.Fatal("single point of failure must fail at R=9e-7")
+	}
+	if res.Reason == "" {
+		t.Fatal("failed guarantee must carry a reason")
+	}
+}
+
+func TestOriginalValidation(t *testing.T) {
+	prob := tinyProblem(t)
+	if _, err := (&Original{}).Plan(prob); err == nil {
+		t.Error("nil topology accepted")
+	}
+	small := graph.New()
+	small.AddVertex("", graph.KindEndStation)
+	if _, err := (&Original{Topology: small}).Plan(prob); err == nil {
+		t.Error("mismatched vertex set accepted")
+	}
+}
+
+func TestTRHBuildsDisjointFRERPaths(t *testing.T) {
+	prob := tinyProblem(t)
+	res, err := NewTRH().Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GuaranteeMet {
+		t.Fatalf("TRH failed on the tiny problem: %s", res.Reason)
+	}
+	sol := res.Solution
+	// Every component must be ASIL-B.
+	for sw, lvl := range sol.Assignment.Switches {
+		if lvl != asil.LevelB {
+			t.Fatalf("switch %d at %s, want B", sw, lvl)
+		}
+	}
+	for e, lvl := range sol.Assignment.Links {
+		if lvl != asil.LevelB {
+			t.Fatalf("link %v at %s, want B", e, lvl)
+		}
+	}
+	// Both switches must be in use (disjoint paths need both).
+	if sol.Topology.Degree(4) == 0 || sol.Topology.Degree(5) == 0 {
+		t.Fatal("disjoint paths must use both switches")
+	}
+	if sol.Cost <= 0 {
+		t.Fatal("cost missing")
+	}
+}
+
+func TestTRHFailsWithoutDisjointPaths(t *testing.T) {
+	// Only one switch: node-disjoint pairs are impossible.
+	g := graph.New()
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	sw := g.AddVertex("", graph.KindSwitch)
+	for i := 0; i < 2; i++ {
+		if err := g.AddEdge(i, sw, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := tsn.DefaultNetwork()
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{{ID: 0, Src: 0, Dsts: []int{1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}},
+		NBF:             &nbf.StatelessRecovery{},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	res, err := NewTRH().Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuaranteeMet {
+		t.Fatal("TRH cannot guarantee without disjoint paths")
+	}
+	if !strings.Contains(res.Reason, "disjoint") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestTRHDecompositionGate(t *testing.T) {
+	prob := tinyProblem(t)
+	trh := &TRH{DisjointPaths: 2, Level: asil.LevelA}
+	res, err := trh.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A+A does not decompose ASIL-D.
+	if res.GuaranteeMet {
+		t.Fatal("A+A decomposition accepted for an ASIL-D goal")
+	}
+	if !strings.Contains(res.Reason, "decomposition") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestTRHValidation(t *testing.T) {
+	prob := tinyProblem(t)
+	if _, err := (&TRH{DisjointPaths: 0, Level: asil.LevelB}).Plan(prob); err == nil {
+		t.Error("zero disjoint paths accepted")
+	}
+	if _, err := (&TRH{DisjointPaths: 2, Level: asil.Level(9)}).Plan(prob); err == nil {
+		t.Error("invalid level accepted")
+	}
+}
+
+func npConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.GCNLayers = 1
+	cfg.GCNHidden = 8
+	cfg.EmbeddingPerNode = 2
+	cfg.MLPHidden = []int{16}
+	cfg.K = 1
+	cfg.MaxEpoch = 2
+	cfg.MaxStep = 40
+	cfg.TrainPiIters = 4
+	cfg.TrainVIters = 4
+	cfg.Seed = 5
+	return cfg
+}
+
+func TestNeuroPlanSmoke(t *testing.T) {
+	prob := tinyProblem(t)
+	np, err := NewNeuroPlan(npConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := np.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(report.Epochs))
+	}
+	if res.GuaranteeMet {
+		// If a solution was found it must verify.
+		if err := core.VerifySolution(prob, res.Solution); err != nil {
+			t.Fatalf("NeuroPlan solution invalid: %v", err)
+		}
+	} else if res.Reason == "" {
+		t.Fatal("failed guarantee needs a reason")
+	}
+}
+
+func TestNeuroPlanFindsSolutionWithBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	prob := tinyProblem(t)
+	cfg := npConfig()
+	cfg.MaxEpoch = 4
+	cfg.MaxStep = 150
+	np, err := NewNeuroPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := np.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GuaranteeMet {
+		t.Fatal("NeuroPlan found no solution on the tiny problem")
+	}
+	if err := core.VerifySolution(prob, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeuroPlanEnvMasks(t *testing.T) {
+	prob := tinyProblem(t)
+	env, err := newNPEnv(prob, npConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.actionCount() != 9+2 {
+		t.Fatalf("actionCount = %d, want 11", env.actionCount())
+	}
+	m := env.mask()
+	// No switches added: every link action invalid, both switch actions
+	// valid.
+	for i := 0; i < len(env.links); i++ {
+		if m[i] {
+			t.Fatalf("link action %d valid before its switch exists", i)
+		}
+	}
+	if !m[len(env.links)] || !m[len(env.links)+1] {
+		t.Fatal("switch actions should be valid")
+	}
+
+	// Add switch 4: its links become valid.
+	if _, _, err := env.step(len(env.links)); err != nil {
+		t.Fatal(err)
+	}
+	m = env.mask()
+	valid := 0
+	for i, l := range env.links {
+		if m[i] {
+			valid++
+			if l.U != 4 && l.V != 4 {
+				t.Fatalf("link %v valid without both endpoints available", l)
+			}
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no link actions after adding a switch")
+	}
+}
+
+func TestNeuroPlanValidation(t *testing.T) {
+	bad := npConfig()
+	bad.MaxStep = 0
+	if _, err := NewNeuroPlan(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Package baselines implements the three comparison points of the paper's
+// evaluation (§VI-A): the manually designed Original topology with ASIL-D
+// components, the TRH FRER topology-synthesis heuristic [4], and the
+// NeuroPlan-style RL planner with static link-level actions [16].
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// Result is the uniform outcome of a baseline planner.
+type Result struct {
+	// Solution is the produced topology and allocation (may be present even
+	// when the guarantee failed, for cost reporting).
+	Solution *core.Solution
+	// GuaranteeMet reports whether the reliability requirement was
+	// established for the problem.
+	GuaranteeMet bool
+	// Reason explains a failed guarantee.
+	Reason string
+}
+
+// Original evaluates a manually designed topology (e.g. the published ORION
+// network) with every component at ASIL-D — the most conservative static
+// allocation, required because single-homed end stations leave single
+// points of failure otherwise (§VI-A).
+type Original struct {
+	// Topology is the manual design; it must span the problem's vertex set.
+	Topology *graph.Graph
+}
+
+// Plan assigns ASIL-D everywhere and verifies the reliability goal.
+func (o *Original) Plan(prob *core.Problem) (*Result, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Topology == nil {
+		return nil, fmt.Errorf("original: nil topology")
+	}
+	if o.Topology.NumVertices() != prob.Connections.NumVertices() {
+		return nil, fmt.Errorf("original: topology has %d vertices, problem has %d",
+			o.Topology.NumVertices(), prob.Connections.NumVertices())
+	}
+	assign := asil.NewAssignment()
+	for _, sw := range o.Topology.VerticesOfKind(graph.KindSwitch) {
+		if o.Topology.Degree(sw) > 0 {
+			assign.Switches[sw] = asil.LevelD
+		}
+	}
+	for _, e := range o.Topology.Edges() {
+		assign.SetLink(e.U, e.V, asil.LevelD)
+	}
+	cost, err := asil.NetworkCost(o.Topology, assign, prob.Library)
+	if err != nil {
+		return nil, fmt.Errorf("original: %w", err)
+	}
+	sol := &core.Solution{Topology: o.Topology.Clone(), Assignment: assign, Cost: cost}
+
+	an := &failure.Analyzer{Lib: prob.Library, NBF: prob.NBF, Net: prob.Net, R: prob.ReliabilityGoal}
+	res, err := an.Analyze(o.Topology, assign, prob.Flows)
+	if err != nil {
+		return nil, fmt.Errorf("original: %w", err)
+	}
+	out := &Result{Solution: sol, GuaranteeMet: res.OK}
+	if !res.OK {
+		out.Reason = fmt.Sprintf("failure %v unrecoverable (ER %v)", res.Failure, res.ER)
+	}
+	return out, nil
+}

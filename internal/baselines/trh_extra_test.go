@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// threeSwitchProblem gives three candidate switches so TRH can route three
+// node-disjoint paths.
+func threeSwitchProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 3; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 5; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	net := tsn.DefaultNetwork()
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{{ID: 0, Src: 0, Dsts: []int{1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}},
+		NBF:             &nbf.StatelessRecovery{},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     3,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func TestTRHThreeDisjointPaths(t *testing.T) {
+	prob := threeSwitchProblem(t)
+	trh := &TRH{DisjointPaths: 3, Level: asil.LevelC}
+	res, err := trh.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: the decomposition gate only checks pairs; with 3 channels at
+	// ASIL-C the pairwise C+C covers... C+C is not a listed pair for D, so
+	// the gate is evaluated on Level twice.
+	sol := res.Solution
+	if sol.Topology.Degree(0) != 3 || sol.Topology.Degree(1) != 3 {
+		t.Fatalf("expected all three switches used: deg(0)=%d deg(1)=%d",
+			sol.Topology.Degree(0), sol.Topology.Degree(1))
+	}
+	for sw := 2; sw < 5; sw++ {
+		if sol.Assignment.SwitchLevel(sw) != asil.LevelC {
+			t.Fatalf("switch %d level %s", sw, sol.Assignment.SwitchLevel(sw))
+		}
+	}
+}
+
+func TestTRHSingleChannelMode(t *testing.T) {
+	prob := threeSwitchProblem(t)
+	trh := &TRH{DisjointPaths: 1, Level: asil.LevelD}
+	res, err := trh.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One ASIL-D channel: no decomposition needed, schedulable, valid.
+	if !res.GuaranteeMet {
+		t.Fatalf("single ASIL-D channel rejected: %s", res.Reason)
+	}
+	if res.Solution.Topology.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (one path)", res.Solution.Topology.NumEdges())
+	}
+}
+
+func TestTRHCostFallbackForDegreeViolations(t *testing.T) {
+	// Force a degree violation: 5 flows sharing an ES with MaxESDegree 1
+	// make TRH overload it; the reported cost must still be computable.
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	for es := 0; es < 6; es++ {
+		for sw := 6; sw < 8; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	net := tsn.DefaultNetwork()
+	var flows tsn.FlowSet
+	for i := 0; i < 5; i++ {
+		flows = append(flows, tsn.Flow{ID: i, Src: 0, Dsts: []int{i + 1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64})
+	}
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           flows,
+		NBF:             &nbf.StatelessRecovery{},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     1,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewTRH().Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuaranteeMet {
+		t.Fatal("degree-violating synthesis must be invalid")
+	}
+	if res.Solution == nil || res.Solution.Cost <= 0 {
+		t.Fatal("invalid solutions must still report a chartable cost")
+	}
+}
+
+func TestNeuroPlanTrivialProblem(t *testing.T) {
+	prob := tinyProblem(t)
+	prob.Flows = nil
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	np, err := NewNeuroPlan(npConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := np.Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GuaranteeMet || report.Best == nil {
+		t.Fatal("flowless problem should be trivially solved")
+	}
+}
+
+func TestNeuroPlanEnvStepErrors(t *testing.T) {
+	prob := tinyProblem(t)
+	env, err := newNPEnv(prob, npConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := env.step(-1); err == nil {
+		t.Error("negative action accepted")
+	}
+	if _, _, err := env.step(999); err == nil {
+		t.Error("out-of-range action accepted")
+	}
+	// A masked link action (switch not yet added) must surface as an error.
+	if _, _, err := env.step(0); err == nil {
+		t.Error("masked link action accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// ActionKind distinguishes the two coarse-grained action families of §IV-B.
+type ActionKind int
+
+const (
+	// ActionSwitchUpgrade adds a new switch at ASIL-A or raises an existing
+	// switch's ASIL by one level.
+	ActionSwitchUpgrade ActionKind = iota + 1
+	// ActionPathAdd adds every link of a precomputed path to the topology.
+	ActionPathAdd
+)
+
+// Action is one entry of the dynamic action space.
+type Action struct {
+	Kind   ActionKind
+	Switch int        // for ActionSwitchUpgrade
+	Path   graph.Path // for ActionPathAdd
+}
+
+// String renders the action for logs.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionSwitchUpgrade:
+		return fmt.Sprintf("upgrade(sw %d)", a.Switch)
+	case ActionPathAdd:
+		return fmt.Sprintf("path%v", a.Path)
+	default:
+		return "invalid"
+	}
+}
+
+// ActionSet is the dynamic action space of one step: |V^c_sw| switch
+// upgrade actions followed by K path addition actions, with a mask bit per
+// action (true = selectable). The total size is fixed so the actor's
+// output layer has a constant dimension.
+type ActionSet struct {
+	Actions []Action
+	Mask    []bool
+}
+
+// Size returns the (fixed) number of action slots.
+func (s *ActionSet) Size() int { return len(s.Actions) }
+
+// AllMasked reports whether no action is selectable (Algorithm 2 line 14).
+func (s *ActionSet) AllMasked() bool {
+	for _, m := range s.Mask {
+		if m {
+			return false
+		}
+	}
+	return true
+}
+
+// SOAG is the Survival-Oriented Action Generator (§IV-B, Algorithm 1). It
+// proposes the actions that can help the TSSDN survive the non-recoverable
+// failure found by the last failure analysis, pruning invalid ones via the
+// action mask.
+type SOAG struct {
+	prob *Problem
+	// K is the number of path-addition action slots.
+	K int
+	// DisableDegreeMask keeps degree-violating paths selectable (the
+	// SOAG-pruning ablation); the environment then rejects them at apply
+	// time, ending the trajectory like NeuroPlan's saturated explorations.
+	DisableDegreeMask bool
+	// ExhaustiveValidPaths implements the §IV-B alternative action
+	// generation: instead of taking the K shortest paths and masking the
+	// invalid ones, keep enumerating shortest paths until K valid ones are
+	// found (masks all one). The paper rejects this because, when valid
+	// paths do not exist, it exhaustively checks all paths; the
+	// enumeration here is capped at ExhaustiveCap candidates to keep the
+	// ablation benchmark bounded.
+	ExhaustiveValidPaths bool
+	// ExhaustiveCap bounds the candidate enumeration in exhaustive mode
+	// (default 128 when zero).
+	ExhaustiveCap int
+}
+
+// NewSOAG builds an action generator for the problem.
+func NewSOAG(prob *Problem, k int) (*SOAG, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("soag: K must be positive, got %d", k)
+	}
+	return &SOAG{prob: prob, K: k}, nil
+}
+
+// ActionSpaceSize returns |V^c_sw| + K, the constant actor output size.
+func (s *SOAG) ActionSpaceSize() int { return len(s.prob.Switches()) + s.K }
+
+// Generate computes the action set for the current construction state given
+// the failure-analysis feedback (Gf, ER). rng selects the (s, d) pair from
+// the error message (Algorithm 1, line 1).
+func (s *SOAG) Generate(state *TSSDN, gf nbf.Failure, er []tsn.Pair, rng *rand.Rand) *ActionSet {
+	size := s.ActionSpaceSize()
+	set := &ActionSet{
+		Actions: make([]Action, size),
+		Mask:    make([]bool, size),
+	}
+
+	// Switch upgrade actions: one slot per optional switch.
+	for i, sw := range s.prob.Switches() {
+		set.Actions[i] = Action{Kind: ActionSwitchUpgrade, Switch: sw}
+		lvl := state.Assign.SwitchLevel(sw)
+		// Addable (not present) or upgradable (below ASIL-D).
+		set.Mask[i] = lvl != asil.LevelD
+	}
+
+	// Path addition actions (Algorithm 1).
+	base := len(s.prob.Switches())
+	if len(er) == 0 {
+		return set
+	}
+	pair := er[rng.Intn(len(er))]
+
+	// Residual search graph: Gc minus failed nodes, minus unadded
+	// switches, minus failed edges.
+	g := s.prob.Connections.Clone()
+	for _, v := range gf.Nodes {
+		g.IsolateVertex(v)
+	}
+	for _, sw := range s.prob.Switches() {
+		if !state.HasSwitch(sw) {
+			g.IsolateVertex(sw)
+		}
+	}
+	for _, e := range gf.Edges {
+		g.RemoveEdge(e.U, e.V)
+	}
+
+	if s.ExhaustiveValidPaths {
+		cap := s.ExhaustiveCap
+		if cap <= 0 {
+			cap = 128
+		}
+		paths, err := g.KShortestPaths(pair.Src, pair.Dst, cap)
+		if err != nil {
+			return set
+		}
+		i := 0
+		for _, p := range paths {
+			if i >= s.K {
+				break
+			}
+			if !s.pathRespectsDegrees(state, p) {
+				continue
+			}
+			set.Actions[base+i] = Action{Kind: ActionPathAdd, Path: p}
+			set.Mask[base+i] = true
+			i++
+		}
+		return set
+	}
+
+	paths, err := g.KShortestPaths(pair.Src, pair.Dst, s.K)
+	if err != nil {
+		return set // no connecting path exists: all path slots stay masked
+	}
+	for i, p := range paths {
+		set.Actions[base+i] = Action{Kind: ActionPathAdd, Path: p}
+		if s.DisableDegreeMask {
+			set.Mask[base+i] = true
+			continue
+		}
+		set.Mask[base+i] = s.pathRespectsDegrees(state, p)
+	}
+	return set
+}
+
+// pathRespectsDegrees checks the degree constraint of Algorithm 1 lines
+// 6-12: adding the path's new edges must not push any switch beyond the
+// library's port maximum or any end station beyond MaxESDegree.
+func (s *SOAG) pathRespectsDegrees(state *TSSDN, p graph.Path) bool {
+	extra := make(map[int]int)
+	for i := 0; i+1 < len(p); i++ {
+		if !state.Topo.HasEdge(p[i], p[i+1]) {
+			extra[p[i]]++
+			extra[p[i+1]]++
+		}
+	}
+	for v, add := range extra {
+		deg := state.Topo.Degree(v) + add
+		if s.prob.Connections.Kind(v) == graph.KindSwitch && deg > s.prob.Library.MaxSwitchDegree() {
+			return false
+		}
+		if s.prob.Connections.Kind(v) == graph.KindEndStation && deg > s.prob.MaxESDegree {
+			return false
+		}
+	}
+	return true
+}

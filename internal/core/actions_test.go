@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+func TestSOAGActionSpaceSizeFixed(t *testing.T) {
+	prob := tinyProblem(t)
+	soag, err := NewSOAG(prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := soag.ActionSpaceSize(); got != 2+4 {
+		t.Fatalf("ActionSpaceSize = %d, want 6", got)
+	}
+	if _, err := NewSOAG(prob, 0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestSOAGEmptyStateOffersOnlySwitchActions(t *testing.T) {
+	prob := tinyProblem(t)
+	soag, _ := NewSOAG(prob, 4)
+	s := NewTSSDN(prob)
+	rng := rand.New(rand.NewSource(1))
+	er := []tsn.Pair{{Src: 0, Dst: 1}}
+	set := soag.Generate(s, nbf.Failure{}, er, rng)
+	if set.Size() != 6 {
+		t.Fatalf("Size = %d", set.Size())
+	}
+	// Both switch slots addable.
+	if !set.Mask[0] || !set.Mask[1] {
+		t.Fatalf("switch actions masked: %v", set.Mask)
+	}
+	// No switches added yet, so no path can exist.
+	for i := 2; i < 6; i++ {
+		if set.Mask[i] {
+			t.Fatalf("path action %d selectable with no switches", i)
+		}
+	}
+	if set.AllMasked() {
+		t.Fatal("AllMasked wrong")
+	}
+}
+
+func TestSOAGPathActionsAppearAfterSwitchAdded(t *testing.T) {
+	prob := tinyProblem(t)
+	soag, _ := NewSOAG(prob, 4)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	set := soag.Generate(s, nbf.Failure{}, []tsn.Pair{{Src: 0, Dst: 1}}, rng)
+	var pathCount int
+	for i := 2; i < set.Size(); i++ {
+		if set.Mask[i] {
+			pathCount++
+			p := set.Actions[i].Path
+			if p.Source() != 0 || p.Dest() != 1 {
+				t.Fatalf("path endpoints wrong: %v", p)
+			}
+			if p.Contains(5) {
+				t.Fatalf("path %v traverses unadded switch 5", p)
+			}
+		}
+	}
+	// Only one loopless path exists: 0-4-1.
+	if pathCount != 1 {
+		t.Fatalf("pathCount = %d, want 1", pathCount)
+	}
+}
+
+func TestSOAGAvoidsFailedNodes(t *testing.T) {
+	prob := tinyProblem(t)
+	soag, _ := NewSOAG(prob, 4)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpgradeSwitch(5); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	set := soag.Generate(s, nbf.Failure{Nodes: []int{4}}, []tsn.Pair{{Src: 0, Dst: 1}}, rng)
+	for i := 2; i < set.Size(); i++ {
+		if set.Mask[i] && set.Actions[i].Path.Contains(4) {
+			t.Fatalf("path %v traverses the failed switch", set.Actions[i].Path)
+		}
+	}
+}
+
+func TestSOAGAvoidsFailedEdges(t *testing.T) {
+	prob := tinyProblem(t)
+	soag, _ := NewSOAG(prob, 4)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	gf := nbf.Failure{Edges: []graph.Edge{{U: 0, V: 4}}}
+	set := soag.Generate(s, gf, []tsn.Pair{{Src: 0, Dst: 1}}, rng)
+	for i := 2; i < set.Size(); i++ {
+		if !set.Mask[i] {
+			continue
+		}
+		p := set.Actions[i].Path
+		for j := 0; j+1 < len(p); j++ {
+			if (p[j] == 0 && p[j+1] == 4) || (p[j] == 4 && p[j+1] == 0) {
+				t.Fatalf("path %v uses the failed edge", p)
+			}
+		}
+	}
+}
+
+func TestSOAGMasksSwitchAtASILD(t *testing.T) {
+	prob := tinyProblem(t)
+	soag, _ := NewSOAG(prob, 4)
+	s := NewTSSDN(prob)
+	for i := 0; i < 4; i++ {
+		if err := s.UpgradeSwitch(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	set := soag.Generate(s, nbf.Failure{}, nil, rng)
+	if set.Mask[0] {
+		t.Fatal("ASIL-D switch still upgradable")
+	}
+	if !set.Mask[1] {
+		t.Fatal("fresh switch should be addable")
+	}
+}
+
+func TestSOAGDegreeMaskPrunesViolatingPaths(t *testing.T) {
+	prob := tinyProblem(t)
+	prob.MaxESDegree = 1
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	soag, _ := NewSOAG(prob, 4)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpgradeSwitch(5); err != nil {
+		t.Fatal(err)
+	}
+	// ES 0 already uses its single port on switch 4.
+	if err := s.AddPath(graph.Path{0, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	set := soag.Generate(s, nbf.Failure{Nodes: []int{4}}, []tsn.Pair{{Src: 0, Dst: 1}}, rng)
+	for i := 2; i < set.Size(); i++ {
+		if set.Mask[i] {
+			t.Fatalf("degree-violating path %v left selectable", set.Actions[i].Path)
+		}
+	}
+
+	// Ablation: with masking disabled the paths stay selectable.
+	soag.DisableDegreeMask = true
+	set = soag.Generate(s, nbf.Failure{Nodes: []int{4}}, []tsn.Pair{{Src: 0, Dst: 1}}, rand.New(rand.NewSource(1)))
+	var selectable int
+	for i := 2; i < set.Size(); i++ {
+		if set.Mask[i] {
+			selectable++
+		}
+	}
+	if selectable == 0 {
+		t.Fatal("ablation should leave violating paths selectable")
+	}
+}
+
+func TestSOAGDeterministicGivenSeed(t *testing.T) {
+	prob := tinyProblem(t)
+	soag, _ := NewSOAG(prob, 4)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	er := []tsn.Pair{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	a := soag.Generate(s, nbf.Failure{}, er, rand.New(rand.NewSource(9)))
+	b := soag.Generate(s, nbf.Failure{}, er, rand.New(rand.NewSource(9)))
+	for i := range a.Actions {
+		if a.Mask[i] != b.Mask[i] {
+			t.Fatal("masks differ across identical seeds")
+		}
+		if a.Actions[i].Kind == ActionPathAdd && !a.Actions[i].Path.Equal(b.Actions[i].Path) {
+			t.Fatal("paths differ across identical seeds")
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if (Action{Kind: ActionSwitchUpgrade, Switch: 4}).String() != "upgrade(sw 4)" {
+		t.Fatal("upgrade render wrong")
+	}
+	if (Action{Kind: ActionPathAdd, Path: graph.Path{0, 1}}).String() == "" {
+		t.Fatal("path render empty")
+	}
+	if (Action{}).String() != "invalid" {
+		t.Fatal("zero action should render invalid")
+	}
+}
+
+var _ = asil.LevelA

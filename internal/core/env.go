@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/failure"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// StepOutcome classifies what happened after applying an action.
+type StepOutcome int
+
+const (
+	// OutcomeContinue means construction goes on.
+	OutcomeContinue StepOutcome = iota + 1
+	// OutcomeSolved means the reliability guarantee was established; the
+	// TSSDN was recorded and reset.
+	OutcomeSolved
+	// OutcomeDeadEnd means no valid actions remain (or an unmasked action
+	// turned out invalid in ablation mode); the TSSDN was reset with the
+	// invalid-solution penalty applied.
+	OutcomeDeadEnd
+)
+
+// Env is the RL environment of Algorithm 2: it owns the TSSDN construction
+// state, consults the failure analyzer after every action, and produces
+// rewards from cost deltas.
+type Env struct {
+	prob     *Problem
+	soag     *SOAG
+	analyzer *failure.Analyzer
+	enc      *Encoder
+	scaler   float64
+	bonus    float64
+	rng      *rand.Rand
+
+	state   *TSSDN
+	actions *ActionSet
+	lastGf  nbf.Failure
+	lastER  []tsn.Pair
+	lastOK  bool
+	cost    float64
+
+	best *Solution
+	// counters
+	Steps     int
+	Solutions int
+	DeadEnds  int
+	NBFCalls  int
+}
+
+// NewEnv builds an environment. The seed drives both the SOAG's random
+// pair selection and nothing else (action sampling uses the agent's RNG).
+func NewEnv(prob *Problem, cfg Config, seed int64) (*Env, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	soag, err := NewSOAG(prob, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	soag.DisableDegreeMask = cfg.DisableSOAGMasking
+	soag.ExhaustiveValidPaths = cfg.ExhaustivePathGeneration
+	e := &Env{
+		prob: prob,
+		soag: soag,
+		analyzer: &failure.Analyzer{
+			Lib:                 prob.Library,
+			NBF:                 prob.NBF,
+			Net:                 prob.Net,
+			R:                   prob.ReliabilityGoal,
+			FlowLevelRedundancy: prob.FlowLevelRedundancy,
+			ESLevel:             prob.ESLevel,
+		},
+		enc:    NewEncoderWithOptions(prob, cfg.K, cfg.PerFlowEncoding),
+		scaler: cfg.RewardScale,
+		bonus:  cfg.SolutionBonus,
+		rng:    rand.New(rand.NewSource(seed)),
+		state:  NewTSSDN(prob),
+	}
+	if err := e.analyzeAndGenerate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// analyzeAndGenerate runs the failure analyzer on the current state and
+// refreshes the action set from the SOAG.
+func (e *Env) analyzeAndGenerate() error {
+	res, err := e.analyzer.Analyze(e.state.Topo, e.state.Assign, e.prob.Flows)
+	if err != nil {
+		return fmt.Errorf("env: %w", err)
+	}
+	e.NBFCalls += res.NBFCalls
+	e.lastGf = res.Failure
+	e.lastER = res.ER
+	e.lastOK = res.OK
+	e.actions = e.soag.Generate(e.state, e.lastGf, e.lastER, e.rng)
+	return nil
+}
+
+// Observation encodes the current state and action set.
+func (e *Env) Observation() *Obs { return e.enc.Encode(e.state, e.actions) }
+
+// Mask returns the current action mask (aliased; do not mutate).
+func (e *Env) Mask() []bool { return e.actions.Mask }
+
+// Actions exposes the current action set (for tests and tracing).
+func (e *Env) Actions() *ActionSet { return e.actions }
+
+// Best returns the best solution recorded so far (nil if none).
+func (e *Env) Best() *Solution { return e.best }
+
+// State exposes the construction state (read-only use).
+func (e *Env) State() *TSSDN { return e.state }
+
+// Solved reports whether the current network already meets the guarantee
+// (true before any step only for trivial problems, e.g. no flows).
+func (e *Env) Solved() bool { return e.lastOK }
+
+// reset clears the TSSDN and refreshes analysis + actions.
+func (e *Env) reset() error {
+	e.state.Reset()
+	e.cost = 0
+	return e.analyzeAndGenerate()
+}
+
+// Step applies action index idx (which must be unmasked unless SOAG
+// masking is disabled), returning the scaled reward and the outcome. On
+// OutcomeSolved the solution has been recorded and the state reset; on
+// OutcomeDeadEnd the state has been reset and the reward includes the -1
+// penalty (Algorithm 2, lines 8-16).
+func (e *Env) Step(idx int) (float64, StepOutcome, error) {
+	if idx < 0 || idx >= e.actions.Size() {
+		return 0, 0, fmt.Errorf("env: action index %d out of range", idx)
+	}
+	e.Steps++
+	action := e.actions.Actions[idx]
+
+	var applyErr error
+	switch action.Kind {
+	case ActionSwitchUpgrade:
+		applyErr = e.state.UpgradeSwitch(action.Switch)
+	case ActionPathAdd:
+		applyErr = e.state.AddPath(action.Path)
+	default:
+		applyErr = fmt.Errorf("env: selected an empty action slot %d", idx)
+	}
+	if applyErr != nil {
+		// Only reachable with SOAG masking disabled (the ablation): the
+		// invalid attempt ends the exploration like a dead end.
+		if !e.soag.DisableDegreeMask {
+			return 0, 0, fmt.Errorf("env: unmasked action failed: %w", applyErr)
+		}
+		e.DeadEnds++
+		if err := e.reset(); err != nil {
+			return 0, 0, err
+		}
+		return -1, OutcomeDeadEnd, nil
+	}
+
+	newCost, err := e.state.Cost()
+	if err != nil {
+		return 0, 0, fmt.Errorf("env: %w", err)
+	}
+	// Reward: previous cost minus new cost (negative), scaled into [-1, 0).
+	reward := (e.cost - newCost) / e.scaler
+	e.cost = newCost
+
+	if err := e.analyzeAndGenerate(); err != nil {
+		return 0, 0, err
+	}
+	if e.lastOK {
+		// Reliability requirement met: record and reset (line 10-12).
+		e.Solutions++
+		if e.best == nil || newCost < e.best.Cost {
+			e.best = &Solution{
+				Topology:    e.state.Topo.Clone(),
+				Assignment:  e.state.Assign.Clone(),
+				Cost:        newCost,
+				FoundAtStep: e.Steps,
+			}
+		}
+		if err := e.reset(); err != nil {
+			return 0, 0, err
+		}
+		return reward + e.bonus, OutcomeSolved, nil
+	}
+	if e.actions.AllMasked() {
+		// No valid action remains: penalty and reset (line 14-16).
+		e.DeadEnds++
+		if err := e.reset(); err != nil {
+			return 0, 0, err
+		}
+		return reward - 1, OutcomeDeadEnd, nil
+	}
+	return reward, OutcomeContinue, nil
+}

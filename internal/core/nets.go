@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// graphTrunk abstracts the shared graph encoder: the GCN of Fig. 3 or the
+// GAT alternative discussed (and rejected for scalability) in §IV-C.
+type graphTrunk interface {
+	Forward(op, h *nn.Matrix) *nn.Matrix
+	Backward(dY *nn.Matrix) *nn.Matrix
+	Params() []nn.Param
+	OutFeatures(in int) int
+	NumLayers() int
+}
+
+var (
+	_ graphTrunk = (*nn.GCN)(nil)
+	_ graphTrunk = (*nn.GAT)(nil)
+)
+
+// Nets is the neural-network architecture of Fig. 3: a graph trunk (GCN by
+// default) shared by an actor MLP (logits over the dynamic action space)
+// and a critic MLP (scalar value), with the flow/network parameter vector
+// concatenated onto the flattened graph embedding.
+type Nets struct {
+	gcn    graphTrunk
+	useGAT bool
+	actor  *nn.MLP
+	critic *nn.MLP
+
+	numVertices int
+	featDim     int
+	embedCols   int // per-node embedding width after the GCN
+
+	// caches for backward passes
+	lastPolicyObs *Obs
+	lastValueObs  *Obs
+}
+
+var _ rl.ActorCritic = (*Nets)(nil)
+
+// NewNets builds the networks for the given problem geometry, action-space
+// size and config. NPTSN passes the SOAG's action-space size; the NeuroPlan
+// baseline passes its static action count.
+func NewNets(rng *rand.Rand, enc *Encoder, actionSpace int, cfg Config) (*Nets, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if actionSpace <= 0 {
+		return nil, fmt.Errorf("core: action space must be positive, got %d", actionSpace)
+	}
+	n := enc.prob.NumVertices()
+	featDim := enc.FeatureDim()
+	var trunk graphTrunk
+	if cfg.UseGAT {
+		trunk = nn.NewGAT(rng, cfg.GCNLayers, featDim, cfg.GCNHidden, cfg.EmbeddingPerNode)
+	} else {
+		trunk = nn.NewGCN(rng, cfg.GCNLayers, featDim, cfg.GCNHidden, cfg.EmbeddingPerNode)
+	}
+	embedCols := trunk.OutFeatures(featDim)
+	mlpIn := n*embedCols + enc.ParamDim()
+	return &Nets{
+		gcn:         trunk,
+		useGAT:      cfg.UseGAT,
+		actor:       nn.NewMLP(rng, mlpIn, cfg.MLPHidden, actionSpace, nn.Tanh),
+		critic:      nn.NewMLP(rng, mlpIn, cfg.MLPHidden, 1, nn.Tanh),
+		numVertices: n,
+		featDim:     featDim,
+		embedCols:   embedCols,
+	}, nil
+}
+
+// embed runs the graph trunk and assembles the MLP input.
+func (nt *Nets) embed(obs *Obs) *nn.Matrix {
+	op := obs.SHat
+	if nt.useGAT {
+		op = obs.Mask
+	}
+	emb := nt.gcn.Forward(op, obs.Feat)
+	return nn.ConcatCols(emb.Flatten(), obs.Params)
+}
+
+// backThroughEmbedding splits the MLP input gradient and backpropagates the
+// embedding part through the GCN (the parameter-vector part is constant).
+func (nt *Nets) backThroughEmbedding(dIn *nn.Matrix) {
+	embLen := nt.numVertices * nt.embedCols
+	dEmb := nn.FromSlice(nt.numVertices, nt.embedCols, append([]float64(nil), dIn.Data[:embLen]...))
+	nt.gcn.Backward(dEmb)
+}
+
+// ForwardPolicy implements rl.ActorCritic.
+func (nt *Nets) ForwardPolicy(obs rl.Observation) []float64 {
+	o, ok := obs.(*Obs)
+	if !ok {
+		panic(fmt.Sprintf("core: unexpected observation type %T", obs))
+	}
+	nt.lastPolicyObs = o
+	out := nt.actor.Forward(nt.embed(o))
+	return append([]float64(nil), out.Data...)
+}
+
+// BackwardPolicy implements rl.ActorCritic.
+func (nt *Nets) BackwardPolicy(dLogits []float64) {
+	if nt.lastPolicyObs == nil {
+		panic("core: policy backward before forward")
+	}
+	dIn := nt.actor.Backward(nn.FromSlice(1, len(dLogits), append([]float64(nil), dLogits...)))
+	nt.backThroughEmbedding(dIn)
+}
+
+// PolicyParams implements rl.ActorCritic: GCN trunk + actor head.
+func (nt *Nets) PolicyParams() []nn.Param {
+	return append(nt.gcn.Params(), nt.actor.Params()...)
+}
+
+// ForwardValue implements rl.ActorCritic.
+func (nt *Nets) ForwardValue(obs rl.Observation) float64 {
+	o, ok := obs.(*Obs)
+	if !ok {
+		panic(fmt.Sprintf("core: unexpected observation type %T", obs))
+	}
+	nt.lastValueObs = o
+	return nt.critic.Forward(nt.embed(o)).Data[0]
+}
+
+// BackwardValue implements rl.ActorCritic.
+func (nt *Nets) BackwardValue(dV float64) {
+	if nt.lastValueObs == nil {
+		panic("core: value backward before forward")
+	}
+	dIn := nt.critic.Backward(nn.FromSlice(1, 1, []float64{dV}))
+	nt.backThroughEmbedding(dIn)
+}
+
+// ValueParams implements rl.ActorCritic: GCN trunk + critic head.
+func (nt *Nets) ValueParams() []nn.Param {
+	return append(nt.gcn.Params(), nt.critic.Params()...)
+}
+
+// AllParams lists every parameter exactly once (GCN, actor, critic), used
+// for replica synchronization.
+func (nt *Nets) AllParams() []nn.Param {
+	ps := append(nt.gcn.Params(), nt.actor.Params()...)
+	return append(ps, nt.critic.Params()...)
+}
+
+// SyncFrom copies parameter values from src (replica synchronization after
+// a global update, §IV-C).
+func (nt *Nets) SyncFrom(src *Nets) {
+	nn.CopyParams(nt.AllParams(), src.AllParams())
+}
+
+// ExportWeights snapshots all trainable parameters for persistence or warm
+// starting a later run (Adam moments are not included).
+func (nt *Nets) ExportWeights() [][]float64 {
+	return nn.ExportWeights(nt.AllParams())
+}
+
+// ImportWeights restores a snapshot taken from an identically configured
+// network (same problem geometry, action space and Config sizes).
+func (nt *Nets) ImportWeights(w [][]float64) error {
+	return nn.ImportWeights(nt.AllParams(), w)
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// EpochStats records one training epoch for reporting (the Fig. 5 curves).
+type EpochStats struct {
+	Epoch int
+	// Reward is the mean total reward per trajectory of the epoch (the
+	// "epoch reward" axis of Fig. 5).
+	Reward float64
+	// Trajectories, Solutions and DeadEnds count path outcomes.
+	Trajectories int
+	Solutions    int
+	DeadEnds     int
+	// BestCost is the best solution cost found so far (0 when none yet).
+	BestCost float64
+	// PolicyLoss/ValueLoss/KL summarize the PPO update.
+	PolicyLoss float64
+	ValueLoss  float64
+	ApproxKL   float64
+	// Duration is the wall-clock time of the epoch (exploration +
+	// update); the paper reports ~39 s/epoch for ORION and ~10 s for ADS
+	// on its Python stack.
+	Duration time.Duration
+}
+
+// Report is the full training outcome.
+type Report struct {
+	Best   *Solution
+	Epochs []EpochStats
+	// TotalNBFCalls counts recovery simulations across all workers.
+	TotalNBFCalls int
+	// FinalWeights snapshots the trained policy/value networks; feed them
+	// into Config.InitialWeights to continue training or to plan related
+	// problem instances without starting cold.
+	FinalWeights [][]float64
+}
+
+// GuaranteeMet reports whether any recorded solution satisfied the goal.
+func (r *Report) GuaranteeMet() bool { return r.Best != nil }
+
+// Planner runs NPTSN's training loop (Algorithm 2) over a problem.
+type Planner struct {
+	prob *Problem
+	cfg  Config
+}
+
+// NewPlanner validates inputs and builds a planner.
+func NewPlanner(prob *Problem, cfg Config) (*Planner, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{prob: prob, cfg: cfg}, nil
+}
+
+// worker bundles one exploration worker's replica state.
+type worker struct {
+	env  *Env
+	nets *Nets
+	rng  *rand.Rand
+	buf  *rl.Buffer
+
+	trajectories int
+	solutions    int
+	deadEnds     int
+	err          error
+}
+
+// explore gathers `steps` environment steps into the worker's buffer
+// (Algorithm 2 lines 4-18, per processor).
+func (w *worker) explore(steps int) {
+	for j := 0; j < steps; j++ {
+		obs := w.env.Observation()
+		mask := append([]bool(nil), w.env.Mask()...)
+		if allFalse(mask) {
+			// The empty start state offers no actions at all — the problem
+			// is unsolvable by construction; stop this worker's epoch.
+			w.err = fmt.Errorf("planner: no valid actions from the start state")
+			return
+		}
+		logits := w.nets.ForwardPolicy(obs)
+		masked := nn.MaskLogits(logits, mask)
+		probs := nn.Softmax(masked)
+		action := nn.SampleCategorical(w.rng, probs)
+		logp := nn.LogSoftmax(masked)[action]
+		value := w.nets.ForwardValue(obs)
+
+		reward, outcome, err := w.env.Step(action)
+		if err != nil {
+			w.err = err
+			return
+		}
+		w.buf.Store(rl.Step{
+			Obs: obs, Action: action, Mask: mask,
+			LogP: logp, Value: value, Reward: reward,
+		})
+		switch outcome {
+		case OutcomeSolved:
+			w.trajectories++
+			w.solutions++
+			w.buf.FinishPath(0)
+		case OutcomeDeadEnd:
+			w.trajectories++
+			w.deadEnds++
+			w.buf.FinishPath(0)
+		}
+	}
+	// Bootstrap the value of a cut-off trajectory.
+	w.trajectories++ // the trailing partial path counts for reward averaging
+	w.buf.FinishPath(w.nets.ForwardValue(w.env.Observation()))
+}
+
+func allFalse(mask []bool) bool {
+	for _, m := range mask {
+		if m {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan trains the decision maker and returns the best TSSDN found together
+// with the per-epoch training statistics.
+func (p *Planner) Plan() (*Report, error) {
+	global, err := p.buildNets(rand.New(rand.NewSource(p.cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.InitialWeights != nil {
+		if err := global.ImportWeights(p.cfg.InitialWeights); err != nil {
+			return nil, fmt.Errorf("planner: warm start: %w", err)
+		}
+	}
+	ppo, err := rl.NewPPO(p.cfg.ppoConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	workers := make([]*worker, p.cfg.Workers)
+	for i := range workers {
+		wrng := rand.New(rand.NewSource(p.cfg.Seed + int64(i)*7919 + 1))
+		env, err := NewEnv(p.prob, p.cfg, p.cfg.Seed+int64(i)*104729+2)
+		if err != nil {
+			return nil, err
+		}
+		nets, err := p.buildNets(rand.New(rand.NewSource(p.cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		nets.SyncFrom(global)
+		workers[i] = &worker{env: env, nets: nets, rng: wrng}
+	}
+
+	// Trivial problem: the empty network already satisfies the goal.
+	if workers[0].env.Solved() {
+		sol := &Solution{
+			Topology:   workers[0].env.State().Topo.Clone(),
+			Assignment: workers[0].env.State().Assign.Clone(),
+		}
+		return &Report{Best: sol}, nil
+	}
+
+	report := &Report{}
+	stepsPerWorker := p.cfg.MaxStep / p.cfg.Workers
+	if stepsPerWorker == 0 {
+		stepsPerWorker = 1
+	}
+
+	for epoch := 1; epoch <= p.cfg.MaxEpoch; epoch++ {
+		epochStart := time.Now()
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			w.buf = rl.NewBuffer(p.cfg.Discount, p.cfg.GAELambda)
+			w.trajectories, w.solutions, w.deadEnds = 0, 0, 0
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.explore(stepsPerWorker)
+			}(w)
+		}
+		wg.Wait()
+
+		merged := rl.NewBuffer(p.cfg.Discount, p.cfg.GAELambda)
+		es := EpochStats{Epoch: epoch}
+		for _, w := range workers {
+			if w.err != nil {
+				return nil, w.err
+			}
+			if err := merged.Merge(w.buf); err != nil {
+				return nil, err
+			}
+			es.Trajectories += w.trajectories
+			es.Solutions += w.solutions
+			es.DeadEnds += w.deadEnds
+		}
+		es.Reward = merged.EpochReward(es.Trajectories)
+
+		// Gradient update on the merged batch (equivalent to averaging the
+		// per-worker gradient estimators, §IV-C), then synchronize replicas.
+		stats, err := ppo.Update(global, merged)
+		if err != nil {
+			return nil, err
+		}
+		es.PolicyLoss, es.ValueLoss, es.ApproxKL = stats.PolicyLoss, stats.ValueLoss, stats.ApproxKL
+		for _, w := range workers {
+			w.nets.SyncFrom(global)
+		}
+
+		if best := p.bestOf(workers); best != nil {
+			if report.Best == nil || best.Cost < report.Best.Cost {
+				b := best.Clone()
+				b.FoundAtEpoch = epoch
+				report.Best = b
+			}
+			es.BestCost = report.Best.Cost
+		}
+		es.Duration = time.Since(epochStart)
+		report.Epochs = append(report.Epochs, es)
+	}
+	for _, w := range workers {
+		report.TotalNBFCalls += w.env.NBFCalls
+	}
+	report.FinalWeights = global.ExportWeights()
+	return report, nil
+}
+
+// buildNets constructs the network stack for the problem geometry.
+func (p *Planner) buildNets(rng *rand.Rand) (*Nets, error) {
+	soag, err := NewSOAG(p.prob, p.cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	enc := NewEncoderWithOptions(p.prob, p.cfg.K, p.cfg.PerFlowEncoding)
+	return NewNets(rng, enc, soag.ActionSpaceSize(), p.cfg)
+}
+
+// bestOf returns the cheapest solution across workers (nil if none).
+func (p *Planner) bestOf(workers []*worker) *Solution {
+	var best *Solution
+	for _, w := range workers {
+		b := w.env.Best()
+		if b == nil {
+			continue
+		}
+		if best == nil || b.Cost < best.Cost {
+			best = b
+		}
+	}
+	return best
+}

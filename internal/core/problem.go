@@ -1,0 +1,136 @@
+// Package core implements NPTSN itself: the TSSDN planning problem, the
+// survival-oriented action generator (Algorithm 1), the observation
+// encoding of §IV-C, the GCN+MLP actor-critic of Fig. 3, the environment
+// dynamics, and the planner training loop (Algorithm 2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// Problem is a TSSDN network-planning problem instance (§II-C): the inputs
+// of NPTSN.
+type Problem struct {
+	// Connections is Gc: end stations, optional switches and optional links
+	// with their cable lengths.
+	Connections *graph.Graph
+	// Net is the TAS timing configuration (base period B and slots).
+	Net tsn.Network
+	// Flows is the TT flow specification FS.
+	Flows tsn.FlowSet
+	// NBF is the stateless recovery mechanism Φ.
+	NBF nbf.NBF
+	// ReliabilityGoal is R: failures with probability >= R must be
+	// survivable.
+	ReliabilityGoal float64
+	// Library is the component library (Table I).
+	Library *asil.Library
+	// MaxESDegree bounds end-station ports (2 in the evaluation, the
+	// minimum that establishes redundancy).
+	MaxESDegree int
+	// ESLevel is the ASIL attributed to end stations for the link-ASIL
+	// minimum rule (§IV-B); end stations are application-given and default
+	// to ASIL-D.
+	ESLevel asil.Level
+	// FlowLevelRedundancy switches the failure analysis to the §V variant
+	// that enumerates failures over all topology nodes (including end
+	// stations) instead of switches only. The NBF supplied in NBF must
+	// then implement flow-level redundant semantics (report an error only
+	// when all redundant flow instances fail).
+	FlowLevelRedundancy bool
+
+	endStations []int
+	switches    []int
+}
+
+// Validate checks the problem instance and caches vertex partitions.
+func (p *Problem) Validate() error {
+	if p.Connections == nil {
+		return fmt.Errorf("problem: nil connection graph")
+	}
+	if p.NBF == nil {
+		return fmt.Errorf("problem: nil NBF")
+	}
+	if p.Library == nil {
+		return fmt.Errorf("problem: nil component library")
+	}
+	if err := p.Net.Validate(); err != nil {
+		return fmt.Errorf("problem: %w", err)
+	}
+	if err := p.Flows.Validate(p.Net.BasePeriod); err != nil {
+		return fmt.Errorf("problem: %w", err)
+	}
+	if p.ReliabilityGoal <= 0 || p.ReliabilityGoal >= 1 {
+		return fmt.Errorf("problem: reliability goal %v must be in (0,1)", p.ReliabilityGoal)
+	}
+	if p.MaxESDegree <= 0 {
+		return fmt.Errorf("problem: max end-station degree must be positive")
+	}
+	if p.ESLevel == 0 {
+		p.ESLevel = asil.LevelD
+	}
+	if !p.ESLevel.Valid() {
+		return fmt.Errorf("problem: invalid end-station ASIL %d", int(p.ESLevel))
+	}
+	p.endStations = p.Connections.VerticesOfKind(graph.KindEndStation)
+	p.switches = p.Connections.VerticesOfKind(graph.KindSwitch)
+	if len(p.endStations) < 2 {
+		return fmt.Errorf("problem: need at least two end stations, have %d", len(p.endStations))
+	}
+	for _, f := range p.Flows {
+		if p.Connections.Kind(f.Src) != graph.KindEndStation {
+			return fmt.Errorf("problem: flow %d source %d is not an end station", f.ID, f.Src)
+		}
+		for _, d := range f.Dsts {
+			if p.Connections.Kind(d) != graph.KindEndStation {
+				return fmt.Errorf("problem: flow %d destination %d is not an end station", f.ID, d)
+			}
+		}
+	}
+	// Direct ES-ES links cannot appear in a TSSDN; reject them up front.
+	for _, e := range p.Connections.Edges() {
+		if p.Connections.Kind(e.U) == graph.KindEndStation && p.Connections.Kind(e.V) == graph.KindEndStation {
+			return fmt.Errorf("problem: connection graph has direct ES-ES link (%d,%d)", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// EndStations returns the end-station vertex IDs (ascending).
+func (p *Problem) EndStations() []int { return p.endStations }
+
+// Switches returns the optional-switch vertex IDs (ascending).
+func (p *Problem) Switches() []int { return p.switches }
+
+// NumVertices returns |Vc|.
+func (p *Problem) NumVertices() int { return p.Connections.NumVertices() }
+
+// Solution is the output of network planning: the selected topology, the
+// ASIL allocation, and the resulting network cost (Eq. 1).
+type Solution struct {
+	Topology   *graph.Graph
+	Assignment *asil.Assignment
+	Cost       float64
+	// FoundAtEpoch / FoundAtStep locate the discovery for reporting.
+	FoundAtEpoch int
+	FoundAtStep  int
+}
+
+// Clone deep-copies the solution.
+func (s *Solution) Clone() *Solution {
+	if s == nil {
+		return nil
+	}
+	return &Solution{
+		Topology:     s.Topology.Clone(),
+		Assignment:   s.Assignment.Clone(),
+		Cost:         s.Cost,
+		FoundAtEpoch: s.FoundAtEpoch,
+		FoundAtStep:  s.FoundAtStep,
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+)
+
+// TSSDN is the network under construction: a topology Gt (subgraph of Gc
+// over the same vertex set) together with its ASIL assignment. NPTSN
+// constructs it monotonically — switches and links are only added or
+// upgraded, never removed (§IV-B).
+type TSSDN struct {
+	prob   *Problem
+	Topo   *graph.Graph
+	Assign *asil.Assignment
+}
+
+// NewTSSDN returns the empty starting state: end stations only, no links or
+// switches selected (§III).
+func NewTSSDN(prob *Problem) *TSSDN {
+	return &TSSDN{
+		prob:   prob,
+		Topo:   prob.Connections.EmptyLike(),
+		Assign: asil.NewAssignment(),
+	}
+}
+
+// Reset clears the network back to the empty starting state.
+func (t *TSSDN) Reset() {
+	t.Topo = t.prob.Connections.EmptyLike()
+	t.Assign = asil.NewAssignment()
+}
+
+// Clone deep-copies the construction state.
+func (t *TSSDN) Clone() *TSSDN {
+	return &TSSDN{prob: t.prob, Topo: t.Topo.Clone(), Assign: t.Assign.Clone()}
+}
+
+// HasSwitch reports whether the optional switch sw has been added.
+func (t *TSSDN) HasSwitch(sw int) bool {
+	_, ok := t.Assign.Switches[sw]
+	return ok
+}
+
+// vertexLevel returns the effective ASIL of a vertex for the link-minimum
+// rule: assigned level for added switches, the problem's ESLevel for end
+// stations, 0 for unadded switches.
+func (t *TSSDN) vertexLevel(v int) asil.Level {
+	if t.prob.Connections.Kind(v) == graph.KindEndStation {
+		return t.prob.ESLevel
+	}
+	return t.Assign.SwitchLevel(v)
+}
+
+// refreshLinkLevels re-derives the ASIL of every link incident to sw after
+// its level changed, maintaining the invariant link ASIL = min(endpoints).
+func (t *TSSDN) refreshLinkLevels(sw int) {
+	for _, nb := range t.Topo.Neighbors(sw) {
+		t.Assign.SetLink(sw, nb, asil.Min(t.vertexLevel(sw), t.vertexLevel(nb)))
+	}
+}
+
+// UpgradeSwitch applies a switch-upgrade action: add the switch at ASIL-A
+// if absent, otherwise raise its ASIL one level. ASIL-D switches cannot be
+// upgraded (the SOAG masks such actions; calling anyway is an error).
+func (t *TSSDN) UpgradeSwitch(sw int) error {
+	if t.prob.Connections.Kind(sw) != graph.KindSwitch {
+		return fmt.Errorf("tssdn: vertex %d is not an optional switch", sw)
+	}
+	lvl, added := t.Assign.Switches[sw]
+	if !added {
+		t.Assign.Switches[sw] = asil.LevelA
+		t.refreshLinkLevels(sw)
+		return nil
+	}
+	next, ok := lvl.Next()
+	if !ok {
+		return fmt.Errorf("tssdn: switch %d already at ASIL-D", sw)
+	}
+	t.Assign.Switches[sw] = next
+	t.refreshLinkLevels(sw)
+	return nil
+}
+
+// AddPath applies a path-addition action: every edge of the path is added
+// to the topology (idempotently) with its Gc length, and new links get
+// ASIL = min(endpoint levels). The path may only traverse end stations and
+// previously added switches, and the resulting degrees must respect the
+// constraints — violations return an error (the SOAG masks them; the
+// ablation mode relies on this check).
+func (t *TSSDN) AddPath(p graph.Path) error {
+	if len(p) < 2 {
+		return fmt.Errorf("tssdn: path %v too short", p)
+	}
+	for _, v := range p {
+		if t.prob.Connections.Kind(v) == graph.KindSwitch && !t.HasSwitch(v) {
+			return fmt.Errorf("tssdn: path traverses unadded switch %d", v)
+		}
+	}
+	// Degree check on the hypothetical result.
+	extra := make(map[int]int)
+	for i := 0; i+1 < len(p); i++ {
+		u, v := p[i], p[i+1]
+		if !t.prob.Connections.HasEdge(u, v) {
+			return fmt.Errorf("tssdn: path edge (%d,%d) not in the connection graph", u, v)
+		}
+		if !t.Topo.HasEdge(u, v) {
+			extra[u]++
+			extra[v]++
+		}
+	}
+	for v, add := range extra {
+		deg := t.Topo.Degree(v) + add
+		if t.prob.Connections.Kind(v) == graph.KindSwitch && deg > t.prob.Library.MaxSwitchDegree() {
+			return fmt.Errorf("tssdn: switch %d degree %d exceeds %d ports", v, deg, t.prob.Library.MaxSwitchDegree())
+		}
+		if t.prob.Connections.Kind(v) == graph.KindEndStation && deg > t.prob.MaxESDegree {
+			return fmt.Errorf("tssdn: end station %d degree %d exceeds %d", v, deg, t.prob.MaxESDegree)
+		}
+	}
+	for i := 0; i+1 < len(p); i++ {
+		u, v := p[i], p[i+1]
+		if t.Topo.HasEdge(u, v) {
+			continue
+		}
+		length, _ := t.prob.Connections.EdgeLength(u, v)
+		if err := t.Topo.AddEdge(u, v, length); err != nil {
+			return fmt.Errorf("tssdn: %w", err)
+		}
+		t.Assign.SetLink(u, v, asil.Min(t.vertexLevel(u), t.vertexLevel(v)))
+	}
+	return nil
+}
+
+// Cost computes the current network cost (Eq. 1).
+func (t *TSSDN) Cost() (float64, error) {
+	return asil.NetworkCost(t.Topo, t.Assign, t.prob.Library)
+}
+
+// CheckInvariants verifies the state invariants maintained by the action
+// implementations; tests and the environment's paranoid mode call it.
+func (t *TSSDN) CheckInvariants() error {
+	if !t.Topo.IsSubgraphOf(t.prob.Connections) {
+		return fmt.Errorf("tssdn: topology is not a subgraph of the connection graph")
+	}
+	for _, e := range t.Topo.Edges() {
+		want := asil.Min(t.vertexLevel(e.U), t.vertexLevel(e.V))
+		if got := t.Assign.LinkLevel(e.U, e.V); got != want {
+			return fmt.Errorf("tssdn: link (%d,%d) ASIL %s, want %s", e.U, e.V, got, want)
+		}
+	}
+	for _, sw := range t.prob.Switches() {
+		if t.Topo.Degree(sw) > 0 && !t.HasSwitch(sw) {
+			return fmt.Errorf("tssdn: switch %d has links but was never added", sw)
+		}
+		if t.Topo.Degree(sw) > t.prob.Library.MaxSwitchDegree() {
+			return fmt.Errorf("tssdn: switch %d exceeds the degree constraint", sw)
+		}
+	}
+	for _, es := range t.prob.EndStations() {
+		if t.Topo.Degree(es) > t.prob.MaxESDegree {
+			return fmt.Errorf("tssdn: end station %d exceeds the degree constraint", es)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+func TestProblemValidation(t *testing.T) {
+	good := tinyProblem(t)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	if len(good.EndStations()) != 4 || len(good.Switches()) != 2 {
+		t.Fatalf("partitions: es=%v sw=%v", good.EndStations(), good.Switches())
+	}
+	if good.ESLevel != asil.LevelD {
+		t.Fatal("ESLevel should default to D")
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Problem)
+	}{
+		{"nil graph", func(p *Problem) { p.Connections = nil }},
+		{"nil nbf", func(p *Problem) { p.NBF = nil }},
+		{"nil library", func(p *Problem) { p.Library = nil }},
+		{"bad network", func(p *Problem) { p.Net = tsn.Network{} }},
+		{"bad R high", func(p *Problem) { p.ReliabilityGoal = 1 }},
+		{"bad R zero", func(p *Problem) { p.ReliabilityGoal = 0 }},
+		{"bad es degree", func(p *Problem) { p.MaxESDegree = 0 }},
+		{"bad es level", func(p *Problem) { p.ESLevel = asil.Level(9) }},
+		{"flow src is switch", func(p *Problem) {
+			p.Flows = tsn.FlowSet{{ID: 0, Src: 4, Dsts: []int{0}, Period: p.Net.BasePeriod, Deadline: p.Net.BasePeriod, FrameSize: 1}}
+		}},
+		{"flow dst is switch", func(p *Problem) {
+			p.Flows = tsn.FlowSet{{ID: 0, Src: 0, Dsts: []int{5}, Period: p.Net.BasePeriod, Deadline: p.Net.BasePeriod, FrameSize: 1}}
+		}},
+		{"bad flow", func(p *Problem) {
+			p.Flows = tsn.FlowSet{{ID: 0, Src: 0, Dsts: []int{1}, Period: 0, Deadline: 0, FrameSize: 1}}
+		}},
+	}
+	for _, c := range cases {
+		p := tinyProblem(t)
+		c.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestProblemRejectsESESLink(t *testing.T) {
+	p := tinyProblem(t)
+	if err := p.Connections.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("ES-ES link accepted")
+	}
+}
+
+func TestTSSDNUpgradeSwitchProgression(t *testing.T) {
+	prob := tinyProblem(t)
+	s := NewTSSDN(prob)
+	levels := []asil.Level{asil.LevelA, asil.LevelB, asil.LevelC, asil.LevelD}
+	for _, want := range levels {
+		if err := s.UpgradeSwitch(4); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Assign.SwitchLevel(4); got != want {
+			t.Fatalf("level = %s, want %s", got, want)
+		}
+	}
+	if err := s.UpgradeSwitch(4); err == nil {
+		t.Fatal("upgrade beyond ASIL-D accepted")
+	}
+	if err := s.UpgradeSwitch(0); err == nil {
+		t.Fatal("upgrading an end station accepted")
+	}
+}
+
+func TestTSSDNAddPathAndLinkASILInvariant(t *testing.T) {
+	prob := tinyProblem(t)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil { // ASIL-A
+		t.Fatal(err)
+	}
+	if err := s.AddPath(graph.Path{0, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Link ASIL = min(ES=D, switch=A) = A.
+	if got := s.Assign.LinkLevel(0, 4); got != asil.LevelA {
+		t.Fatalf("link (0,4) ASIL %s, want A", got)
+	}
+	// Upgrading the switch must refresh adjacent link levels.
+	if err := s.UpgradeSwitch(4); err != nil { // now B
+		t.Fatal(err)
+	}
+	if got := s.Assign.LinkLevel(0, 4); got != asil.LevelB {
+		t.Fatalf("after upgrade: link ASIL %s, want B", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSSDNAddPathErrors(t *testing.T) {
+	prob := tinyProblem(t)
+	s := NewTSSDN(prob)
+	if err := s.AddPath(graph.Path{0, 4, 1}); err == nil {
+		t.Fatal("path through unadded switch accepted")
+	}
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath(graph.Path{0}); err == nil {
+		t.Fatal("single-vertex path accepted")
+	}
+	if err := s.AddPath(graph.Path{0, 1}); err == nil {
+		t.Fatal("path using a non-Gc edge accepted")
+	}
+}
+
+func TestTSSDNAddPathDegreeConstraints(t *testing.T) {
+	// An ES with MaxESDegree=1 cannot take a second distinct link.
+	prob := tinyProblem(t)
+	prob.MaxESDegree = 1
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpgradeSwitch(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath(graph.Path{0, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath(graph.Path{0, 5, 1}); err == nil {
+		t.Fatal("ES degree violation accepted")
+	}
+	// Re-adding the same path is idempotent and legal.
+	if err := s.AddPath(graph.Path{0, 4, 1}); err != nil {
+		t.Fatalf("idempotent re-add rejected: %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSSDNCost(t *testing.T) {
+	prob := tinyProblem(t)
+	s := NewTSSDN(prob)
+	c, err := s.Cost()
+	if err != nil || c != 0 {
+		t.Fatalf("empty cost = %v, %v", c, err)
+	}
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	c, err = s.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One ASIL-A 4-port switch = 8.
+	if c != 8 {
+		t.Fatalf("cost = %v, want 8", c)
+	}
+	if err := s.AddPath(graph.Path{0, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c, err = s.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Switch 8 + two ASIL-A unit links (cost 1 each) = 10.
+	if c != 10 {
+		t.Fatalf("cost = %v, want 10", c)
+	}
+}
+
+func TestTSSDNResetAndClone(t *testing.T) {
+	prob := tinyProblem(t)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath(graph.Path{0, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	s.Reset()
+	if s.Topo.NumEdges() != 0 || len(s.Assign.Switches) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if c.Topo.NumEdges() != 2 || !c.HasSwitch(4) {
+		t.Fatal("Clone affected by Reset")
+	}
+}
+
+func TestSolutionClone(t *testing.T) {
+	prob := tinyProblem(t)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	sol := &Solution{Topology: s.Topo, Assignment: s.Assign, Cost: 8}
+	c := sol.Clone()
+	c.Assignment.Switches[4] = asil.LevelD
+	if sol.Assignment.Switches[4] == asil.LevelD {
+		t.Fatal("Solution.Clone shares assignment")
+	}
+	var nilSol *Solution
+	if nilSol.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestCheckInvariantsDetectsViolations(t *testing.T) {
+	prob := tinyProblem(t)
+	s := NewTSSDN(prob)
+	if err := s.UpgradeSwitch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath(graph.Path{0, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a link level.
+	s.Assign.SetLink(0, 4, asil.LevelD)
+	if err := s.CheckInvariants(); err == nil {
+		t.Fatal("corrupted link ASIL not detected")
+	}
+}
+
+var _ = nbf.Failure{} // keep the import for fixtures that need it

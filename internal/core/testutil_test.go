@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// tinyProblem builds a small solvable planning problem: 4 end stations
+// (0-3), 2 optional switches (4, 5), full ES-SW and SW-SW candidate
+// connections, 3 unicast flows, R = 1e-6. Dual-homing every ES on two
+// ASIL-C switches is a valid solution.
+func tinyProblem(t testing.TB) *Problem {
+	t.Helper()
+	prob := buildTinyProblem()
+	if err := prob.Validate(); err != nil {
+		t.Fatalf("tiny problem invalid: %v", err)
+	}
+	return prob
+}
+
+// buildTinyProblem constructs the fixture without a testing.T so that
+// quick.Check properties can use it.
+func buildTinyProblem() *Problem {
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	for es := 0; es < 4; es++ {
+		for sw := 4; sw < 6; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := g.AddEdge(4, 5, 1); err != nil {
+		panic(err)
+	}
+	net := tsn.DefaultNetwork()
+	mkFlow := func(id, src, dst int) tsn.Flow {
+		return tsn.Flow{ID: id, Src: src, Dsts: []int{dst}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}
+	}
+	return &Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{mkFlow(0, 0, 1), mkFlow(1, 2, 3), mkFlow(2, 1, 2)},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+}
+
+// tinyConfig returns a configuration scaled down for fast tests.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GCNLayers = 1
+	cfg.GCNHidden = 8
+	cfg.EmbeddingPerNode = 2
+	cfg.MLPHidden = []int{16}
+	cfg.K = 4
+	cfg.MaxEpoch = 2
+	cfg.MaxStep = 24
+	cfg.TrainPiIters = 4
+	cfg.TrainVIters = 4
+	cfg.Workers = 1
+	cfg.Seed = 11
+	return cfg
+}

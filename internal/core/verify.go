@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+)
+
+// VerifySolution independently re-checks a planning solution: structural
+// invariants (subgraph, degrees, link-ASIL rule) and the full reliability
+// analysis (Algorithm 3). It is the acceptance check used by tests, the
+// CLI, and the evaluation harness.
+func VerifySolution(prob *Problem, sol *Solution) error {
+	if sol == nil {
+		return fmt.Errorf("verify: nil solution")
+	}
+	state := &TSSDN{prob: prob, Topo: sol.Topology, Assign: sol.Assignment}
+	if err := state.CheckInvariants(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	cost, err := state.Cost()
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if sol.Cost != 0 && cost != sol.Cost {
+		return fmt.Errorf("verify: recorded cost %v but recomputed %v", sol.Cost, cost)
+	}
+	an := &failure.Analyzer{
+		Lib:                 prob.Library,
+		NBF:                 prob.NBF,
+		Net:                 prob.Net,
+		R:                   prob.ReliabilityGoal,
+		FlowLevelRedundancy: prob.FlowLevelRedundancy,
+		ESLevel:             prob.ESLevel,
+	}
+	res, err := an.Analyze(sol.Topology, sol.Assignment, prob.Flows)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if !res.OK {
+		return fmt.Errorf("verify: reliability goal violated by failure %v (ER %v)", res.Failure, res.ER)
+	}
+	return nil
+}

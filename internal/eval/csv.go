@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// WriteCurvesCSV exports the sensitivity reward curves as CSV
+// (epoch, one column per variant) for external plotting.
+func (r *SensitivityResult) WriteCurvesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"epoch"}, r.Labels...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	maxEpochs := 0
+	for _, l := range r.Labels {
+		if n := len(r.Rewards[l]); n > maxEpochs {
+			maxEpochs = n
+		}
+	}
+	for e := 0; e < maxEpochs; e++ {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.Itoa(e+1))
+		for _, l := range r.Labels {
+			if e < len(r.Rewards[l]) {
+				row = append(row, strconv.FormatFloat(r.Rewards[l][e], 'f', 6, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTrainingCSV exports one training report's per-epoch statistics.
+func WriteTrainingCSV(w io.Writer, report *core.Report) error {
+	if report == nil {
+		return fmt.Errorf("csv: nil report")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"epoch", "reward", "trajectories", "solutions", "dead_ends",
+		"best_cost", "policy_loss", "value_loss", "approx_kl", "duration_ms",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, e := range report.Epochs {
+		if err := cw.Write([]string{
+			strconv.Itoa(e.Epoch), f(e.Reward), strconv.Itoa(e.Trajectories),
+			strconv.Itoa(e.Solutions), strconv.Itoa(e.DeadEnds),
+			f(e.BestCost), f(e.PolicyLoss), f(e.ValueLoss), f(e.ApproxKL),
+			strconv.FormatInt(e.Duration.Milliseconds(), 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4CSV exports the Fig. 4 aggregate (guarantee rate and mean cost
+// per approach and flow count).
+func (r *Fig4Result) WriteFig4CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"flows"}
+	for _, ap := range r.Approaches {
+		header = append(header, string(ap)+"_guarantee", string(ap)+"_mean_cost")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{strconv.Itoa(row.Flows)}
+		for _, ap := range r.Approaches {
+			rec = append(rec,
+				strconv.FormatFloat(row.GuaranteeRate[ap], 'f', 3, 64),
+				strconv.FormatFloat(row.MeanCost[ap], 'f', 1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

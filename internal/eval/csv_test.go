@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+)
+
+func TestWriteCurvesCSV(t *testing.T) {
+	res := &SensitivityResult{
+		Labels: []string{"A", "B"},
+		Rewards: map[string][]float64{
+			"A": {-0.5, -0.4},
+			"B": {-0.6},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCurvesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "epoch,A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "2,-0.400000,") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Fatalf("short curve should leave an empty cell: %q", lines[2])
+	}
+}
+
+func TestWriteTrainingCSV(t *testing.T) {
+	report := &core.Report{Epochs: []core.EpochStats{
+		{Epoch: 1, Reward: -0.3, Trajectories: 4, Solutions: 1, BestCost: 120, Duration: 1500 * time.Millisecond},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTrainingCSV(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "epoch,reward") || !strings.Contains(out, "1,-0.300000,4,1,0,120.000000") {
+		t.Fatalf("csv:\n%s", out)
+	}
+	if !strings.Contains(out, ",1500") {
+		t.Fatalf("duration missing:\n%s", out)
+	}
+	if err := WriteTrainingCSV(&buf, nil); err == nil {
+		t.Fatal("nil report accepted")
+	}
+}
+
+func TestWriteFig4CSV(t *testing.T) {
+	row := Aggregate(10, []map[Approach]CaseResult{
+		{ApproachNPTSN: {GuaranteeMet: true, Cost: 100, SwitchLevels: map[asil.Level]int{asil.LevelA: 1}}},
+	}, []Approach{ApproachNPTSN})
+	res := &Fig4Result{Rows: []Fig4Row{row}, Approaches: []Approach{ApproachNPTSN}}
+	var buf bytes.Buffer
+	if err := res.WriteFig4CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "flows,nptsn_guarantee,nptsn_mean_cost") || !strings.Contains(out, "10,1.000,100.0") {
+		t.Fatalf("csv:\n%s", out)
+	}
+}

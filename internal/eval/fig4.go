@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nbf"
+	"repro/internal/scenarios"
+)
+
+// Fig4Options configures the performance-evaluation sweep of §VI-A.
+type Fig4Options struct {
+	// Scenario supplies the connection graph and (for Original) the manual
+	// topology.
+	Scenario *scenarios.Scenario
+	// FlowCounts are the x-axis points (10..50 in the paper).
+	FlowCounts []int
+	// Cases is the number of random test cases per flow count (10).
+	Cases int
+	// Seed drives flow generation; case i of count n uses Seed + n*1000 + i.
+	Seed int64
+	// R is the reliability goal (1e-6).
+	R float64
+	// NBF is the recovery mechanism; nil selects the default stateless
+	// greedy recovery (the [9] stand-in).
+	NBF nbf.NBF
+	// NPTSNCfg / NeuroPlanCfg set the RL training budgets.
+	NPTSNCfg     core.Config
+	NeuroPlanCfg core.Config
+	// Approaches selects the lineup (default: all four).
+	Approaches []Approach
+	// Progress, when non-nil, receives per-case status lines.
+	Progress func(format string, args ...interface{})
+}
+
+func (o *Fig4Options) defaults() {
+	if len(o.FlowCounts) == 0 {
+		o.FlowCounts = []int{10, 20, 30, 40, 50}
+	}
+	if o.Cases == 0 {
+		o.Cases = 10
+	}
+	if o.R == 0 {
+		o.R = 1e-6
+	}
+	if o.NBF == nil {
+		o.NBF = &nbf.StatelessRecovery{MaxAlternatives: 3}
+	}
+	if len(o.Approaches) == 0 {
+		o.Approaches = AllApproaches()
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...interface{}) {}
+	}
+}
+
+// RunFig4 executes the full sweep: for every flow count it generates
+// `Cases` random flow sets and runs each selected approach, aggregating
+// guarantee rates, mean costs and ASIL histograms.
+func RunFig4(opts Fig4Options) (*Fig4Result, error) {
+	opts.defaults()
+	if opts.Scenario == nil {
+		return nil, fmt.Errorf("fig4: nil scenario")
+	}
+	result := &Fig4Result{Approaches: opts.Approaches}
+	for _, n := range opts.FlowCounts {
+		var cases []map[Approach]CaseResult
+		for c := 0; c < opts.Cases; c++ {
+			flows := opts.Scenario.RandomFlows(n, opts.Seed+int64(n)*1000+int64(c))
+			prob := opts.Scenario.Problem(flows, opts.NBF, opts.R)
+			res, err := RunCase(prob, opts.Scenario.Original, opts.NPTSNCfg, opts.NeuroPlanCfg, opts.Approaches)
+			if err != nil {
+				return nil, fmt.Errorf("fig4: %d flows case %d: %w", n, c, err)
+			}
+			opts.Progress("fig4: flows=%d case=%d done", n, c)
+			cases = append(cases, res)
+		}
+		result.Rows = append(result.Rows, Aggregate(n, cases, opts.Approaches))
+	}
+	return result, nil
+}

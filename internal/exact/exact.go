@@ -1,0 +1,241 @@
+// Package exact is a branch-and-bound TSSDN planner for small problem
+// instances. It enumerates switch selections with ASIL levels and link
+// subsets, pruning on a monotone cost lower bound, and verifies candidates
+// with the same failure analyzer NPTSN uses. It exists to validate the RL
+// planner's solution quality: on instances it can afford, its result is
+// the true optimum (general network planning is NP-hard, §VII, so the
+// search is capped to small inputs).
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// Planner bounds the exhaustive search.
+type Planner struct {
+	// MaxSwitches caps |V^c_sw| (default 3): 5 states per switch.
+	MaxSwitches int
+	// MaxLinks caps |Ec| (default 14): 2 states per link.
+	MaxLinks int
+}
+
+// Stats reports the search effort.
+type Stats struct {
+	SwitchConfigs   int
+	LinkCandidates  int
+	AnalyzerCalls   int
+	PrunedByBound   int
+	PrunedByDegrees int
+}
+
+// Plan searches for the minimum-cost valid solution. It returns (nil,
+// stats, nil) when the problem has no valid solution within the connection
+// graph, and an error for invalid or oversized inputs.
+func (p *Planner) Plan(prob *core.Problem) (*core.Solution, Stats, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	maxSw := p.MaxSwitches
+	if maxSw == 0 {
+		maxSw = 3
+	}
+	maxLinks := p.MaxLinks
+	if maxLinks == 0 {
+		maxLinks = 14
+	}
+	switches := prob.Switches()
+	links := prob.Connections.Edges()
+	if len(switches) > maxSw {
+		return nil, Stats{}, fmt.Errorf("exact: %d switches exceed the cap %d", len(switches), maxSw)
+	}
+	if len(links) > maxLinks {
+		return nil, Stats{}, fmt.Errorf("exact: %d links exceed the cap %d", len(links), maxLinks)
+	}
+
+	an := &failure.Analyzer{
+		Lib:                 prob.Library,
+		NBF:                 prob.NBF,
+		Net:                 prob.Net,
+		R:                   prob.ReliabilityGoal,
+		FlowLevelRedundancy: prob.FlowLevelRedundancy,
+		ESLevel:             prob.ESLevel,
+	}
+
+	var stats Stats
+	best := math.Inf(1)
+	var bestSol *core.Solution
+
+	// Enumerate switch configurations: level 0 = absent.
+	levels := []asil.Level{0, asil.LevelA, asil.LevelB, asil.LevelC, asil.LevelD}
+	assignment := make([]asil.Level, len(switches))
+	var enumerate func(i int)
+
+	search := func() {
+		stats.SwitchConfigs++
+		present := make(map[int]asil.Level, len(switches))
+		for i, sw := range switches {
+			if assignment[i] != 0 {
+				present[sw] = assignment[i]
+			}
+		}
+		// Candidate links: both endpoints available.
+		var usable []graph.Edge
+		for _, e := range links {
+			ok := true
+			for _, v := range []int{e.U, e.V} {
+				if prob.Connections.Kind(v) == graph.KindSwitch {
+					if _, in := present[v]; !in {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				usable = append(usable, e)
+			}
+		}
+		// Deterministic order: cheapest links first improves pruning.
+		sort.Slice(usable, func(a, b int) bool {
+			if usable[a].Length != usable[b].Length {
+				return usable[a].Length < usable[b].Length
+			}
+			if usable[a].U != usable[b].U {
+				return usable[a].U < usable[b].U
+			}
+			return usable[a].V < usable[b].V
+		})
+
+		topo := prob.Connections.EmptyLike()
+		var recurse func(idx int)
+		recurse = func(idx int) {
+			lb, feasible := lowerBound(prob, topo, present)
+			if !feasible {
+				stats.PrunedByDegrees++
+				return
+			}
+			if lb >= best {
+				stats.PrunedByBound++
+				return
+			}
+			if idx == len(usable) {
+				stats.LinkCandidates++
+				sol, cost, ok := p.evaluate(prob, an, &stats, topo, present)
+				if ok && cost < best {
+					best = cost
+					bestSol = sol
+				}
+				return
+			}
+			e := usable[idx]
+			// Branch 1: include the link.
+			if err := topo.AddEdge(e.U, e.V, e.Length); err == nil {
+				recurse(idx + 1)
+				topo.RemoveEdge(e.U, e.V)
+			}
+			// Branch 2: exclude it.
+			recurse(idx + 1)
+		}
+		recurse(0)
+	}
+
+	enumerate = func(i int) {
+		if i == len(switches) {
+			search()
+			return
+		}
+		for _, lvl := range levels {
+			assignment[i] = lvl
+			enumerate(i + 1)
+		}
+	}
+	enumerate(0)
+
+	return bestSol, stats, nil
+}
+
+// lowerBound computes a monotone lower bound on the final cost of any
+// completion of the partial topology, and checks degree feasibility.
+// Adding more links can only raise switch degrees (raising csw) and add
+// link costs, so partial cost is a valid bound.
+func lowerBound(prob *core.Problem, topo *graph.Graph, present map[int]asil.Level) (float64, bool) {
+	var total float64
+	for sw, lvl := range present {
+		deg := topo.Degree(sw)
+		if deg > prob.Library.MaxSwitchDegree() {
+			return 0, false
+		}
+		c, err := prob.Library.SwitchCost(lvl, deg)
+		if err != nil {
+			return 0, false
+		}
+		total += c
+	}
+	for _, es := range prob.EndStations() {
+		if topo.Degree(es) > prob.MaxESDegree {
+			return 0, false
+		}
+	}
+	for _, e := range topo.Edges() {
+		lvl := linkLevel(prob, present, e.U, e.V)
+		c, err := prob.Library.LinkCost(lvl, e.Length)
+		if err != nil {
+			return 0, false
+		}
+		total += c
+	}
+	return total, true
+}
+
+func linkLevel(prob *core.Problem, present map[int]asil.Level, u, v int) asil.Level {
+	levelOf := func(x int) asil.Level {
+		if prob.Connections.Kind(x) == graph.KindEndStation {
+			return prob.ESLevel
+		}
+		return present[x]
+	}
+	return asil.Min(levelOf(u), levelOf(v))
+}
+
+// evaluate runs the full reliability analysis on a complete candidate.
+func (p *Planner) evaluate(prob *core.Problem, an *failure.Analyzer, stats *Stats, topo *graph.Graph, present map[int]asil.Level) (*core.Solution, float64, bool) {
+	// Quick reject: every demanded pair must be connected.
+	for _, pair := range prob.Flows.UniquePairs() {
+		if !topo.Connected(pair.Src, pair.Dst) {
+			return nil, 0, false
+		}
+	}
+	// A present switch with no links is never optimal; skip to avoid
+	// pricing dead switches (the subset without it will be enumerated).
+	for sw := range present {
+		if topo.Degree(sw) == 0 {
+			return nil, 0, false
+		}
+	}
+	assign := asil.NewAssignment()
+	for sw, lvl := range present {
+		assign.Switches[sw] = lvl
+	}
+	for _, e := range topo.Edges() {
+		assign.SetLink(e.U, e.V, linkLevel(prob, present, e.U, e.V))
+	}
+	cost, err := asil.NetworkCost(topo, assign, prob.Library)
+	if err != nil {
+		return nil, 0, false
+	}
+	stats.AnalyzerCalls++
+	res, err := an.Analyze(topo, assign, prob.Flows)
+	if err != nil || !res.OK {
+		return nil, 0, false
+	}
+	return &core.Solution{
+		Topology:   topo.Clone(),
+		Assignment: assign,
+		Cost:       cost,
+	}, cost, true
+}

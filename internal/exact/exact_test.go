@@ -1,0 +1,177 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// tinyProblem mirrors the core test fixture: 4 ES, 2 switches, full
+// candidate connections, 3 flows, R = 1e-6.
+func tinyProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	for es := 0; es < 4; es++ {
+		for sw := 4; sw < 6; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(4, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	net := tsn.DefaultNetwork()
+	mk := func(id, src, dst int) tsn.Flow {
+		return tsn.Flow{ID: id, Src: src, Dsts: []int{dst}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}
+	}
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{mk(0, 0, 1), mk(1, 2, 3), mk(2, 1, 2)},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func TestExactFindsOptimum(t *testing.T) {
+	prob := tinyProblem(t)
+	sol, stats, err := (&Planner{}).Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol == nil {
+		t.Fatal("no solution found on a feasible problem")
+	}
+	if err := core.VerifySolution(prob, sol); err != nil {
+		t.Fatalf("exact solution invalid: %v", err)
+	}
+	// The known optimum: dual-home all 4 ES on both switches at ASIL-A
+	// (dual-A failures are safe at R=1e-6): 2 switches à 8 + 8 unit
+	// ASIL-A links à 1 = 24.
+	if sol.Cost != 24 {
+		t.Fatalf("optimum = %v, want 24", sol.Cost)
+	}
+	if stats.AnalyzerCalls == 0 || stats.SwitchConfigs != 25 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.PrunedByBound == 0 {
+		t.Fatal("bound pruning never fired")
+	}
+}
+
+func TestExactInfeasibleProblem(t *testing.T) {
+	// A single switch cannot provide redundancy against its own ASIL-A..C
+	// failure, and ASIL-D makes its failure safe — but flows between ES
+	// attached only via one switch ARE schedulable, so ASIL-D yields a
+	// valid solution. To force infeasibility, forbid the needed ES degree.
+	prob := tinyProblem(t)
+	prob.MaxESDegree = 0
+	if err := prob.Validate(); err == nil {
+		// MaxESDegree 0 is invalid by construction; use an unreachable
+		// demand instead: remove all links of ES 0.
+		t.Fatal("expected validation error for MaxESDegree 0")
+	}
+	prob = tinyProblem(t)
+	prob.Connections.IsolateVertex(0) // flow 0 demands 0->1: impossible
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := (&Planner{}).Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol != nil {
+		t.Fatalf("infeasible problem produced %+v", sol)
+	}
+}
+
+func TestExactRefusesOversizedProblems(t *testing.T) {
+	prob := tinyProblem(t)
+	small := &Planner{MaxSwitches: 1}
+	if _, _, err := small.Plan(prob); err == nil {
+		t.Error("switch cap not enforced")
+	}
+	small = &Planner{MaxLinks: 3}
+	if _, _, err := small.Plan(prob); err == nil {
+		t.Error("link cap not enforced")
+	}
+	bad := tinyProblem(t)
+	bad.Library = nil
+	if _, _, err := (&Planner{}).Plan(bad); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestExactMatchesGreedyUpperBound(t *testing.T) {
+	// The exact optimum must never exceed any valid solution; build a
+	// hand-made ASIL-C dual-homed solution as the upper bound.
+	prob := tinyProblem(t)
+	state := core.NewTSSDN(prob)
+	for sw := 4; sw < 6; sw++ {
+		for i := 0; i < 3; i++ {
+			if err := state.UpgradeSwitch(sw); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for es := 0; es < 4; es++ {
+		for sw := 4; sw < 6; sw++ {
+			if err := state.AddPath(graph.Path{es, sw}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	handCost, err := state.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handSol := &core.Solution{Topology: state.Topo, Assignment: state.Assign}
+	if err := core.VerifySolution(prob, handSol); err != nil {
+		t.Fatalf("hand solution invalid: %v", err)
+	}
+	sol, _, err := (&Planner{}).Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost > handCost {
+		t.Fatalf("exact %v worse than a hand solution %v", sol.Cost, handCost)
+	}
+}
+
+func TestExactTightReliabilityForcesHigherASIL(t *testing.T) {
+	// At R = 9e-7, dual-A failures (≈1e-6 ≥ R... actually ≈9.99e-7 ≥ 9e-7)
+	// are non-safe, so pure ASIL-A dual-homing no longer suffices; the
+	// optimum must spend more than 24.
+	prob := tinyProblem(t)
+	prob.ReliabilityGoal = 9e-7
+	sol, _, err := (&Planner{}).Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol == nil {
+		t.Fatal("no solution at R=9e-7")
+	}
+	if sol.Cost <= 24 {
+		t.Fatalf("tighter goal must cost more than 24, got %v", sol.Cost)
+	}
+	if err := core.VerifySolution(prob, sol); err != nil {
+		t.Fatal(err)
+	}
+}

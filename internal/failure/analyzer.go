@@ -1,0 +1,217 @@
+// Package failure implements the failure analyzer of §V: the failure
+// injection algorithm (Algorithm 3) that verifies a TSSDN topology against
+// its reliability goal R by simulating the NBF on every non-safe fault, the
+// link-to-switch failure reduction of Eq. 6, and a brute-force reference
+// checker used to validate both.
+package failure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// Analyzer verifies the reliability guarantee of a planned TSSDN.
+type Analyzer struct {
+	// Lib provides component failure probabilities.
+	Lib *asil.Library
+	// NBF is the stateless recovery mechanism to simulate.
+	NBF nbf.NBF
+	// Net is the TAS timing configuration.
+	Net tsn.Network
+	// R is the reliability goal: failures with probability below R are safe
+	// faults and need not be survived.
+	R float64
+
+	// FlowLevelRedundancy switches Algorithm 3 to enumerate failures over
+	// all topology nodes (V^t) instead of switches only, the §V variant for
+	// flow-level redundant setups.
+	FlowLevelRedundancy bool
+	// DisableSupersetPruning turns off the checked-superset cache (for the
+	// ablation benchmark); results are unchanged, only cost grows.
+	DisableSupersetPruning bool
+	// ESLevel is the ASIL attributed to end stations when
+	// FlowLevelRedundancy is enabled (end stations otherwise never fail;
+	// §II-C treats their failures as safe faults). Defaults to ASIL-D.
+	ESLevel asil.Level
+}
+
+// Result is the outcome of a reliability analysis.
+type Result struct {
+	// OK is true when the reliability guarantee is established.
+	OK bool
+	// Failure is a non-recoverable non-safe fault when OK is false.
+	Failure nbf.Failure
+	// ER is the NBF error message under Failure.
+	ER []tsn.Pair
+	// MaxOrder is the highest failure order that had to be considered.
+	MaxOrder int
+	// NBFCalls counts recovery simulations performed (the expensive part).
+	NBFCalls int
+	// ScenariosConsidered counts candidate subsets enumerated, including
+	// those skipped by probability or superset pruning.
+	ScenariosConsidered int
+}
+
+func (a *Analyzer) validate() error {
+	if a.Lib == nil {
+		return fmt.Errorf("analyzer: nil component library")
+	}
+	if a.NBF == nil {
+		return fmt.Errorf("analyzer: nil NBF")
+	}
+	if err := a.Net.Validate(); err != nil {
+		return fmt.Errorf("analyzer: %w", err)
+	}
+	if a.R <= 0 || a.R >= 1 {
+		return fmt.Errorf("analyzer: reliability goal %v must be in (0,1)", a.R)
+	}
+	return nil
+}
+
+// candidateNodes returns the failure-candidate node IDs and their failure
+// probabilities, sorted by decreasing probability (ties by ID).
+func (a *Analyzer) candidateNodes(gt *graph.Graph, assign *asil.Assignment) ([]int, map[int]float64, error) {
+	esLevel := a.ESLevel
+	if esLevel == 0 {
+		esLevel = asil.LevelD
+	}
+	var ids []int
+	prob := make(map[int]float64)
+	for _, sw := range gt.VerticesOfKind(graph.KindSwitch) {
+		lvl, selected := assign.Switches[sw]
+		if !selected {
+			continue
+		}
+		if !lvl.Valid() {
+			return nil, nil, fmt.Errorf("analyzer: switch %d has invalid ASIL %d", sw, int(lvl))
+		}
+		ids = append(ids, sw)
+		prob[sw] = a.Lib.FailureProb(lvl)
+	}
+	if a.FlowLevelRedundancy {
+		for _, es := range gt.VerticesOfKind(graph.KindEndStation) {
+			ids = append(ids, es)
+			prob[es] = a.Lib.FailureProb(esLevel)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if prob[ids[i]] != prob[ids[j]] {
+			return prob[ids[i]] > prob[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids, prob, nil
+}
+
+// maxOrder computes maxord of Algorithm 3: the largest k such that the
+// product of the k highest failure probabilities is still >= R.
+func maxOrder(sortedIDs []int, prob map[int]float64, r float64) int {
+	p := 1.0
+	ord := 0
+	for _, id := range sortedIDs {
+		p *= prob[id]
+		if p < r {
+			break
+		}
+		ord++
+	}
+	return ord
+}
+
+// Analyze runs Algorithm 3 on topology gt with ASIL assignment assign and
+// flow specification fs. It returns OK when every non-safe fault is
+// recoverable, or the first non-recoverable failure scenario found together
+// with its error message.
+func (a *Analyzer) Analyze(gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (Result, error) {
+	if err := a.validate(); err != nil {
+		return Result{}, err
+	}
+	ids, prob, err := a.candidateNodes(gt, assign)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{MaxOrder: maxOrder(ids, prob, a.R)}
+
+	var checked [][]int // sorted node sets already verified recoverable
+	isSubsetOfChecked := func(set []int) bool {
+		if a.DisableSupersetPruning {
+			return false
+		}
+		for _, c := range checked {
+			if subsetOfSorted(set, c) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Highest order first so the superset cache prunes the most work
+	// (line 3 of Algorithm 3 iterates {maxord, ..., 1, 0}).
+	for order := res.MaxOrder; order >= 0; order-- {
+		var found *nbf.Failure
+		var foundER []tsn.Pair
+		var loopErr error
+		graph.Combinations(ids, order, func(subset []int) bool {
+			res.ScenariosConsidered++
+			set := append([]int(nil), subset...)
+			sort.Ints(set)
+			p := 1.0
+			for _, v := range set {
+				p *= prob[v]
+			}
+			if p < a.R {
+				return true // safe fault
+			}
+			if isSubsetOfChecked(set) {
+				return true
+			}
+			gf := nbf.Failure{Nodes: set}
+			res.NBFCalls++
+			_, er, err := a.NBF.Recover(gt, gf, a.Net, fs)
+			if err != nil {
+				loopErr = err
+				return false
+			}
+			if len(er) != 0 {
+				found = &gf
+				foundER = er
+				return false
+			}
+			checked = append(checked, set)
+			return true
+		})
+		if loopErr != nil {
+			return Result{}, fmt.Errorf("analyze order %d: %w", order, loopErr)
+		}
+		if found != nil {
+			res.Failure = *found
+			res.ER = foundER
+			return res, nil
+		}
+	}
+	res.OK = true
+	return res, nil
+}
+
+// subsetOfSorted reports whether sorted slice a is a subset of sorted slice b.
+func subsetOfSorted(a, b []int) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}

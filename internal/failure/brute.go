@@ -1,0 +1,119 @@
+package failure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// BruteForce exhaustively verifies the reliability guarantee by enumerating
+// every failure scenario over BOTH switches and links whose probability is
+// at least R, without the Eq. 6 reduction or any pruning. It exists to
+// cross-check Algorithm 3 on small topologies and as the slow baseline in
+// the ablation benchmarks; its cost is exponential in components, not just
+// switches.
+type BruteForce struct {
+	Lib *asil.Library
+	NBF nbf.NBF
+	Net tsn.Network
+	R   float64
+}
+
+// component is a failable unit: either a node or a link.
+type component struct {
+	isLink bool
+	node   int
+	edge   graph.Edge
+	prob   float64
+}
+
+// Analyze returns whether the guarantee holds and, if not, the first
+// non-recoverable non-safe fault found. The result also counts NBF calls.
+func (b *BruteForce) Analyze(gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (Result, error) {
+	if b.Lib == nil || b.NBF == nil {
+		return Result{}, fmt.Errorf("brute force: nil library or NBF")
+	}
+	if b.R <= 0 || b.R >= 1 {
+		return Result{}, fmt.Errorf("brute force: reliability goal %v must be in (0,1)", b.R)
+	}
+	var comps []component
+	for _, sw := range gt.VerticesOfKind(graph.KindSwitch) {
+		lvl, ok := assign.Switches[sw]
+		if !ok {
+			continue
+		}
+		comps = append(comps, component{node: sw, prob: b.Lib.FailureProb(lvl)})
+	}
+	for _, e := range gt.Edges() {
+		lvl := assign.LinkLevel(e.U, e.V)
+		if !lvl.Valid() {
+			return Result{}, fmt.Errorf("brute force: link (%d,%d) has no ASIL", e.U, e.V)
+		}
+		comps = append(comps, component{isLink: true, edge: e.Canonical(), prob: b.Lib.FailureProb(lvl)})
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].prob > comps[j].prob })
+
+	// Max order over all components.
+	maxOrd := 0
+	p := 1.0
+	for _, c := range comps {
+		p *= c.prob
+		if p < b.R {
+			break
+		}
+		maxOrd++
+	}
+
+	res := Result{MaxOrder: maxOrd}
+	idx := make([]int, len(comps))
+	for i := range idx {
+		idx[i] = i
+	}
+	for order := 0; order <= maxOrd; order++ {
+		var found *nbf.Failure
+		var foundER []tsn.Pair
+		var loopErr error
+		graph.Combinations(idx, order, func(subset []int) bool {
+			res.ScenariosConsidered++
+			prob := 1.0
+			var gf nbf.Failure
+			for _, i := range subset {
+				prob *= comps[i].prob
+				if comps[i].isLink {
+					gf.Edges = append(gf.Edges, comps[i].edge)
+				} else {
+					gf.Nodes = append(gf.Nodes, comps[i].node)
+				}
+			}
+			if prob < b.R {
+				return true
+			}
+			res.NBFCalls++
+			_, er, err := b.NBF.Recover(gt, gf, b.Net, fs)
+			if err != nil {
+				loopErr = err
+				return false
+			}
+			if len(er) != 0 {
+				found = &gf
+				foundER = er
+				return false
+			}
+			return true
+		})
+		if loopErr != nil {
+			return Result{}, loopErr
+		}
+		if found != nil {
+			res.Failure = *found
+			res.ER = foundER
+			return res, nil
+		}
+	}
+	res.OK = true
+	return res, nil
+}

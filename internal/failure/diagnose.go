@@ -1,0 +1,104 @@
+package failure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// Diagnosis lists every minimal non-recoverable non-safe fault of a
+// topology: the complete weak-point report, as opposed to Analyze's
+// first-failure answer that drives the SOAG. A failure set is minimal when
+// no proper subset is itself non-recoverable.
+type Diagnosis struct {
+	// MinimalFailures are the minimal non-recoverable switch sets, sorted
+	// by size then lexicographically.
+	MinimalFailures []nbf.Failure
+	// ER holds the error message for each minimal failure (parallel
+	// slice).
+	ER [][]tsn.Pair
+	// NBFCalls counts recovery simulations performed.
+	NBFCalls int
+	// MaxOrder is the highest failure order considered.
+	MaxOrder int
+}
+
+// OK reports whether no non-safe fault is unrecoverable.
+func (d *Diagnosis) OK() bool { return len(d.MinimalFailures) == 0 }
+
+// Diagnose enumerates failures from LOW order to high (the opposite of
+// Algorithm 3, which hunts for any counterexample fast): an unrecoverable
+// set is recorded and its supersets skipped, yielding exactly the minimal
+// non-recoverable sets with probability >= R.
+func (a *Analyzer) Diagnose(gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (*Diagnosis, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	ids, prob, err := a.candidateNodes(gt, assign)
+	if err != nil {
+		return nil, err
+	}
+	d := &Diagnosis{MaxOrder: maxOrder(ids, prob, a.R)}
+
+	var minimalSorted [][]int
+	supersetOfMinimal := func(set []int) bool {
+		for _, m := range minimalSorted {
+			if subsetOfSorted(m, set) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for order := 0; order <= d.MaxOrder; order++ {
+		var loopErr error
+		graph.Combinations(ids, order, func(subset []int) bool {
+			set := append([]int(nil), subset...)
+			sort.Ints(set)
+			p := 1.0
+			for _, v := range set {
+				p *= prob[v]
+			}
+			if p < a.R {
+				return true // safe fault
+			}
+			if supersetOfMinimal(set) {
+				return true // already covered by a smaller failure
+			}
+			gf := nbf.Failure{Nodes: set}
+			d.NBFCalls++
+			_, er, err := a.NBF.Recover(gt, gf, a.Net, fs)
+			if err != nil {
+				loopErr = err
+				return false
+			}
+			if len(er) != 0 {
+				minimalSorted = append(minimalSorted, set)
+				d.MinimalFailures = append(d.MinimalFailures, gf)
+				d.ER = append(d.ER, er)
+			}
+			return true
+		})
+		if loopErr != nil {
+			return nil, fmt.Errorf("diagnose order %d: %w", order, loopErr)
+		}
+	}
+	return d, nil
+}
+
+// String renders the diagnosis for reports.
+func (d *Diagnosis) String() string {
+	if d.OK() {
+		return fmt.Sprintf("no non-safe unrecoverable faults (max order %d, %d NBF calls)", d.MaxOrder, d.NBFCalls)
+	}
+	out := fmt.Sprintf("%d minimal unrecoverable failures (max order %d, %d NBF calls):\n",
+		len(d.MinimalFailures), d.MaxOrder, d.NBFCalls)
+	for i, f := range d.MinimalFailures {
+		out += fmt.Sprintf("  %v -> %v\n", f, d.ER[i])
+	}
+	return out
+}

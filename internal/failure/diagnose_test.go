@@ -1,0 +1,105 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+func TestDiagnoseHealthyNetwork(t *testing.T) {
+	g := dualHomed(t, 3)
+	a := assignLevels(g, map[int]asil.Level{3: asil.LevelC, 4: asil.LevelC})
+	fs := tsn.FlowSet{flow(0, 0, 1)}
+	d, err := newAnalyzer(1e-6).Diagnose(g, a, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("healthy network diagnosed: %s", d)
+	}
+	if !strings.Contains(d.String(), "no non-safe unrecoverable faults") {
+		t.Fatalf("render: %s", d)
+	}
+}
+
+func TestDiagnoseFindsAllMinimalFailures(t *testing.T) {
+	// Star with two single-homed ES: BOTH switch failures isolate... build
+	// a net where two distinct switches are independent single points of
+	// failure: es0-swA-es1 and es2-swB-es3 with a swA-swB bridge, flows
+	// 0->1 and 2->3 and 0->2.
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	swA := g.AddVertex("", graph.KindSwitch)
+	swB := g.AddVertex("", graph.KindSwitch)
+	mustEdge(t, g, 0, swA)
+	mustEdge(t, g, 1, swA)
+	mustEdge(t, g, 2, swB)
+	mustEdge(t, g, 3, swB)
+	mustEdge(t, g, swA, swB)
+	a := assignLevels(g, map[int]asil.Level{swA: asil.LevelA, swB: asil.LevelA})
+	fs := tsn.FlowSet{flow(0, 0, 1), flow(1, 2, 3), flow(2, 0, 2)}
+
+	d, err := newAnalyzer(1e-6).Diagnose(g, a, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("single-homed design diagnosed healthy")
+	}
+	// Both {swA} and {swB} are minimal; the pair {swA, swB} must NOT
+	// appear (it is a superset).
+	if len(d.MinimalFailures) != 2 {
+		t.Fatalf("minimal failures = %v", d.MinimalFailures)
+	}
+	seen := map[int]bool{}
+	for i, f := range d.MinimalFailures {
+		if len(f.Nodes) != 1 {
+			t.Fatalf("non-minimal failure reported: %v", f)
+		}
+		seen[f.Nodes[0]] = true
+		if len(d.ER[i]) == 0 {
+			t.Fatal("missing error message")
+		}
+	}
+	if !seen[swA] || !seen[swB] {
+		t.Fatalf("expected both switches as single points, got %v", d.MinimalFailures)
+	}
+	if !strings.Contains(d.String(), "2 minimal unrecoverable failures") {
+		t.Fatalf("render: %s", d)
+	}
+}
+
+func TestDiagnoseAgreesWithAnalyze(t *testing.T) {
+	// On every fixture, Diagnose.OK must equal Analyze.OK.
+	g := dualHomed(t, 2)
+	fs := tsn.FlowSet{flow(0, 0, 1)}
+	for _, lvl := range asil.Levels() {
+		a := assignLevels(g, map[int]asil.Level{2: lvl, 3: lvl})
+		an := newAnalyzer(1e-6)
+		res, err := an.Analyze(g, a, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := an.Diagnose(g, a, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK != d.OK() {
+			t.Fatalf("ASIL-%s: Analyze OK=%v but Diagnose OK=%v", lvl, res.OK, d.OK())
+		}
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	g := dualHomed(t, 2)
+	a := assignLevels(g, map[int]asil.Level{2: asil.LevelC, 3: asil.LevelC})
+	an := newAnalyzer(0)
+	if _, err := an.Diagnose(g, a, nil); err == nil {
+		t.Fatal("invalid R accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package failure
+
+import (
+	"sort"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+)
+
+// ReduceToSwitchFailure maps an arbitrary failure scenario Gf (nodes and
+// links) to the switch-only scenario V'f of Eq. 6: every failed link is
+// replaced by its lowest-ASIL adjacent switch. Under the planner's link
+// ASIL invariant (link ASIL = min of endpoint ASILs), V'f has probability
+// at least that of Gf and its residual network is a subgraph of Gf's, so
+// surviving V'f implies surviving Gf — which is why Algorithm 3 enumerates
+// only switch failures.
+//
+// End stations never enter V'f (their failures are safe faults, §II-C); a
+// failed ES–switch link maps to the switch endpoint.
+func ReduceToSwitchFailure(gt *graph.Graph, assign *asil.Assignment, gf nbf.Failure) nbf.Failure {
+	set := make(map[int]struct{}, len(gf.Nodes)+len(gf.Edges))
+	for _, v := range gf.Nodes {
+		if gt.Kind(v) == graph.KindSwitch {
+			set[v] = struct{}{}
+		}
+	}
+	for _, e := range gf.Edges {
+		u, w := e.U, e.V
+		uk, wk := gt.Kind(u), gt.Kind(w)
+		switch {
+		case uk == graph.KindSwitch && wk != graph.KindSwitch:
+			set[u] = struct{}{}
+		case wk == graph.KindSwitch && uk != graph.KindSwitch:
+			set[w] = struct{}{}
+		case uk == graph.KindSwitch && wk == graph.KindSwitch:
+			// low(u, w): the endpoint with the lowest ASIL fails; ties go to
+			// the smaller ID for determinism.
+			lu, lw := assign.SwitchLevel(u), assign.SwitchLevel(w)
+			switch {
+			case lu < lw:
+				set[u] = struct{}{}
+			case lw < lu:
+				set[w] = struct{}{}
+			case u < w:
+				set[u] = struct{}{}
+			default:
+				set[w] = struct{}{}
+			}
+		default:
+			// ES–ES links do not exist in valid topologies; ignore.
+		}
+	}
+	nodes := make([]int, 0, len(set))
+	for v := range set {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	return nbf.Failure{Nodes: nodes}
+}
+
+// ResidualIsSubgraph reports whether the residual network of outer is a
+// subgraph of the residual of inner — the containment property the Eq. 6
+// proof relies on (surviving the switch-only failure implies surviving the
+// original one).
+func ResidualIsSubgraph(gt *graph.Graph, outer, inner nbf.Failure) bool {
+	ro := gt.Residual(outer.Nodes, outer.Edges)
+	ri := gt.Residual(inner.Nodes, inner.Edges)
+	return ro.IsSubgraphOf(ri)
+}

@@ -1,0 +1,90 @@
+package failure
+
+import (
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+)
+
+func TestReduceToSwitchFailureESLinks(t *testing.T) {
+	g := dualHomed(t, 2) // ES 0,1; switches 2,3
+	a := assignLevels(g, map[int]asil.Level{2: asil.LevelB, 3: asil.LevelC})
+	gf := nbf.Failure{Edges: []graph.Edge{{U: 0, V: 2}}}
+	got := ReduceToSwitchFailure(g, a, gf)
+	if len(got.Nodes) != 1 || got.Nodes[0] != 2 {
+		t.Fatalf("reduced = %v, want switch 2", got)
+	}
+	if len(got.Edges) != 0 {
+		t.Fatal("reduced failure must be switch-only")
+	}
+}
+
+func TestReduceToSwitchFailureSwSwLinkPicksLowestASIL(t *testing.T) {
+	g := dualHomed(t, 2)
+	a := assignLevels(g, map[int]asil.Level{2: asil.LevelB, 3: asil.LevelC})
+	gf := nbf.Failure{Edges: []graph.Edge{{U: 2, V: 3}}}
+	got := ReduceToSwitchFailure(g, a, gf)
+	if len(got.Nodes) != 1 || got.Nodes[0] != 2 {
+		t.Fatalf("reduced = %v, want lower-ASIL switch 2", got)
+	}
+	// Tie: equal levels pick the smaller ID.
+	a2 := assignLevels(g, map[int]asil.Level{2: asil.LevelC, 3: asil.LevelC})
+	got = ReduceToSwitchFailure(g, a2, gf)
+	if len(got.Nodes) != 1 || got.Nodes[0] != 2 {
+		t.Fatalf("tie reduced = %v, want switch 2", got)
+	}
+}
+
+func TestReduceToSwitchFailureKeepsSwitchNodesDropsES(t *testing.T) {
+	g := dualHomed(t, 2)
+	a := assignLevels(g, map[int]asil.Level{2: asil.LevelB, 3: asil.LevelC})
+	gf := nbf.Failure{Nodes: []int{0, 3}, Edges: []graph.Edge{{U: 1, V: 2}}}
+	got := ReduceToSwitchFailure(g, a, gf)
+	want := []int{2, 3}
+	if len(got.Nodes) != 2 || got.Nodes[0] != want[0] || got.Nodes[1] != want[1] {
+		t.Fatalf("reduced = %v, want %v", got.Nodes, want)
+	}
+}
+
+func TestReductionResidualContainment(t *testing.T) {
+	// The Eq. 6 proof: the residual of the reduced (switch-only) failure
+	// is a subgraph of the residual of the original failure.
+	g := dualHomed(t, 3)
+	a := assignLevels(g, map[int]asil.Level{3: asil.LevelA, 4: asil.LevelB})
+	cases := []nbf.Failure{
+		{Edges: []graph.Edge{{U: 0, V: 3}}},
+		{Edges: []graph.Edge{{U: 3, V: 4}}},
+		{Nodes: []int{3}, Edges: []graph.Edge{{U: 1, V: 4}}},
+		{Edges: []graph.Edge{{U: 0, V: 3}, {U: 2, V: 4}}},
+	}
+	for _, gf := range cases {
+		reduced := ReduceToSwitchFailure(g, a, gf)
+		if !ResidualIsSubgraph(g, reduced, gf) {
+			t.Fatalf("residual containment violated for %v (reduced %v)", gf, reduced)
+		}
+	}
+}
+
+func TestReductionProbabilityAtLeastOriginal(t *testing.T) {
+	// With link ASIL = min(endpoints), the reduced scenario has probability
+	// >= the original scenario's.
+	g := dualHomed(t, 2)
+	lib := asil.DefaultLibrary()
+	a := assignLevels(g, map[int]asil.Level{2: asil.LevelB, 3: asil.LevelD})
+	gf := nbf.Failure{Edges: []graph.Edge{{U: 2, V: 3}, {U: 0, V: 2}}}
+	reduced := ReduceToSwitchFailure(g, a, gf)
+
+	pOrig, err := asil.FailureProbability(a, lib, gf.Nodes, gf.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRed, err := asil.FailureProbability(a, lib, reduced.Nodes, reduced.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pRed < pOrig {
+		t.Fatalf("reduced probability %v < original %v", pRed, pOrig)
+	}
+}

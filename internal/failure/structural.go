@@ -1,0 +1,46 @@
+package failure
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+// WeakPoint is a switch whose sole failure structurally disconnects at
+// least one demanded (source, destination) pair: no recovery mechanism can
+// survive it, so if such a switch's failure probability is >= R the
+// topology is invalid regardless of the NBF. The check is pure graph
+// connectivity — orders of magnitude cheaper than an NBF simulation — and
+// serves as a fast pre-screen and as an explanation artifact for failed
+// analyses.
+type WeakPoint struct {
+	Switch int
+	// Pairs are the demanded pairs the switch separates.
+	Pairs []tsn.Pair
+}
+
+// StructuralWeakPoints scans every switch of the topology against the
+// demanded pairs of the flow specification.
+func StructuralWeakPoints(gt *graph.Graph, fs tsn.FlowSet) []WeakPoint {
+	pairs := fs.UniquePairs()
+	var out []WeakPoint
+	for _, sw := range gt.VerticesOfKind(graph.KindSwitch) {
+		if gt.Degree(sw) == 0 {
+			continue
+		}
+		var broken []tsn.Pair
+		residual := gt.Clone()
+		residual.IsolateVertex(sw)
+		for _, p := range pairs {
+			if gt.Connected(p.Src, p.Dst) && !residual.Connected(p.Src, p.Dst) {
+				broken = append(broken, p)
+			}
+		}
+		if len(broken) > 0 {
+			out = append(out, WeakPoint{Switch: sw, Pairs: broken})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Switch < out[j].Switch })
+	return out
+}

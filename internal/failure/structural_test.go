@@ -1,0 +1,87 @@
+package failure
+
+import (
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+func TestStructuralWeakPointsSingleHomed(t *testing.T) {
+	// Star: the single switch separates every demanded pair.
+	g := graph.New()
+	for i := 0; i < 3; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	sw := g.AddVertex("", graph.KindSwitch)
+	for i := 0; i < 3; i++ {
+		mustEdge(t, g, i, sw)
+	}
+	fs := tsn.FlowSet{flow(0, 0, 1), flow(1, 1, 2)}
+	wps := StructuralWeakPoints(g, fs)
+	if len(wps) != 1 || wps[0].Switch != sw {
+		t.Fatalf("weak points = %v", wps)
+	}
+	if len(wps[0].Pairs) != 2 {
+		t.Fatalf("broken pairs = %v", wps[0].Pairs)
+	}
+}
+
+func TestStructuralWeakPointsDualHomed(t *testing.T) {
+	g := dualHomed(t, 3)
+	fs := tsn.FlowSet{flow(0, 0, 1), flow(1, 1, 2)}
+	if wps := StructuralWeakPoints(g, fs); wps != nil {
+		t.Fatalf("dual-homed net has no structural weak points, got %v", wps)
+	}
+}
+
+func TestStructuralWeakPointsIgnoreUnusedSwitch(t *testing.T) {
+	g := dualHomed(t, 2)
+	g.AddVertex("isolated-sw", graph.KindSwitch) // degree 0
+	fs := tsn.FlowSet{flow(0, 0, 1)}
+	if wps := StructuralWeakPoints(g, fs); wps != nil {
+		t.Fatalf("got %v", wps)
+	}
+}
+
+func TestStructuralWeakPointsAgreeWithAnalyzer(t *testing.T) {
+	// Any structural weak point with failure probability >= R must also be
+	// rejected by the full analysis.
+	g := graph.New()
+	g.AddVertex("", graph.KindEndStation)
+	g.AddVertex("", graph.KindEndStation)
+	sw := g.AddVertex("", graph.KindSwitch)
+	mustEdge(t, g, 0, sw)
+	mustEdge(t, g, 1, sw)
+	a := assignLevels(g, map[int]asil.Level{sw: asil.LevelA})
+	fs := tsn.FlowSet{flow(0, 0, 1)}
+
+	wps := StructuralWeakPoints(g, fs)
+	if len(wps) != 1 {
+		t.Fatalf("weak points = %v", wps)
+	}
+	res, err := newAnalyzer(1e-6).Analyze(g, a, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("analyzer missed a structural weak point at ASIL-A")
+	}
+	// The analyzer's counterexample must involve the weak switch (or be
+	// the order-0 empty failure if base scheduling already failed).
+	if !res.Failure.Empty() {
+		found := false
+		for _, n := range res.Failure.Nodes {
+			if n == wps[0].Switch {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("analyzer failure %v does not involve weak switch %d", res.Failure, wps[0].Switch)
+		}
+	}
+}
+
+var _ = nbf.Failure{}

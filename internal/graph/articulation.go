@@ -1,0 +1,60 @@
+package graph
+
+// ArticulationPoints returns the cut vertices of the graph — vertices
+// whose removal disconnects two previously connected vertices. In network
+// planning these are structural single points of failure: any demanded
+// pair separated by one is unrecoverable under that vertex's failure, no
+// matter how capable the recovery mechanism is.
+//
+// The implementation tests each vertex by removal (O(V·E)); the connection
+// graphs of in-vehicle networks are small enough that the simple, obviously
+// correct check beats a low-link DFS.
+func (g *Graph) ArticulationPoints() []int {
+	var cuts []int
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(v) >= 2 && disconnectsNeighbors(g, v) {
+			cuts = append(cuts, v)
+		}
+	}
+	return cuts
+}
+
+// disconnectsNeighbors reports whether removing v separates two of its
+// neighbors: BFS from one neighbor with v blocked must reach all others.
+func disconnectsNeighbors(g *Graph, v int) bool {
+	nbrs := g.Neighbors(v)
+	if len(nbrs) < 2 {
+		return false
+	}
+	seen := make([]bool, g.NumVertices())
+	seen[v] = true
+	queue := []int{nbrs[0]}
+	seen[nbrs[0]] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur) {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, nb := range nbrs[1:] {
+		if !seen[nb] {
+			return true
+		}
+	}
+	return false
+}
+
+// SeparatesPair reports whether removing vertex v disconnects s from d
+// (false when v is s or d themselves, or when they were never connected).
+func (g *Graph) SeparatesPair(v, s, d int) bool {
+	if v == s || v == d || !g.Connected(s, d) {
+		return false
+	}
+	r := g.Clone()
+	r.IsolateVertex(v)
+	return !r.Connected(s, d)
+}

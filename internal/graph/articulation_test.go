@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArticulationPointsLine(t *testing.T) {
+	g := line(t, 5)
+	cuts := g.ArticulationPoints()
+	want := []int{1, 2, 3} // every interior vertex of a path
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+}
+
+func TestArticulationPointsCycle(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddVertex("", KindSwitch)
+	}
+	for i := 0; i < 5; i++ {
+		mustAdd(t, g, i, (i+1)%5, 1)
+	}
+	if cuts := g.ArticulationPoints(); cuts != nil {
+		t.Fatalf("a cycle has no cut vertices, got %v", cuts)
+	}
+}
+
+func TestArticulationPointsBridgeHub(t *testing.T) {
+	// Two triangles joined at vertex 2: vertex 2 is the only cut vertex.
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddVertex("", KindSwitch)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}} {
+		mustAdd(t, g, e[0], e[1], 1)
+	}
+	cuts := g.ArticulationPoints()
+	if len(cuts) != 1 || cuts[0] != 2 {
+		t.Fatalf("cuts = %v, want [2]", cuts)
+	}
+}
+
+func TestArticulationPointsDisconnected(t *testing.T) {
+	g := New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", KindSwitch)
+	}
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 2, 3, 1)
+	if cuts := g.ArticulationPoints(); cuts != nil {
+		t.Fatalf("two disjoint edges have no cut vertices, got %v", cuts)
+	}
+}
+
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	// Property: v is an articulation point iff removing it increases the
+	// number of vertex pairs that are disconnected.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := randomConnectedGraph(rng, n, rng.Intn(n))
+		cuts := make(map[int]bool)
+		for _, c := range g.ArticulationPoints() {
+			cuts[c] = true
+		}
+		for v := 0; v < n; v++ {
+			// Brute force: does removing v disconnect any pair of the
+			// remaining vertices that was connected before?
+			before := g.Clone()
+			after := g.Clone()
+			after.IsolateVertex(v)
+			broke := false
+			for a := 0; a < n && !broke; a++ {
+				for b := a + 1; b < n && !broke; b++ {
+					if a == v || b == v {
+						continue
+					}
+					if before.Connected(a, b) && !after.Connected(a, b) {
+						broke = true
+					}
+				}
+			}
+			if broke != cuts[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparatesPair(t *testing.T) {
+	g := line(t, 4) // 0-1-2-3
+	if !g.SeparatesPair(1, 0, 3) {
+		t.Fatal("1 separates 0 from 3")
+	}
+	if g.SeparatesPair(0, 0, 3) || g.SeparatesPair(3, 0, 3) {
+		t.Fatal("endpoints never separate their own pair")
+	}
+	// Unconnected pair: nothing separates it.
+	g.AddVertex("", KindSwitch)
+	if g.SeparatesPair(1, 0, 4) {
+		t.Fatal("pair was never connected")
+	}
+	// Redundant square: no single vertex separates opposite corners.
+	sq := New()
+	for i := 0; i < 4; i++ {
+		sq.AddVertex("", KindSwitch)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		mustAdd(t, sq, e[0], e[1], 1)
+	}
+	if sq.SeparatesPair(1, 0, 2) {
+		t.Fatal("square has a redundant path")
+	}
+}

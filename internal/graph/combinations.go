@@ -1,0 +1,62 @@
+package graph
+
+// Combinations enumerates all k-element subsets of items in deterministic
+// lexicographic index order, calling fn with a reused buffer for each subset.
+// The buffer must not be retained across calls; copy it if needed. fn may
+// return false to stop enumeration early. It is the subset generator behind
+// Algorithm 3's combinations(V^t_sw, i).
+func Combinations(items []int, k int, fn func(subset []int) bool) {
+	n := len(items)
+	if k < 0 || k > n {
+		return
+	}
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	buf := make([]int, k)
+	for {
+		for i, j := range idx {
+			buf[i] = items[j]
+		}
+		if !fn(buf) {
+			return
+		}
+		// Advance the index vector.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// CountCombinations returns C(n, k), saturating at a large bound to avoid
+// overflow for the sizes that appear in failure analysis.
+func CountCombinations(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	const saturate = 1 << 40
+	result := 1
+	for i := 0; i < k; i++ {
+		result = result * (n - i) / (i + 1)
+		if result > saturate {
+			return saturate
+		}
+	}
+	return result
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"testing"
+)
+
+func collectCombinations(items []int, k int) [][]int {
+	var out [][]int
+	Combinations(items, k, func(s []int) bool {
+		c := make([]int, len(s))
+		copy(c, s)
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+func TestCombinationsEnumeratesAll(t *testing.T) {
+	got := collectCombinations([]int{1, 2, 3, 4}, 2)
+	want := [][]int{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d combinations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("combination %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCombinationsEdgeCases(t *testing.T) {
+	if got := collectCombinations([]int{1, 2}, 0); len(got) != 1 || got[0] != nil && len(got[0]) != 0 {
+		t.Fatalf("k=0: %v, want one empty subset", got)
+	}
+	if got := collectCombinations([]int{1, 2}, 3); got != nil {
+		t.Fatalf("k>n: %v, want none", got)
+	}
+	if got := collectCombinations([]int{1, 2}, -1); got != nil {
+		t.Fatalf("k<0: %v, want none", got)
+	}
+	if got := collectCombinations([]int{7}, 1); len(got) != 1 || got[0][0] != 7 {
+		t.Fatalf("singleton: %v", got)
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	count := 0
+	Combinations([]int{1, 2, 3, 4, 5}, 2, func(s []int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestCombinationsCountsMatch(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		for k := 0; k <= n; k++ {
+			got := len(collectCombinations(items, k))
+			want := CountCombinations(n, k)
+			if got != want {
+				t.Fatalf("C(%d,%d): enumerated %d, computed %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCountCombinations(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 2, 10}, {10, 3, 120}, {4, 0, 1}, {4, 4, 1}, {3, 5, 0}, {6, -1, 0},
+		{15, 7, 6435},
+	}
+	for _, c := range cases {
+		if got := CountCombinations(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCountCombinationsSaturates(t *testing.T) {
+	if got := CountCombinations(100, 50); got != 1<<40 {
+		t.Fatalf("expected saturation, got %d", got)
+	}
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrNoPath is returned when no path exists between the requested endpoints.
+var ErrNoPath = errors.New("no path between endpoints")
+
+// Path is an ordered vertex sequence from source to destination.
+type Path []int
+
+// Source returns the first vertex of the path, or -1 if empty.
+func (p Path) Source() int {
+	if len(p) == 0 {
+		return -1
+	}
+	return p[0]
+}
+
+// Dest returns the last vertex of the path, or -1 if empty.
+func (p Path) Dest() int {
+	if len(p) == 0 {
+		return -1
+	}
+	return p[len(p)-1]
+}
+
+// Edges returns the canonical edges traversed by the path. Lengths are
+// looked up from g; edges absent from g get length 0 (useful when a path was
+// computed on a larger connection graph).
+func (p Path) Edges(g *Graph) []Edge {
+	if len(p) < 2 {
+		return nil
+	}
+	es := make([]Edge, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		l, _ := g.EdgeLength(p[i], p[i+1])
+		es = append(es, Edge{U: p[i], V: p[i+1], Length: l}.Canonical())
+	}
+	return es
+}
+
+// Length returns the total edge length of the path in g. Missing edges
+// contribute zero.
+func (p Path) Length(g *Graph) float64 {
+	var sum float64
+	for i := 0; i+1 < len(p); i++ {
+		l, _ := g.EdgeLength(p[i], p[i+1])
+		sum += l
+	}
+	return sum
+}
+
+// Hops returns the hop count (number of edges) of the path.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Contains reports whether the path visits vertex id.
+func (p Path) Contains(id int) bool {
+	for _, v := range p {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Loopless reports whether the path visits no vertex twice.
+func (p Path) Loopless() bool {
+	seen := make(map[int]struct{}, len(p))
+	for _, v := range p {
+		if _, dup := seen[v]; dup {
+			return false
+		}
+		seen[v] = struct{}{}
+	}
+	return true
+}
+
+// Equal reports element-wise equality of two paths.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the path.
+func (p Path) Clone() Path {
+	c := make(Path, len(p))
+	copy(c, p)
+	return c
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	id   int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// pathConstraints restrict the vertices and edges Dijkstra may use. Both
+// maps may be nil.
+type pathConstraints struct {
+	bannedNodes map[int]struct{}
+	bannedEdges map[Edge]struct{}
+}
+
+func (c pathConstraints) nodeBanned(id int) bool {
+	_, ok := c.bannedNodes[id]
+	return ok
+}
+
+func (c pathConstraints) edgeBanned(u, v int) bool {
+	_, ok := c.bannedEdges[Edge{U: u, V: v}.Canonical()]
+	return ok
+}
+
+// ShortestPath returns the minimum-length path from s to d using edge
+// lengths as weights (ties broken deterministically by vertex ID). It
+// returns ErrNoPath when d is unreachable.
+func (g *Graph) ShortestPath(s, d int) (Path, error) {
+	return g.shortestPathConstrained(s, d, pathConstraints{})
+}
+
+func (g *Graph) shortestPathConstrained(s, d int, con pathConstraints) (Path, error) {
+	n := g.NumVertices()
+	if s < 0 || s >= n || d < 0 || d >= n {
+		return nil, ErrNoPath
+	}
+	if con.nodeBanned(s) || con.nodeBanned(d) {
+		return nil, ErrNoPath
+	}
+	if s == d {
+		return Path{s}, nil
+	}
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[s] = 0
+	q := &pq{{id: s, dist: 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if done[cur.id] {
+			continue
+		}
+		done[cur.id] = true
+		if cur.id == d {
+			break
+		}
+		// Iterate neighbors in sorted order for deterministic tie-breaking.
+		for _, nb := range g.Neighbors(cur.id) {
+			if done[nb] || con.nodeBanned(nb) || con.edgeBanned(cur.id, nb) {
+				continue
+			}
+			l, _ := g.EdgeLength(cur.id, nb)
+			nd := dist[cur.id] + l
+			if nd < dist[nb] || (nd == dist[nb] && prev[nb] > cur.id && prev[nb] != -1) {
+				dist[nb] = nd
+				prev[nb] = cur.id
+				heap.Push(q, pqItem{id: nb, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[d], 1) {
+		return nil, ErrNoPath
+	}
+	// Reconstruct.
+	var rev Path
+	for at := d; at != -1; at = prev[at] {
+		rev = append(rev, at)
+	}
+	p := make(Path, len(rev))
+	for i := range rev {
+		p[i] = rev[len(rev)-1-i]
+	}
+	return p, nil
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// yenExample is the classic example network from Yen's 1971 paper (renamed
+// vertices C=0, D=1, E=2, F=3, G=4, H=5).
+func yenExample(t testing.TB) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < 6; i++ {
+		g.AddVertex("", KindSwitch)
+	}
+	edges := []struct {
+		u, v int
+		l    float64
+	}{
+		{0, 1, 3}, {0, 2, 2}, {1, 3, 4}, {2, 1, 1}, {2, 3, 2}, {2, 4, 3},
+		{3, 4, 2}, {3, 5, 1}, {4, 5, 2},
+	}
+	for _, e := range edges {
+		mustAdd(t, g, e.u, e.v, e.l)
+	}
+	return g
+}
+
+func TestKShortestPathsYenExample(t *testing.T) {
+	g := yenExample(t)
+	paths, err := g.KShortestPaths(0, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	// Note: Yen's 1971 example is directed; in our undirected model the
+	// reverse use of edge (E,D) admits a second length-7 path.
+	wantLens := []float64{5, 7, 7}
+	for i, p := range paths {
+		if p.Length(g) != wantLens[i] {
+			t.Fatalf("path %d = %v length %v, want %v", i, p, p.Length(g), wantLens[i])
+		}
+	}
+	if !paths[0].Equal(Path{0, 2, 3, 5}) {
+		t.Fatalf("shortest = %v, want [0 2 3 5]", paths[0])
+	}
+}
+
+func TestKShortestPathsNoPath(t *testing.T) {
+	g := New()
+	g.AddVertex("", KindSwitch)
+	g.AddVertex("", KindSwitch)
+	if _, err := g.KShortestPaths(0, 1, 4); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestKShortestPathsKZero(t *testing.T) {
+	g := line(t, 3)
+	paths, err := g.KShortestPaths(0, 2, 0)
+	if err != nil || paths != nil {
+		t.Fatalf("k=0: paths=%v err=%v, want nil,nil", paths, err)
+	}
+}
+
+func TestKShortestPathsFewerThanK(t *testing.T) {
+	g := line(t, 4) // only one loopless path exists
+	paths, err := g.KShortestPaths(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+}
+
+func TestKShortestPathsDistinctAndOrdered(t *testing.T) {
+	// Complete graph K5: many alternatives.
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddVertex("", KindSwitch)
+	}
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			mustAdd(t, g, u, v, float64(1+(u+v)%3))
+		}
+	}
+	paths, err := g.KShortestPaths(0, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 8 {
+		t.Fatalf("got %d paths, want 8", len(paths))
+	}
+	for i, p := range paths {
+		if !p.Loopless() {
+			t.Fatalf("path %d has a loop: %v", i, p)
+		}
+		if p.Source() != 0 || p.Dest() != 4 {
+			t.Fatalf("path %d endpoints wrong: %v", i, p)
+		}
+		if i > 0 && paths[i].Length(g) < paths[i-1].Length(g) {
+			t.Fatalf("paths not sorted by length at %d", i)
+		}
+		for j := 0; j < i; j++ {
+			if paths[i].Equal(paths[j]) {
+				t.Fatalf("duplicate path at %d and %d: %v", i, j, paths[i])
+			}
+		}
+	}
+}
+
+func TestKShortestPathsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(8)
+		g := randomConnectedGraph(rng, n, n+2)
+		s, d := 0, n-1
+		k := 1 + rng.Intn(5)
+		paths, err := g.KShortestPaths(s, d, k)
+		if err != nil {
+			return false
+		}
+		if len(paths) == 0 || len(paths) > k {
+			return false
+		}
+		for i, p := range paths {
+			if !p.Loopless() || p.Source() != s || p.Dest() != d {
+				return false
+			}
+			for e := 0; e+1 < len(p); e++ {
+				if !g.HasEdge(p[e], p[e+1]) {
+					return false
+				}
+			}
+			if i > 0 && p.Length(g) < paths[i-1].Length(g) {
+				return false
+			}
+			for j := 0; j < i; j++ {
+				if p.Equal(paths[j]) {
+					return false
+				}
+			}
+		}
+		// The first path must match plain Dijkstra.
+		sp, err := g.ShortestPath(s, d)
+		if err != nil {
+			return false
+		}
+		return paths[0].Length(g) == sp.Length(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package nbf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+// LoadBalancedRecovery is a stateless recovery mechanism that spreads
+// flows across the residual network: for every (flow, destination) pair it
+// considers up to MaxAlternatives loopless paths and picks the one whose
+// directed links currently carry the fewest reservations, breaking ties by
+// path length. Compared to the greedy shortest-path mechanism it trades
+// slightly longer routes for fewer slot conflicts — a different point in
+// the recovery-mechanism design space NPTSN can plan for through the NBF
+// abstraction.
+type LoadBalancedRecovery struct {
+	// MaxAlternatives bounds the candidate paths per pair (default 4).
+	MaxAlternatives int
+}
+
+var _ NBF = (*LoadBalancedRecovery)(nil)
+
+// Name implements NBF.
+func (r *LoadBalancedRecovery) Name() string { return "stateless-load-balanced" }
+
+// Recover implements NBF.
+func (r *LoadBalancedRecovery) Recover(topo *graph.Graph, failure Failure, net tsn.Network, fs tsn.FlowSet) (*tsn.State, []tsn.Pair, error) {
+	if err := net.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("load-balanced recovery: %w", err)
+	}
+	if err := fs.Validate(net.BasePeriod); err != nil {
+		return nil, nil, fmt.Errorf("load-balanced recovery: %w", err)
+	}
+	alts := r.MaxAlternatives
+	if alts <= 0 {
+		alts = 4
+	}
+	residual := topo.Residual(failure.Nodes, failure.Edges)
+
+	// Deterministic flow order.
+	ordered := append(tsn.FlowSet(nil), fs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	load := make(map[tsn.DirLink]int)
+	state := &tsn.State{Net: net}
+	var failed []tsn.Pair
+	sched := tsn.Scheduler{}
+
+	for _, f := range ordered {
+		for _, dst := range f.Dsts {
+			paths, err := residual.KShortestPaths(f.Src, dst, alts)
+			if err != nil {
+				failed = append(failed, tsn.Pair{Src: f.Src, Dst: dst})
+				continue
+			}
+			// Order candidates by (max link load, total load, length).
+			sort.SliceStable(paths, func(a, b int) bool {
+				ma, ta := pathLoad(paths[a], load)
+				mb, tb := pathLoad(paths[b], load)
+				if ma != mb {
+					return ma < mb
+				}
+				if ta != tb {
+					return ta < tb
+				}
+				return paths[a].Length(residual) < paths[b].Length(residual)
+			})
+			placed := false
+			for _, p := range paths {
+				pinnedState, pinnedER, perr := sched.SchedulePinnedAround(residual, net, fs, state, tsn.PinnedFlow{Flow: f, Dst: dst, Path: p})
+				if perr != nil {
+					return nil, nil, fmt.Errorf("load-balanced recovery: %w", perr)
+				}
+				if len(pinnedER) != 0 {
+					continue // this path cannot be slotted; try the next
+				}
+				state = pinnedState
+				for i := 0; i+1 < len(p); i++ {
+					load[tsn.DirLink{From: p[i], To: p[i+1]}]++
+				}
+				placed = true
+				break
+			}
+			if !placed {
+				failed = append(failed, tsn.Pair{Src: f.Src, Dst: dst})
+			}
+		}
+	}
+	return state, failed, nil
+}
+
+// pathLoad returns the maximum and total current load over a path's
+// directed links.
+func pathLoad(p graph.Path, load map[tsn.DirLink]int) (maxLoad, total int) {
+	for i := 0; i+1 < len(p); i++ {
+		l := load[tsn.DirLink{From: p[i], To: p[i+1]}]
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad, total
+}

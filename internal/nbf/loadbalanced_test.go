@@ -1,0 +1,121 @@
+package nbf
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+func TestLoadBalancedRecoveryBasic(t *testing.T) {
+	g := ringTopo(t)
+	net := tsn.DefaultNetwork()
+	fs := tsn.FlowSet{flow(0, 0, 2), flow(1, 1, 3)}
+	lb := &LoadBalancedRecovery{}
+	if lb.Name() != "stateless-load-balanced" {
+		t.Fatalf("Name = %q", lb.Name())
+	}
+	st, er, err := lb.Recover(g, Failure{}, net, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 || len(st.Plans) != 2 {
+		t.Fatalf("er=%v plans=%d", er, len(st.Plans))
+	}
+	if err := tsn.VerifyState(g, net, fs, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadBalancedRecoverySpreadsLoad(t *testing.T) {
+	// Two ES pairs connected via two parallel switches: the greedy
+	// mechanism routes everything over the deterministic tie-break winner;
+	// the load-balanced one must split the flows across both switches.
+	g := dualSwitchTopo(t)
+	net := tsn.DefaultNetwork()
+	var fs tsn.FlowSet
+	for i := 0; i < 4; i++ {
+		fs = append(fs, flow(i, 0, 1))
+	}
+	lb := &LoadBalancedRecovery{MaxAlternatives: 4}
+	st, er, err := lb.Recover(g, Failure{}, net, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 {
+		t.Fatalf("ER = %v", er)
+	}
+	used := map[int]int{} // switch -> flows routed through it
+	for _, p := range st.Plans {
+		for _, v := range p.Path {
+			if v >= 2 {
+				used[v]++
+			}
+		}
+	}
+	if used[2] == 0 || used[3] == 0 {
+		t.Fatalf("flows not spread across switches: %v", used)
+	}
+	if err := tsn.VerifyState(g, net, fs, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dualSwitchTopo: es0, es1 both connected to sw2 and sw3.
+func dualSwitchTopo(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("", graph.KindEndStation)
+	g.AddVertex("", graph.KindEndStation)
+	g.AddVertex("", graph.KindSwitch)
+	g.AddVertex("", graph.KindSwitch)
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 4; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestLoadBalancedRecoveryFailure(t *testing.T) {
+	g := dualSwitchTopo(t)
+	net := tsn.DefaultNetwork()
+	fs := tsn.FlowSet{flow(0, 0, 1)}
+	lb := &LoadBalancedRecovery{}
+	// Both switches dead: unrecoverable.
+	_, er, err := lb.Recover(g, Failure{Nodes: []int{2, 3}}, net, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 1 {
+		t.Fatalf("ER = %v", er)
+	}
+	// One switch dead: fine.
+	st, er, err := lb.Recover(g, Failure{Nodes: []int{2}}, net, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 {
+		t.Fatalf("ER = %v", er)
+	}
+	for _, p := range st.Plans {
+		if p.Path.Contains(2) {
+			t.Fatal("routed through the failed switch")
+		}
+	}
+}
+
+func TestLoadBalancedRecoveryValidation(t *testing.T) {
+	g := dualSwitchTopo(t)
+	lb := &LoadBalancedRecovery{}
+	if _, _, err := lb.Recover(g, Failure{}, tsn.Network{}, nil); err == nil {
+		t.Error("invalid network accepted")
+	}
+	bad := flow(0, 0, 1)
+	bad.Period = 0
+	if _, _, err := lb.Recover(g, Failure{}, tsn.DefaultNetwork(), tsn.FlowSet{bad}); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Package nbf defines the Network Behaviour Function (NBF) abstraction of
+// §II-B and provides concrete recovery mechanisms. A stateless NBF
+// Φ : (Gt, Gf, B, FS) -> (FI', ER) models how the TSSDN controller
+// re-schedules TT flows on the residual network after a failure scenario,
+// independent of the pre-failure flow state, so that every failure scenario
+// maps to exactly one flow state (the property Algorithm 3 relies on).
+package nbf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+// Failure is a failure scenario Gf: a subgraph of the topology given by its
+// failed nodes and failed links. Fail-silent semantics apply — a failed
+// node disables all attached links.
+type Failure struct {
+	Nodes []int
+	Edges []graph.Edge
+}
+
+// Empty reports whether no component failed.
+func (f Failure) Empty() bool { return len(f.Nodes) == 0 && len(f.Edges) == 0 }
+
+// Clone deep-copies the failure scenario.
+func (f Failure) Clone() Failure {
+	return Failure{
+		Nodes: append([]int(nil), f.Nodes...),
+		Edges: append([]graph.Edge(nil), f.Edges...),
+	}
+}
+
+// String renders the failure scenario for logs.
+func (f Failure) String() string {
+	if f.Empty() {
+		return "∅"
+	}
+	return fmt.Sprintf("nodes=%v edges=%v", f.Nodes, f.Edges)
+}
+
+// NBF is a stateless network behaviour function. Implementations must be
+// deterministic in their inputs.
+type NBF interface {
+	// Name identifies the recovery mechanism.
+	Name() string
+	// Recover re-establishes bandwidth and timing guarantees for all flows
+	// on the residual network of topo under failure. It returns the new
+	// flow state FI' and the error set ER of unrecoverable (src, dst)
+	// pairs; ER is empty iff recovery succeeds. A non-nil error means the
+	// inputs were invalid, not that recovery failed.
+	Recover(topo *graph.Graph, failure Failure, net tsn.Network, fs tsn.FlowSet) (*tsn.State, []tsn.Pair, error)
+}
+
+// StatelessRecovery is the default NBF: a greedy re-route and re-schedule
+// of all TT flows on the residual network, our stand-in for the heuristic
+// recovery algorithm of [9] used in the paper's evaluation. It is stateless
+// by construction — the schedule is recomputed from scratch — which matches
+// the requirement of §II-B.
+type StatelessRecovery struct {
+	// MaxAlternatives is forwarded to the TT scheduler: how many loopless
+	// paths to try per pair before declaring it unrecoverable.
+	MaxAlternatives int
+}
+
+var _ NBF = (*StatelessRecovery)(nil)
+
+// Name implements NBF.
+func (r *StatelessRecovery) Name() string { return "stateless-greedy" }
+
+// Recover implements NBF by scheduling the full flow set on the residual
+// network.
+func (r *StatelessRecovery) Recover(topo *graph.Graph, failure Failure, net tsn.Network, fs tsn.FlowSet) (*tsn.State, []tsn.Pair, error) {
+	residual := topo.Residual(failure.Nodes, failure.Edges)
+	sched := tsn.Scheduler{MaxAlternatives: r.MaxAlternatives}
+	st, er, err := sched.Schedule(residual, net, fs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stateless recovery: %w", err)
+	}
+	return st, er, nil
+}
+
+// InitialState computes FI0, the initial flow state on the intact topology
+// (the Φ output for an empty failure), together with ER0.
+func InitialState(n NBF, topo *graph.Graph, net tsn.Network, fs tsn.FlowSet) (*tsn.State, []tsn.Pair, error) {
+	return n.Recover(topo, Failure{}, net, fs)
+}
+
+// Registry maps recovery-mechanism names to constructors, so alternative
+// controllers can be plugged into the planner by name (the TSSDN controller
+// library of Fig. 1).
+type Registry struct {
+	factories map[string]func() NBF
+}
+
+// NewRegistry returns a registry pre-populated with the built-in recovery
+// mechanisms.
+func NewRegistry() *Registry {
+	r := &Registry{factories: make(map[string]func() NBF)}
+	r.MustRegister("stateless-greedy", func() NBF { return &StatelessRecovery{MaxAlternatives: 3} })
+	r.MustRegister("stateless-shortest", func() NBF { return &StatelessRecovery{MaxAlternatives: 1} })
+	r.MustRegister("rebased-incremental", func() NBF {
+		return NewRebased(&IncrementalRecovery{MaxAlternatives: 3})
+	})
+	r.MustRegister("flow-redundant-greedy", func() NBF {
+		return NewFlowRedundant(&StatelessRecovery{MaxAlternatives: 3})
+	})
+	r.MustRegister("stateless-load-balanced", func() NBF {
+		return &LoadBalancedRecovery{MaxAlternatives: 4}
+	})
+	return r
+}
+
+// Register adds a named constructor. Registering a duplicate name fails.
+func (r *Registry) Register(name string, factory func() NBF) error {
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("nbf registry: %q already registered", name)
+	}
+	if factory == nil {
+		return fmt.Errorf("nbf registry: nil factory for %q", name)
+	}
+	r.factories[name] = factory
+	return nil
+}
+
+// MustRegister is Register for static initialization; it panics on error.
+func (r *Registry) MustRegister(name string, factory func() NBF) {
+	if err := r.Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates the named recovery mechanism.
+func (r *Registry) New(name string) (NBF, error) {
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("nbf registry: unknown mechanism %q (have %v)", name, r.Names())
+	}
+	return f(), nil
+}
+
+// Names lists registered mechanisms in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

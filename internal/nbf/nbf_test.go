@@ -1,0 +1,216 @@
+package nbf
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+// ringTopo builds 4 end stations, each attached to its own switch, with the
+// switches in a ring — every single switch failure leaves the others
+// connected, but an ES loses service if its own switch dies.
+//
+//	es0-sw4, es1-sw5, es2-sw6, es3-sw7; ring sw4-sw5-sw6-sw7-sw4
+func ringTopo(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	edges := [][2]int{{0, 4}, {1, 5}, {2, 6}, {3, 7}, {4, 5}, {5, 6}, {6, 7}, {7, 4}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func flow(id, src, dst int) tsn.Flow {
+	net := tsn.DefaultNetwork()
+	return tsn.Flow{ID: id, Src: src, Dsts: []int{dst}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}
+}
+
+func TestStatelessRecoveryNoFailure(t *testing.T) {
+	g := ringTopo(t)
+	fs := tsn.FlowSet{flow(0, 0, 2)}
+	r := &StatelessRecovery{}
+	st, er, err := r.Recover(g, Failure{}, tsn.DefaultNetwork(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 {
+		t.Fatalf("ER = %v, want empty", er)
+	}
+	if err := tsn.VerifyState(g, tsn.DefaultNetwork(), fs, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatelessRecoveryReroutesAroundFailedSwitch(t *testing.T) {
+	g := ringTopo(t)
+	fs := tsn.FlowSet{flow(0, 0, 2)}
+	r := &StatelessRecovery{}
+
+	// Without failure the route goes 0-4-5-6-2 or 0-4-7-6-2 (both 4 hops).
+	// Fail sw5: the route must avoid it.
+	st, er, err := r.Recover(g, Failure{Nodes: []int{5}}, tsn.DefaultNetwork(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 {
+		t.Fatalf("ER = %v, want empty (ring survives one switch)", er)
+	}
+	p, ok := st.PlanFor(0, 2)
+	if !ok {
+		t.Fatal("no plan for flow 0")
+	}
+	if p.Path.Contains(5) {
+		t.Fatalf("recovered path %v traverses the failed switch", p.Path)
+	}
+}
+
+func TestStatelessRecoveryReportsUnrecoverablePair(t *testing.T) {
+	g := ringTopo(t)
+	fs := tsn.FlowSet{flow(0, 0, 2), flow(1, 1, 3)}
+	r := &StatelessRecovery{}
+	// Failing es0's own switch isolates it.
+	st, er, err := r.Recover(g, Failure{Nodes: []int{4}}, tsn.DefaultNetwork(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 1 || er[0] != (tsn.Pair{Src: 0, Dst: 2}) {
+		t.Fatalf("ER = %v, want [(0->2)]", er)
+	}
+	// The other flow must still be recovered.
+	if _, ok := st.PlanFor(1, 3); !ok {
+		t.Fatal("flow 1 should survive")
+	}
+}
+
+func TestStatelessRecoveryLinkFailure(t *testing.T) {
+	g := ringTopo(t)
+	fs := tsn.FlowSet{flow(0, 0, 1)}
+	r := &StatelessRecovery{}
+	st, er, err := r.Recover(g, Failure{Edges: []graph.Edge{{U: 4, V: 5}}}, tsn.DefaultNetwork(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 {
+		t.Fatalf("ER = %v, want empty", er)
+	}
+	p, _ := st.PlanFor(0, 1)
+	// Must go the long way around the ring.
+	want := graph.Path{0, 4, 7, 6, 5, 1}
+	if !p.Path.Equal(want) {
+		t.Fatalf("path = %v, want %v", p.Path, want)
+	}
+}
+
+func TestStatelessRecoveryDeterministic(t *testing.T) {
+	g := ringTopo(t)
+	fs := tsn.FlowSet{flow(0, 0, 2), flow(1, 1, 3), flow(2, 3, 0)}
+	r := &StatelessRecovery{MaxAlternatives: 2}
+	f := Failure{Nodes: []int{6}}
+	st1, er1, err := r.Recover(g, f, tsn.DefaultNetwork(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, er2, err := r.Recover(g, f, tsn.DefaultNetwork(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er1) != len(er2) || len(st1.Plans) != len(st2.Plans) {
+		t.Fatal("NBF not deterministic")
+	}
+	for i := range st1.Plans {
+		if !st1.Plans[i].Path.Equal(st2.Plans[i].Path) {
+			t.Fatal("NBF paths not deterministic")
+		}
+	}
+}
+
+func TestStatelessRecoveryDoesNotMutateTopology(t *testing.T) {
+	g := ringTopo(t)
+	edgesBefore := g.NumEdges()
+	fs := tsn.FlowSet{flow(0, 0, 2)}
+	r := &StatelessRecovery{}
+	if _, _, err := r.Recover(g, Failure{Nodes: []int{5}, Edges: []graph.Edge{{U: 6, V: 7}}}, tsn.DefaultNetwork(), fs); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != edgesBefore {
+		t.Fatal("Recover mutated the input topology")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	g := ringTopo(t)
+	fs := tsn.FlowSet{flow(0, 0, 2)}
+	st, er, err := InitialState(&StatelessRecovery{}, g, tsn.DefaultNetwork(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 || len(st.Plans) != 1 {
+		t.Fatalf("FI0: er=%v plans=%d", er, len(st.Plans))
+	}
+}
+
+func TestFailureHelpers(t *testing.T) {
+	var f Failure
+	if !f.Empty() || f.String() != "∅" {
+		t.Error("empty failure helpers wrong")
+	}
+	f = Failure{Nodes: []int{1}, Edges: []graph.Edge{{U: 2, V: 3}}}
+	if f.Empty() {
+		t.Error("non-empty failure reported empty")
+	}
+	c := f.Clone()
+	c.Nodes[0] = 9
+	if f.Nodes[0] == 9 {
+		t.Error("Clone shares node storage")
+	}
+	if f.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) < 3 {
+		t.Fatalf("expected builtin mechanisms, got %v", names)
+	}
+	n, err := r.New("stateless-greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "stateless-greedy" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+	if _, err := r.New("nope"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if err := r.Register("stateless-greedy", func() NBF { return nil }); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := r.Register("nilfactory", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := r.Register("custom", func() NBF { return &StatelessRecovery{} }); err != nil {
+		t.Errorf("valid registration rejected: %v", err)
+	}
+}
+
+func TestRegistryMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister should panic on duplicate")
+		}
+	}()
+	r := NewRegistry()
+	r.MustRegister("stateless-greedy", func() NBF { return nil })
+}

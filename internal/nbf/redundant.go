@@ -1,0 +1,55 @@
+package nbf
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+// FlowRedundant adapts an NBF to flow-level redundancy semantics (§V):
+// when the specification carries several flow instances for the same
+// (source, destination) pair — e.g. FRER-style replicas — the error message
+// reports a pair only when ALL of its instances fail. Use together with
+// failure.Analyzer.FlowLevelRedundancy, which then enumerates failures over
+// all network nodes including end stations.
+type FlowRedundant struct {
+	Inner NBF
+}
+
+var _ NBF = (*FlowRedundant)(nil)
+
+// NewFlowRedundant wraps an inner recovery mechanism.
+func NewFlowRedundant(inner NBF) *FlowRedundant {
+	return &FlowRedundant{Inner: inner}
+}
+
+// Name implements NBF.
+func (f *FlowRedundant) Name() string { return f.Inner.Name() + "-flow-redundant" }
+
+// Recover implements NBF: run the inner mechanism, then collapse the error
+// message to redundancy groups — a (src, dst) pair fails only when no flow
+// instance covering it was restored.
+func (f *FlowRedundant) Recover(topo *graph.Graph, failure Failure, net tsn.Network, fs tsn.FlowSet) (*tsn.State, []tsn.Pair, error) {
+	st, _, err := f.Inner.Recover(topo, failure, net, fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	covered := make(map[tsn.Pair]bool)
+	flowsByID := make(map[int]tsn.Flow, len(fs))
+	for _, fl := range fs {
+		flowsByID[fl.ID] = fl
+	}
+	for _, p := range st.Plans {
+		fl, ok := flowsByID[p.FlowID]
+		if !ok {
+			continue
+		}
+		covered[tsn.Pair{Src: fl.Src, Dst: p.Dst}] = true
+	}
+	var er []tsn.Pair
+	for _, pair := range fs.UniquePairs() {
+		if !covered[pair] {
+			er = append(er, pair)
+		}
+	}
+	return st, er, nil
+}

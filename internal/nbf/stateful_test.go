@@ -1,0 +1,130 @@
+package nbf
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+func TestIncrementalRecoveryKeepsUndisruptedPlans(t *testing.T) {
+	g := ringTopo(t)
+	net := tsn.DefaultNetwork()
+	fs := tsn.FlowSet{flow(0, 0, 2), flow(1, 1, 3)}
+	fi0, er0, err := InitialState(&StatelessRecovery{}, g, net, fs)
+	if err != nil || len(er0) != 0 {
+		t.Fatalf("FI0: er=%v err=%v", er0, err)
+	}
+	p1Before, _ := fi0.PlanFor(1, 3)
+
+	inc := &IncrementalRecovery{MaxAlternatives: 3}
+	// Fail a link on flow 0's path but not flow 1's.
+	p0Before, _ := fi0.PlanFor(0, 2)
+	failEdge := graph.Edge{U: p0Before.Path[1], V: p0Before.Path[2]}
+	if p1Before.Path.Contains(failEdge.U) && p1Before.Path.Contains(failEdge.V) {
+		t.Skip("fixture overlap; both flows share the edge")
+	}
+	st, er, err := inc.RecoverFrom(g, Failure{Edges: []graph.Edge{failEdge}}, net, fs, fi0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 {
+		t.Fatalf("ER = %v, want empty", er)
+	}
+	p1After, ok := st.PlanFor(1, 3)
+	if !ok || !p1After.Path.Equal(p1Before.Path) {
+		t.Fatalf("undisrupted flow re-routed: %v -> %v", p1Before.Path, p1After.Path)
+	}
+	p0After, ok := st.PlanFor(0, 2)
+	if !ok {
+		t.Fatal("disrupted flow not recovered")
+	}
+	for i := 0; i+1 < len(p0After.Path); i++ {
+		e := graph.Edge{U: p0After.Path[i], V: p0After.Path[i+1]}.Canonical()
+		if e == failEdge.Canonical() {
+			t.Fatal("recovered path uses the failed link")
+		}
+	}
+	if err := tsn.VerifyState(g.Residual(nil, []graph.Edge{failEdge}), net, fs, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalRecoveryNilPriorSchedulesEverything(t *testing.T) {
+	g := ringTopo(t)
+	net := tsn.DefaultNetwork()
+	fs := tsn.FlowSet{flow(0, 0, 2)}
+	inc := &IncrementalRecovery{}
+	st, er, err := inc.RecoverFrom(g, Failure{}, net, fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 || len(st.Plans) != 1 {
+		t.Fatalf("er=%v plans=%d", er, len(st.Plans))
+	}
+}
+
+func TestIncrementalRecoveryInvalidInputs(t *testing.T) {
+	g := ringTopo(t)
+	inc := &IncrementalRecovery{}
+	if _, _, err := inc.RecoverFrom(g, Failure{}, tsn.Network{}, nil, nil); err == nil {
+		t.Error("invalid network accepted")
+	}
+	bad := flow(0, 0, 2)
+	bad.Period = 0
+	if _, _, err := inc.RecoverFrom(g, Failure{}, tsn.DefaultNetwork(), tsn.FlowSet{bad}, nil); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}
+
+func TestRebasedMatchesStatelessOnSinglePointFailures(t *testing.T) {
+	g := ringTopo(t)
+	net := tsn.DefaultNetwork()
+	fs := tsn.FlowSet{flow(0, 0, 2), flow(1, 1, 3)}
+	rb := NewRebased(&IncrementalRecovery{MaxAlternatives: 3})
+	if rb.Name() != "incremental-rebased" {
+		t.Fatalf("Name = %q", rb.Name())
+	}
+	for sw := 4; sw <= 7; sw++ {
+		_, erStateless, err := (&StatelessRecovery{MaxAlternatives: 3}).Recover(g, Failure{Nodes: []int{sw}}, net, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, erRebased, err := rb.Recover(g, Failure{Nodes: []int{sw}}, net, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both mechanisms must agree on recoverability (which pairs fail).
+		if len(erStateless) != len(erRebased) {
+			t.Fatalf("sw %d: stateless ER %v vs rebased ER %v", sw, erStateless, erRebased)
+		}
+	}
+}
+
+func TestRebasedEmptyFailureReturnsFI0(t *testing.T) {
+	g := ringTopo(t)
+	net := tsn.DefaultNetwork()
+	fs := tsn.FlowSet{flow(0, 0, 2)}
+	rb := NewRebased(&IncrementalRecovery{})
+	st, er, err := rb.Recover(g, Failure{}, net, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 || len(st.Plans) != 1 {
+		t.Fatalf("er=%v plans=%d", er, len(st.Plans))
+	}
+}
+
+func TestScheduleAroundRejectsUnknownFlows(t *testing.T) {
+	g := ringTopo(t)
+	net := tsn.DefaultNetwork()
+	fs := tsn.FlowSet{flow(0, 0, 2)}
+	sched := tsn.Scheduler{}
+	pinned := &tsn.State{Net: net, Plans: []tsn.FlowPlan{{FlowID: 42, Dst: 2, Path: graph.Path{0, 4, 5, 6, 2}, Slots: []int{0, 1, 2, 3}}}}
+	if _, _, err := sched.ScheduleAround(g, net, fs, pinned, nil); err == nil {
+		t.Error("unknown pinned flow accepted")
+	}
+	if _, _, err := sched.ScheduleAround(g, net, fs, nil, tsn.FlowSet{flow(9, 0, 2)}); err == nil {
+		t.Error("unknown pending flow accepted")
+	}
+}

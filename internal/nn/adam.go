@@ -1,0 +1,51 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2014) over a parameter
+// list, the gradient method used for all updates in the paper (§IV-C).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	step int
+	m    []*Matrix
+	v    []*Matrix
+}
+
+// NewAdam constructs an optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8) and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update using the accumulated gradients of ps. The
+// parameter list must be the same (same order and shapes) on every call.
+func (a *Adam) Step(ps []Param) {
+	if a.m == nil {
+		a.m = make([]*Matrix, len(ps))
+		a.v = make([]*Matrix, len(ps))
+		for i, p := range ps {
+			a.m[i] = NewMatrix(p.Value.Rows, p.Value.Cols)
+			a.v[i] = NewMatrix(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range ps {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mHat := m.Data[j] / bc1
+			vHat := v.Data[j] / bc2
+			p.Value.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+	}
+}
+
+// Steps returns how many updates have been applied.
+func (a *Adam) Steps() int { return a.step }

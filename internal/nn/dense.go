@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects the nonlinearity of a layer.
+type Activation int
+
+// Supported activations.
+const (
+	// Identity applies no nonlinearity (output layers).
+	Identity Activation = iota + 1
+	// ReLU is max(0, x).
+	ReLU
+	// Tanh is the hyperbolic tangent.
+	Tanh
+)
+
+// apply computes the activation of z element-wise.
+func (a Activation) apply(z *Matrix) *Matrix {
+	out := z.Clone()
+	switch a {
+	case Identity:
+	case ReLU:
+		for i, v := range out.Data {
+			if v < 0 {
+				out.Data[i] = 0
+			}
+		}
+	case Tanh:
+		for i, v := range out.Data {
+			out.Data[i] = math.Tanh(v)
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
+	}
+	return out
+}
+
+// gradFactor returns dσ/dz given pre-activation z and activation output y.
+func (a Activation) gradFactor(z, y *Matrix) *Matrix {
+	g := NewMatrix(z.Rows, z.Cols)
+	switch a {
+	case Identity:
+		for i := range g.Data {
+			g.Data[i] = 1
+		}
+	case ReLU:
+		for i, v := range z.Data {
+			if v > 0 {
+				g.Data[i] = 1
+			}
+		}
+	case Tanh:
+		for i := range g.Data {
+			g.Data[i] = 1 - y.Data[i]*y.Data[i]
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
+	}
+	return g
+}
+
+// Dense is a fully connected layer y = σ(xW + b) with cached forward state
+// for backpropagation. Inputs are batch-major: x is batch×in.
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	W *Matrix // In×Out
+	B *Matrix // 1×Out
+
+	gradW *Matrix
+	gradB *Matrix
+
+	lastX *Matrix // batch×In
+	lastZ *Matrix // pre-activation
+	lastY *Matrix // post-activation
+}
+
+// NewDense builds a dense layer with Xavier-initialized weights.
+func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W: NewMatrix(in, out), B: NewMatrix(1, out),
+		gradW: NewMatrix(in, out), gradB: NewMatrix(1, out),
+	}
+	d.W.XavierInit(rng, in, out)
+	return d
+}
+
+// Forward computes the layer output and caches intermediates.
+func (d *Dense) Forward(x *Matrix) *Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense input %d, want %d", x.Cols, d.In))
+	}
+	z := MatMul(x, d.W)
+	for r := 0; r < z.Rows; r++ {
+		for c := 0; c < z.Cols; c++ {
+			z.Data[r*z.Cols+c] += d.B.Data[c]
+		}
+	}
+	d.lastX = x
+	d.lastZ = z
+	d.lastY = d.Act.apply(z)
+	return d.lastY
+}
+
+// Backward accumulates parameter gradients for upstream gradient dY and
+// returns the gradient with respect to the input.
+func (d *Dense) Backward(dY *Matrix) *Matrix {
+	if d.lastX == nil {
+		panic("nn: dense backward before forward")
+	}
+	dZ := Hadamard(dY, d.Act.gradFactor(d.lastZ, d.lastY))
+	d.gradW.AddInPlace(MatMul(d.lastX.Transpose(), dZ))
+	// Bias gradient: column sums of dZ.
+	for r := 0; r < dZ.Rows; r++ {
+		for c := 0; c < dZ.Cols; c++ {
+			d.gradB.Data[c] += dZ.Data[r*dZ.Cols+c]
+		}
+	}
+	return MatMul(dZ, d.W.Transpose())
+}
+
+// Params exposes the layer parameters to the optimizer.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Value: d.W, Grad: d.gradW, Name: "dense.W"},
+		{Value: d.B, Grad: d.gradB, Name: "dense.B"},
+	}
+}
+
+// MLP is a multi-layer perceptron: hidden layers with a shared activation
+// followed by an identity output layer.
+type MLP struct {
+	layers []*Dense
+}
+
+// NewMLP builds an MLP with the given hidden sizes (e.g. 256, 256 for the
+// paper's default actor/critic heads) and output dimension.
+func NewMLP(rng *rand.Rand, in int, hidden []int, out int, act Activation) *MLP {
+	m := &MLP{}
+	prev := in
+	for _, h := range hidden {
+		m.layers = append(m.layers, NewDense(rng, prev, h, act))
+		prev = h
+	}
+	m.layers = append(m.layers, NewDense(rng, prev, out, Identity))
+	return m
+}
+
+// Forward runs all layers.
+func (m *MLP) Forward(x *Matrix) *Matrix {
+	for _, l := range m.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward backpropagates and returns the input gradient.
+func (m *MLP) Backward(dY *Matrix) *Matrix {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		dY = m.layers[i].Backward(dY)
+	}
+	return dY
+}
+
+// Params lists all layer parameters.
+func (m *MLP) Params() []Param {
+	var ps []Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

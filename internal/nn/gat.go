@@ -1,0 +1,265 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// gatLeakySlope is the LeakyReLU slope of the attention scores (the value
+// used by Veličković et al.).
+const gatLeakySlope = 0.2
+
+// SelfLoopMask returns the 0/1 attention mask A + I: each node attends to
+// its neighbors and itself, the masked self-attention of GAT.
+func SelfLoopMask(adj *Matrix) *Matrix {
+	if adj.Rows != adj.Cols {
+		panic(fmt.Sprintf("nn: adjacency must be square, got %dx%d", adj.Rows, adj.Cols))
+	}
+	m := NewMatrix(adj.Rows, adj.Cols)
+	for i := 0; i < adj.Rows; i++ {
+		for j := 0; j < adj.Cols; j++ {
+			if adj.At(i, j) != 0 {
+				m.Set(i, j, 1)
+			}
+		}
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// GATLayer is a single-head Graph Attention layer (Veličković et al.): the
+// §IV-C alternative to GCN. Attention coefficients are computed per edge
+// with a LeakyReLU-activated additive score and normalized by a masked
+// softmax over each node's neighborhood.
+type GATLayer struct {
+	In, Out int
+	Act     Activation
+
+	W  *Matrix // In×Out
+	A1 *Matrix // Out×1: attention weights for the source node
+	A2 *Matrix // Out×1: attention weights for the neighbor node
+
+	gradW  *Matrix
+	gradA1 *Matrix
+	gradA2 *Matrix
+
+	// caches
+	lastMask  *Matrix
+	lastH     *Matrix
+	lastZ     *Matrix
+	lastRaw   *Matrix // unactivated attention scores (only valid on mask)
+	lastAlpha *Matrix
+	lastS     *Matrix // pre-activation aggregate
+	lastY     *Matrix
+}
+
+// NewGATLayer builds a layer with Xavier-initialized parameters.
+func NewGATLayer(rng *rand.Rand, in, out int, act Activation) *GATLayer {
+	l := &GATLayer{
+		In: in, Out: out, Act: act,
+		W: NewMatrix(in, out), A1: NewMatrix(out, 1), A2: NewMatrix(out, 1),
+		gradW: NewMatrix(in, out), gradA1: NewMatrix(out, 1), gradA2: NewMatrix(out, 1),
+	}
+	l.W.XavierInit(rng, in, out)
+	l.A1.XavierInit(rng, out, 1)
+	l.A2.XavierInit(rng, out, 1)
+	return l
+}
+
+// Forward computes the attention aggregation over the self-looped mask.
+func (l *GATLayer) Forward(mask, h *Matrix) *Matrix {
+	if h.Cols != l.In {
+		panic(fmt.Sprintf("nn: gat input features %d, want %d", h.Cols, l.In))
+	}
+	n := h.Rows
+	z := MatMul(h, l.W)
+
+	// Per-node source/neighbor scores.
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s1, s2 float64
+		for c := 0; c < l.Out; c++ {
+			s1 += z.At(i, c) * l.A1.Data[c]
+			s2 += z.At(i, c) * l.A2.Data[c]
+		}
+		src[i] = s1
+		dst[i] = s2
+	}
+
+	raw := NewMatrix(n, n)
+	alpha := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		maxPre := math.Inf(-1)
+		for j := 0; j < n; j++ {
+			if mask.At(i, j) == 0 {
+				continue
+			}
+			r := src[i] + dst[j]
+			raw.Set(i, j, r)
+			pre := leaky(r)
+			if pre > maxPre {
+				maxPre = pre
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			if mask.At(i, j) == 0 {
+				continue
+			}
+			e := math.Exp(leaky(raw.At(i, j)) - maxPre)
+			alpha.Set(i, j, e)
+			sum += e
+		}
+		for j := 0; j < n; j++ {
+			if mask.At(i, j) == 0 {
+				continue
+			}
+			alpha.Set(i, j, alpha.At(i, j)/sum)
+		}
+	}
+
+	s := MatMul(alpha, z)
+	l.lastMask, l.lastH, l.lastZ = mask, h, z
+	l.lastRaw, l.lastAlpha, l.lastS = raw, alpha, s
+	l.lastY = l.Act.apply(s)
+	return l.lastY
+}
+
+func leaky(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return gatLeakySlope * x
+}
+
+func leakyGrad(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return gatLeakySlope
+}
+
+// Backward accumulates parameter gradients and returns dH.
+func (l *GATLayer) Backward(dY *Matrix) *Matrix {
+	if l.lastZ == nil {
+		panic("nn: gat backward before forward")
+	}
+	n := l.lastH.Rows
+	dS := Hadamard(dY, l.Act.gradFactor(l.lastS, l.lastY))
+
+	// dZ from the aggregation: dZ = αᵀ dS.
+	dZ := MatMul(l.lastAlpha.Transpose(), dS)
+
+	// dα_ij = dS_i · Z_j for edges; then masked softmax backward per row.
+	dSrc := make([]float64, n)
+	dDst := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Row dot products.
+		var rowDot float64 // Σ_k α_ik dα_ik
+		dAlphaRow := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if l.lastMask.At(i, j) == 0 {
+				continue
+			}
+			var dot float64
+			for c := 0; c < l.Out; c++ {
+				dot += dS.At(i, c) * l.lastZ.At(j, c)
+			}
+			dAlphaRow[j] = dot
+			rowDot += l.lastAlpha.At(i, j) * dot
+		}
+		for j := 0; j < n; j++ {
+			if l.lastMask.At(i, j) == 0 {
+				continue
+			}
+			dPre := l.lastAlpha.At(i, j) * (dAlphaRow[j] - rowDot)
+			dRaw := dPre * leakyGrad(l.lastRaw.At(i, j))
+			dSrc[i] += dRaw
+			dDst[j] += dRaw
+		}
+	}
+	// Attention-vector gradients and their Z contributions.
+	for i := 0; i < n; i++ {
+		for c := 0; c < l.Out; c++ {
+			l.gradA1.Data[c] += dSrc[i] * l.lastZ.At(i, c)
+			l.gradA2.Data[c] += dDst[i] * l.lastZ.At(i, c)
+			dZ.Data[i*l.Out+c] += dSrc[i]*l.A1.Data[c] + dDst[i]*l.A2.Data[c]
+		}
+	}
+
+	l.gradW.AddInPlace(MatMul(l.lastH.Transpose(), dZ))
+	return MatMul(dZ, l.W.Transpose())
+}
+
+// Params exposes the layer parameters.
+func (l *GATLayer) Params() []Param {
+	return []Param{
+		{Value: l.W, Grad: l.gradW, Name: "gat.W"},
+		{Value: l.A1, Grad: l.gradA1, Name: "gat.A1"},
+		{Value: l.A2, Grad: l.gradA2, Name: "gat.A2"},
+	}
+}
+
+// GAT is a stack of GAT layers, interface-compatible with GCN: Forward
+// takes the self-looped attention mask instead of the normalized
+// propagation operator.
+type GAT struct {
+	layers []*GATLayer
+}
+
+// NewGAT builds numLayers GAT layers mapping inFeatures to embedDim with
+// hiddenDim in between, mirroring NewGCN.
+func NewGAT(rng *rand.Rand, numLayers, inFeatures, hiddenDim, embedDim int) *GAT {
+	g := &GAT{}
+	if numLayers <= 0 {
+		return g
+	}
+	prev := inFeatures
+	for i := 0; i < numLayers; i++ {
+		out := hiddenDim
+		if i == numLayers-1 {
+			out = embedDim
+		}
+		g.layers = append(g.layers, NewGATLayer(rng, prev, out, ReLU))
+		prev = out
+	}
+	return g
+}
+
+// NumLayers returns the number of layers.
+func (g *GAT) NumLayers() int { return len(g.layers) }
+
+// OutFeatures mirrors GCN.OutFeatures.
+func (g *GAT) OutFeatures(inFeatures int) int {
+	if len(g.layers) == 0 {
+		return inFeatures
+	}
+	return g.layers[len(g.layers)-1].Out
+}
+
+// Forward runs all layers over the shared attention mask.
+func (g *GAT) Forward(mask, h *Matrix) *Matrix {
+	for _, l := range g.layers {
+		h = l.Forward(mask, h)
+	}
+	return h
+}
+
+// Backward backpropagates through all layers.
+func (g *GAT) Backward(dY *Matrix) *Matrix {
+	for i := len(g.layers) - 1; i >= 0; i-- {
+		dY = g.layers[i].Backward(dY)
+	}
+	return dY
+}
+
+// Params lists all parameters.
+func (g *GAT) Params() []Param {
+	var ps []Param
+	for _, l := range g.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

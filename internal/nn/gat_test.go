@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gatFixture(t testing.TB) (*GAT, *Matrix, *Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	gat := NewGAT(rng, 2, 4, 6, 2)
+	adj := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if rng.Intn(2) == 0 {
+				adj.Set(i, j, 1)
+				adj.Set(j, i, 1)
+			}
+		}
+	}
+	mask := SelfLoopMask(adj)
+	h := NewMatrix(5, 4)
+	h.XavierInit(rng, 4, 2)
+	return gat, mask, h
+}
+
+func TestSelfLoopMask(t *testing.T) {
+	adj := FromSlice(2, 2, []float64{0, 1, 1, 0})
+	m := SelfLoopMask(adj)
+	want := []float64{1, 1, 1, 1}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("mask = %v, want %v", m.Data, want)
+		}
+	}
+	iso := SelfLoopMask(NewMatrix(1, 1))
+	if iso.Data[0] != 1 {
+		t.Fatal("isolated node must attend to itself")
+	}
+}
+
+func TestGATForwardShapesAndAttentionRows(t *testing.T) {
+	gat, mask, h := gatFixture(t)
+	y := gat.Forward(mask, h)
+	if y.Rows != 5 || y.Cols != 2 {
+		t.Fatalf("output %dx%d, want 5x2", y.Rows, y.Cols)
+	}
+	// Each layer's attention rows must sum to 1 over the mask.
+	for _, layer := range gat.layers {
+		for i := 0; i < 5; i++ {
+			var sum float64
+			for j := 0; j < 5; j++ {
+				a := layer.lastAlpha.At(i, j)
+				if mask.At(i, j) == 0 && a != 0 {
+					t.Fatalf("attention leaked outside the mask at (%d,%d)", i, j)
+				}
+				if a < 0 {
+					t.Fatalf("negative attention at (%d,%d)", i, j)
+				}
+				sum += a
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("attention row %d sums to %v", i, sum)
+			}
+		}
+	}
+}
+
+func TestGATGradientMatchesFiniteDifference(t *testing.T) {
+	gat, mask, h := gatFixture(t)
+	loss := func() float64 {
+		y := gat.Forward(mask, h)
+		var s float64
+		for i, v := range y.Data {
+			s += v * v * float64(i%3+1)
+		}
+		return s
+	}
+	numeric := numericalGrad(gat.Params(), loss)
+	ZeroGrads(gat.Params())
+	y := gat.Forward(mask, h)
+	dY := NewMatrix(y.Rows, y.Cols)
+	for i, v := range y.Data {
+		dY.Data[i] = 2 * v * float64(i%3+1)
+	}
+	gat.Backward(dY)
+	// ReLU/LeakyReLU kinks: modest tolerance.
+	assertGradsClose(t, gat.Params(), numeric, 1e-4)
+}
+
+func TestGATInputGradientMatchesFiniteDifference(t *testing.T) {
+	gat, mask, h := gatFixture(t)
+	loss := func() float64 {
+		y := gat.Forward(mask, h)
+		var s float64
+		for i, v := range y.Data {
+			s += v * float64(i+1)
+		}
+		return s
+	}
+	ZeroGrads(gat.Params())
+	y := gat.Forward(mask, h)
+	dY := NewMatrix(y.Rows, y.Cols)
+	for i := range dY.Data {
+		dY.Data[i] = float64(i + 1)
+	}
+	dH := gat.Backward(dY)
+	const eps = 1e-6
+	for j := range h.Data {
+		orig := h.Data[j]
+		h.Data[j] = orig + eps
+		up := loss()
+		h.Data[j] = orig - eps
+		down := loss()
+		h.Data[j] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(dH.Data[j]-numeric) > 1e-4*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("dH[%d] = %v, numeric %v", j, dH.Data[j], numeric)
+		}
+	}
+}
+
+func TestGATZeroLayersIdentity(t *testing.T) {
+	gat := NewGAT(rand.New(rand.NewSource(1)), 0, 3, 4, 2)
+	if gat.NumLayers() != 0 || gat.OutFeatures(3) != 3 {
+		t.Fatal("zero-layer GAT should be identity-shaped")
+	}
+	h := FromSlice(1, 3, []float64{1, 2, 3})
+	y := gat.Forward(SelfLoopMask(NewMatrix(1, 1)), h)
+	for i := range h.Data {
+		if y.Data[i] != h.Data[i] {
+			t.Fatal("identity violated")
+		}
+	}
+	if gat.Params() != nil {
+		t.Fatal("identity GAT has no params")
+	}
+}
+
+func TestGATDeterministic(t *testing.T) {
+	gat, mask, h := gatFixture(t)
+	y1 := gat.Forward(mask, h).Clone()
+	y2 := gat.Forward(mask, h)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("GAT forward not deterministic")
+		}
+	}
+}

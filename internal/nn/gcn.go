@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NormalizeAdjacency computes Ŝ = D^{-1/2}(A + I)D^{-1/2}, the symmetric
+// renormalized propagation operator of Eq. 4 (Kipf & Welling), where D is
+// the degree matrix of the self-connected adjacency A + I.
+func NormalizeAdjacency(adj *Matrix) *Matrix {
+	if adj.Rows != adj.Cols {
+		panic(fmt.Sprintf("nn: adjacency must be square, got %dx%d", adj.Rows, adj.Cols))
+	}
+	n := adj.Rows
+	s := adj.Clone()
+	for i := 0; i < n; i++ {
+		s.Data[i*n+i]++ // A + I
+	}
+	dInvSqrt := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var deg float64
+		for j := 0; j < n; j++ {
+			deg += s.Data[i*n+j]
+		}
+		dInvSqrt[i] = 1 / math.Sqrt(deg) // deg >= 1 thanks to self loop
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Data[i*n+j] *= dInvSqrt[i] * dInvSqrt[j]
+		}
+	}
+	return s
+}
+
+// GCNLayer implements one layer of Eq. 4: H' = σ(Ŝ H W). The propagation
+// operator Ŝ varies per observation (the topology changes every step), so
+// it is an input to Forward rather than a layer parameter.
+type GCNLayer struct {
+	In, Out int
+	Act     Activation
+
+	W     *Matrix
+	gradW *Matrix
+
+	lastS  *Matrix // Ŝ
+	lastSH *Matrix // Ŝ H
+	lastZ  *Matrix
+	lastY  *Matrix
+}
+
+// NewGCNLayer builds a GCN layer with Xavier-initialized weights.
+func NewGCNLayer(rng *rand.Rand, in, out int, act Activation) *GCNLayer {
+	l := &GCNLayer{
+		In: in, Out: out, Act: act,
+		W: NewMatrix(in, out), gradW: NewMatrix(in, out),
+	}
+	l.W.XavierInit(rng, in, out)
+	return l
+}
+
+// Forward computes σ(Ŝ H W) and caches intermediates for Backward.
+func (l *GCNLayer) Forward(sHat, h *Matrix) *Matrix {
+	if h.Cols != l.In {
+		panic(fmt.Sprintf("nn: gcn input features %d, want %d", h.Cols, l.In))
+	}
+	sh := MatMul(sHat, h)
+	z := MatMul(sh, l.W)
+	l.lastS = sHat
+	l.lastSH = sh
+	l.lastZ = z
+	l.lastY = l.Act.apply(z)
+	return l.lastY
+}
+
+// Backward accumulates dW and returns dH, the gradient with respect to the
+// input node features. Ŝ is symmetric, so dH = Ŝ (dZ Wᵀ).
+func (l *GCNLayer) Backward(dY *Matrix) *Matrix {
+	if l.lastSH == nil {
+		panic("nn: gcn backward before forward")
+	}
+	dZ := Hadamard(dY, l.Act.gradFactor(l.lastZ, l.lastY))
+	l.gradW.AddInPlace(MatMul(l.lastSH.Transpose(), dZ))
+	return MatMul(l.lastS, MatMul(dZ, l.W.Transpose()))
+}
+
+// Params exposes the layer weight to the optimizer.
+func (l *GCNLayer) Params() []Param {
+	return []Param{{Value: l.W, Grad: l.gradW, Name: "gcn.W"}}
+}
+
+// GCN is a stack of GCN layers over a per-observation propagation operator.
+// A zero-layer GCN is the identity on the node features (the GCN-0 setup of
+// the sensitivity test, Fig. 5a).
+type GCN struct {
+	layers []*GCNLayer
+}
+
+// NewGCN builds `numLayers` GCN layers mapping the input feature dimension
+// to embedDim node features, with hiddenDim features in between. ReLU is
+// used on hidden layers and on the final layer, matching the standard
+// Kipf-Welling construction.
+func NewGCN(rng *rand.Rand, numLayers, inFeatures, hiddenDim, embedDim int) *GCN {
+	g := &GCN{}
+	if numLayers <= 0 {
+		return g
+	}
+	prev := inFeatures
+	for i := 0; i < numLayers; i++ {
+		out := hiddenDim
+		if i == numLayers-1 {
+			out = embedDim
+		}
+		g.layers = append(g.layers, NewGCNLayer(rng, prev, out, ReLU))
+		prev = out
+	}
+	return g
+}
+
+// NumLayers returns the number of GCN layers.
+func (g *GCN) NumLayers() int { return len(g.layers) }
+
+// OutFeatures returns the per-node output feature dimension for the given
+// input feature dimension (identity when the GCN has no layers).
+func (g *GCN) OutFeatures(inFeatures int) int {
+	if len(g.layers) == 0 {
+		return inFeatures
+	}
+	return g.layers[len(g.layers)-1].Out
+}
+
+// Forward runs all layers over the propagation operator sHat.
+func (g *GCN) Forward(sHat, h *Matrix) *Matrix {
+	for _, l := range g.layers {
+		h = l.Forward(sHat, h)
+	}
+	return h
+}
+
+// Backward backpropagates through all layers and returns the gradient with
+// respect to the input features.
+func (g *GCN) Backward(dY *Matrix) *Matrix {
+	for i := len(g.layers) - 1; i >= 0; i-- {
+		dY = g.layers[i].Backward(dY)
+	}
+	return dY
+}
+
+// Params lists all layer weights.
+func (g *GCN) Params() []Param {
+	var ps []Param
+	for _, l := range g.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,274 @@
+// Package nn is a small, dependency-free neural-network library built for
+// NPTSN: dense layers, graph convolutional layers (Eq. 4 of the paper),
+// ReLU/Tanh activations, masked softmax policies and the Adam optimizer,
+// all with explicit (manual) backpropagation. It substitutes for the
+// PyTorch stack used by the original implementation; gradients are
+// verified against finite differences in the tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a matrix; the slice is used directly.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("nn: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// shapeEqual panics unless a and b have identical shapes.
+func shapeEqual(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// AddInPlace adds b element-wise into m.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	shapeEqual("add", m, b)
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies all elements by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// MatMul returns a×b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a⊙b.
+func Hadamard(a, b *Matrix) *Matrix {
+	shapeEqual("hadamard", a, b)
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Flatten returns the matrix reshaped into a single row vector (a view
+// copy, not aliased).
+func (m *Matrix) Flatten() *Matrix {
+	out := NewMatrix(1, m.Rows*m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Reshape returns a copy with the new shape; the element count must match.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows*cols != len(m.Data) {
+		panic(fmt.Sprintf("nn: cannot reshape %dx%d to %dx%d", m.Rows, m.Cols, rows, cols))
+	}
+	out := NewMatrix(rows, cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// ConcatCols horizontally concatenates row vectors or equal-row matrices.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return NewMatrix(0, 0)
+	}
+	rows := ms[0].Rows
+	total := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("nn: concat rows %d vs %d", m.Rows, rows))
+		}
+		total += m.Cols
+	}
+	out := NewMatrix(rows, total)
+	for r := 0; r < rows; r++ {
+		off := 0
+		for _, m := range ms {
+			copy(out.Data[r*total+off:r*total+off+m.Cols], m.Data[r*m.Cols:(r+1)*m.Cols])
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// XavierInit fills m with Glorot-uniform values for a layer with the given
+// fan-in and fan-out, using the provided RNG for determinism.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Norm returns the Frobenius norm.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Param couples a parameter matrix with its gradient accumulator; the Adam
+// optimizer walks a []Param.
+type Param struct {
+	Value *Matrix
+	Grad  *Matrix
+	Name  string
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(ps []Param) {
+	for _, p := range ps {
+		p.Grad.Zero()
+	}
+}
+
+// ScaleGrads multiplies all gradients by s (used for minibatch averaging
+// and multi-worker gradient averaging).
+func ScaleGrads(ps []Param, s float64) {
+	for _, p := range ps {
+		p.Grad.ScaleInPlace(s)
+	}
+}
+
+// AddGrads accumulates src gradients into dst (parameter lists must come
+// from identically shaped networks). It implements the distributed gradient
+// sum of the parallel training scheme (§IV-C).
+func AddGrads(dst, src []Param) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: grad list length %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i].Grad.AddInPlace(src[i].Grad)
+	}
+}
+
+// CopyParams copies parameter values from src into dst, synchronizing
+// worker replicas after a global update.
+func CopyParams(dst, src []Param) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: param list length %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		shapeEqual("copy", dst[i].Value, src[i].Value)
+		copy(dst[i].Value.Data, src[i].Value.Data)
+	}
+}
+
+// GlobalGradNorm returns the L2 norm across all gradients.
+func GlobalGradNorm(ps []Param) float64 {
+	var s float64
+	for _, p := range ps {
+		for _, v := range p.Grad.Data {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrads rescales gradients so their global norm is at most maxNorm.
+func ClipGrads(ps []Param, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	n := GlobalGradNorm(ps)
+	if n > maxNorm {
+		ScaleGrads(ps, maxNorm/n)
+	}
+}
+
+// ExportWeights snapshots parameter values into plain float64 slices (one
+// per parameter, row-major), suitable for JSON persistence.
+func ExportWeights(ps []Param) [][]float64 {
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float64(nil), p.Value.Data...)
+	}
+	return out
+}
+
+// ImportWeights restores parameter values from an ExportWeights snapshot.
+// The snapshot must come from an identically shaped network.
+func ImportWeights(ps []Param, data [][]float64) error {
+	if len(ps) != len(data) {
+		return fmt.Errorf("nn: weight snapshot has %d tensors, network has %d", len(data), len(ps))
+	}
+	for i, p := range ps {
+		if len(p.Value.Data) != len(data[i]) {
+			return fmt.Errorf("nn: tensor %d has %d values, network expects %d", i, len(data[i]), len(p.Value.Data))
+		}
+		copy(p.Value.Data, data[i])
+	}
+	return nil
+}

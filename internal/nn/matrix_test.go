@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, -2)
+	if m.At(0, 1) != 5 || m.At(1, 2) != -2 || m.At(0, 0) != 0 {
+		t.Fatal("At/Set wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+	m.Zero()
+	if m.At(0, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("shape %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(0, 1) != 4 || at.At(2, 0) != 3 {
+		t.Fatalf("Transpose wrong: %v", at.Data)
+	}
+}
+
+func TestHadamardAndAddScale(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	h := Hadamard(a, b)
+	if h.Data[0] != 4 || h.Data[2] != 18 {
+		t.Fatalf("Hadamard = %v", h.Data)
+	}
+	a.AddInPlace(b)
+	if a.Data[1] != 7 {
+		t.Fatalf("AddInPlace = %v", a.Data)
+	}
+	a.ScaleInPlace(2)
+	if a.Data[0] != 10 {
+		t.Fatalf("ScaleInPlace = %v", a.Data)
+	}
+}
+
+func TestFlattenReshapeConcat(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	f := a.Flatten()
+	if f.Rows != 1 || f.Cols != 4 || f.Data[3] != 4 {
+		t.Fatalf("Flatten = %+v", f)
+	}
+	r := f.Reshape(2, 2)
+	if r.At(1, 0) != 3 {
+		t.Fatalf("Reshape wrong")
+	}
+	c := ConcatCols(FromSlice(1, 2, []float64{1, 2}), FromSlice(1, 3, []float64{3, 4, 5}))
+	if c.Cols != 5 || c.Data[4] != 5 {
+		t.Fatalf("ConcatCols = %+v", c)
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(50, 50)
+	m.XavierInit(rng, 50, 50)
+	limit := math.Sqrt(6.0 / 100.0)
+	var nonzero int
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("value %v outside Xavier limit %v", v, limit)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 2000 {
+		t.Fatal("init looks degenerate")
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	mk := func() []Param {
+		return []Param{
+			{Value: FromSlice(1, 2, []float64{1, 2}), Grad: FromSlice(1, 2, []float64{3, 4})},
+		}
+	}
+	ps := mk()
+	ZeroGrads(ps)
+	if ps[0].Grad.Data[0] != 0 {
+		t.Fatal("ZeroGrads failed")
+	}
+	ps = mk()
+	ScaleGrads(ps, 0.5)
+	if ps[0].Grad.Data[1] != 2 {
+		t.Fatal("ScaleGrads failed")
+	}
+	dst, src := mk(), mk()
+	AddGrads(dst, src)
+	if dst[0].Grad.Data[0] != 6 {
+		t.Fatal("AddGrads failed")
+	}
+	CopyParams(dst, []Param{{Value: FromSlice(1, 2, []float64{9, 9}), Grad: NewMatrix(1, 2)}})
+	if dst[0].Value.Data[0] != 9 {
+		t.Fatal("CopyParams failed")
+	}
+	if n := GlobalGradNorm(mk()); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("GlobalGradNorm = %v, want 5", n)
+	}
+	ps = mk()
+	ClipGrads(ps, 1)
+	if n := GlobalGradNorm(ps); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("clipped norm = %v, want 1", n)
+	}
+	ps = mk()
+	ClipGrads(ps, 100) // below threshold: unchanged
+	if ps[0].Grad.Data[0] != 3 {
+		t.Fatal("ClipGrads should not scale below the threshold")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = ||w - target||^2 with Adam.
+	w := FromSlice(1, 3, []float64{5, -3, 2})
+	g := NewMatrix(1, 3)
+	target := []float64{1, 2, 3}
+	ps := []Param{{Value: w, Grad: g}}
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		ZeroGrads(ps)
+		for j := range target {
+			g.Data[j] = 2 * (w.Data[j] - target[j])
+		}
+		opt.Step(ps)
+	}
+	for j := range target {
+		if math.Abs(w.Data[j]-target[j]) > 1e-3 {
+			t.Fatalf("Adam did not converge: w=%v", w.Data)
+		}
+	}
+	if opt.Steps() != 500 {
+		t.Fatalf("Steps = %d", opt.Steps())
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NegInf is the logit value used to disable masked actions: exp(-inf) = 0,
+// so masked actions receive zero probability (the Apply_Mask of
+// Algorithm 2, line 6).
+var NegInf = math.Inf(-1)
+
+// MaskLogits returns a copy of logits with masked-out entries (mask[i] ==
+// false) set to -inf. The caller keeps the original logits for the PPO
+// buffer (Algorithm 2, line 17 stores the unmasked policy).
+func MaskLogits(logits []float64, mask []bool) []float64 {
+	if len(logits) != len(mask) {
+		panic(fmt.Sprintf("nn: %d logits vs %d mask bits", len(logits), len(mask)))
+	}
+	out := make([]float64, len(logits))
+	for i, l := range logits {
+		if mask[i] {
+			out[i] = l
+		} else {
+			out[i] = NegInf
+		}
+	}
+	return out
+}
+
+// LogSoftmax computes numerically stable log-probabilities. Entries at -inf
+// stay -inf. It panics if every entry is -inf.
+func LogSoftmax(logits []float64) []float64 {
+	maxL := NegInf
+	for _, l := range logits {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if math.IsInf(maxL, -1) {
+		panic("nn: log-softmax over fully masked logits")
+	}
+	var sum float64
+	for _, l := range logits {
+		if !math.IsInf(l, -1) {
+			sum += math.Exp(l - maxL)
+		}
+	}
+	logZ := maxL + math.Log(sum)
+	out := make([]float64, len(logits))
+	for i, l := range logits {
+		if math.IsInf(l, -1) {
+			out[i] = NegInf
+		} else {
+			out[i] = l - logZ
+		}
+	}
+	return out
+}
+
+// Softmax computes probabilities from logits (masked entries get 0).
+func Softmax(logits []float64) []float64 {
+	lp := LogSoftmax(logits)
+	out := make([]float64, len(lp))
+	for i, l := range lp {
+		if math.IsInf(l, -1) {
+			out[i] = 0
+		} else {
+			out[i] = math.Exp(l)
+		}
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the categorical distribution given
+// by probs using rng. Probabilities must sum to ~1; the last positive entry
+// absorbs rounding error.
+func SampleCategorical(rng *rand.Rand, probs []float64) int {
+	r := rng.Float64()
+	var cum float64
+	last := -1
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		last = i
+		cum += p
+		if r < cum {
+			return i
+		}
+	}
+	if last == -1 {
+		panic("nn: sampling from all-zero distribution")
+	}
+	return last
+}
+
+// Argmax returns the index of the largest value (first on ties).
+func Argmax(xs []float64) int {
+	best, bestV := -1, NegInf
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Entropy computes the Shannon entropy of a probability vector in nats.
+func Entropy(probs []float64) float64 {
+	var h float64
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// LogSoftmaxGrad returns the gradient of logProbs[action] with respect to
+// the (masked) logits: e_a − softmax(logits). Masked entries get zero
+// gradient, so fully disabled actions never receive updates.
+func LogSoftmaxGrad(logits []float64, action int) []float64 {
+	probs := Softmax(logits)
+	g := make([]float64, len(logits))
+	for i, p := range probs {
+		if math.IsInf(logits[i], -1) {
+			g[i] = 0
+			continue
+		}
+		g[i] = -p
+	}
+	g[action]++
+	return g
+}

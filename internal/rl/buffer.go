@@ -1,0 +1,155 @@
+// Package rl implements the reinforcement-learning machinery of NPTSN's
+// decision maker (§IV-C): a trajectory buffer with GAE-λ advantage
+// estimation, the PPO-clip policy update (Eq. 5) and the critic regression,
+// over an abstract actor-critic network. It corresponds to the SpinningUp
+// PPO implementation the paper builds on.
+package rl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Observation is an opaque environment observation. The actor-critic
+// implementation interprets it; the RL core only stores it.
+type Observation interface{}
+
+// Step is one buffered environment interaction (Algorithm 2, line 17).
+type Step struct {
+	// Obs is the observation the action was chosen from.
+	Obs Observation
+	// Action is the sampled action index.
+	Action int
+	// Mask is the action mask in effect (true = selectable).
+	Mask []bool
+	// LogP is the log-probability of Action under the masked behavior
+	// policy at collection time.
+	LogP float64
+	// Value is the critic's value estimate at collection time.
+	Value float64
+	// Reward is the immediate (scaled) reward.
+	Reward float64
+}
+
+// Buffer accumulates trajectories for one epoch and computes GAE-λ
+// advantages and reward-to-go targets when paths finish.
+type Buffer struct {
+	gamma, lam float64
+
+	steps     []Step
+	adv       []float64
+	ret       []float64
+	pathStart int
+}
+
+// NewBuffer creates a buffer with the given discount factor γ and GAE λ.
+func NewBuffer(gamma, lam float64) *Buffer {
+	return &Buffer{gamma: gamma, lam: lam}
+}
+
+// Store appends one step to the current path.
+func (b *Buffer) Store(s Step) {
+	b.steps = append(b.steps, s)
+	b.adv = append(b.adv, 0)
+	b.ret = append(b.ret, 0)
+}
+
+// FinishPath closes the current trajectory. lastValue bootstraps the value
+// of the state after the final step: zero when the episode terminated, the
+// critic estimate when the path was cut off by the epoch boundary.
+func (b *Buffer) FinishPath(lastValue float64) {
+	path := b.steps[b.pathStart:]
+	n := len(path)
+	if n == 0 {
+		return
+	}
+	// GAE-λ: δ_t = r_t + γ V_{t+1} − V_t; A_t = Σ (γλ)^k δ_{t+k}.
+	gae := 0.0
+	nextValue := lastValue
+	for i := n - 1; i >= 0; i-- {
+		delta := path[i].Reward + b.gamma*nextValue - path[i].Value
+		gae = delta + b.gamma*b.lam*gae
+		b.adv[b.pathStart+i] = gae
+		nextValue = path[i].Value
+	}
+	// Rewards-to-go (bootstrapped) as the value regression target.
+	run := lastValue
+	for i := n - 1; i >= 0; i-- {
+		run = path[i].Reward + b.gamma*run
+		b.ret[b.pathStart+i] = run
+	}
+	b.pathStart = len(b.steps)
+}
+
+// Len returns the number of stored steps.
+func (b *Buffer) Len() int { return len(b.steps) }
+
+// Reset clears the buffer for the next epoch.
+func (b *Buffer) Reset() {
+	b.steps = b.steps[:0]
+	b.adv = b.adv[:0]
+	b.ret = b.ret[:0]
+	b.pathStart = 0
+}
+
+// Merge appends the finished contents of other into b (multi-worker
+// exploration: updating on the merged batch equals averaging per-worker
+// gradients). The other buffer must have all paths finished.
+func (b *Buffer) Merge(other *Buffer) error {
+	if other.pathStart != len(other.steps) {
+		return fmt.Errorf("rl: merging buffer with an unfinished path")
+	}
+	b.steps = append(b.steps, other.steps...)
+	b.adv = append(b.adv, other.adv...)
+	b.ret = append(b.ret, other.ret...)
+	b.pathStart = len(b.steps)
+	return nil
+}
+
+// Batch returns the collected steps with normalized advantages
+// (zero mean, unit variance — the standard PPO trick) and value targets.
+// All paths must be finished.
+func (b *Buffer) Batch() ([]Step, []float64, []float64, error) {
+	if b.pathStart != len(b.steps) {
+		return nil, nil, nil, fmt.Errorf("rl: batch requested with an unfinished path")
+	}
+	n := len(b.steps)
+	if n == 0 {
+		return nil, nil, nil, fmt.Errorf("rl: empty buffer")
+	}
+	mean := 0.0
+	for _, a := range b.adv {
+		mean += a
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, a := range b.adv {
+		variance += (a - mean) * (a - mean)
+	}
+	std := math.Sqrt(variance / float64(n))
+	if std < 1e-8 {
+		std = 1e-8
+	}
+	adv := make([]float64, n)
+	for i, a := range b.adv {
+		adv[i] = (a - mean) / std
+	}
+	ret := append([]float64(nil), b.ret...)
+	return b.steps, adv, ret, nil
+}
+
+// EpochReward returns the mean total reward per finished trajectory, the
+// quantity plotted in the sensitivity figures (Fig. 5). Trajectories are
+// delimited implicitly: with all paths finished, the undiscounted sum of
+// rewards divided by the number of FinishPath calls would require extra
+// bookkeeping, so the buffer records path boundaries.
+func (b *Buffer) EpochReward(paths int) float64 {
+	if paths <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range b.steps {
+		sum += s.Reward
+	}
+	return sum / float64(paths)
+}

@@ -1,0 +1,140 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBufferGAEHandComputed(t *testing.T) {
+	b := NewBuffer(0.9, 0.8)
+	// Two steps: r=[1,2], V=[0.5, 0.6], terminal (lastValue 0).
+	b.Store(Step{Reward: 1, Value: 0.5})
+	b.Store(Step{Reward: 2, Value: 0.6})
+	b.FinishPath(0)
+
+	// δ1 = 2 + 0.9*0 − 0.6 = 1.4 ; A1 = 1.4
+	// δ0 = 1 + 0.9*0.6 − 0.5 = 1.04 ; A0 = 1.04 + 0.9*0.8*1.4 = 2.048
+	// ret1 = 2 ; ret0 = 1 + 0.9*2 = 2.8
+	wantAdv := []float64{2.048, 1.4}
+	wantRet := []float64{2.8, 2}
+	for i := range wantAdv {
+		if math.Abs(b.adv[i]-wantAdv[i]) > 1e-12 {
+			t.Fatalf("adv[%d] = %v, want %v", i, b.adv[i], wantAdv[i])
+		}
+		if math.Abs(b.ret[i]-wantRet[i]) > 1e-12 {
+			t.Fatalf("ret[%d] = %v, want %v", i, b.ret[i], wantRet[i])
+		}
+	}
+}
+
+func TestBufferBootstrapValue(t *testing.T) {
+	b := NewBuffer(1.0, 1.0)
+	b.Store(Step{Reward: 1, Value: 0})
+	b.FinishPath(10) // cut-off path bootstraps V=10
+	if math.Abs(b.ret[0]-11) > 1e-12 {
+		t.Fatalf("ret = %v, want 11", b.ret[0])
+	}
+	if math.Abs(b.adv[0]-11) > 1e-12 {
+		t.Fatalf("adv = %v, want 11", b.adv[0])
+	}
+}
+
+func TestBufferMultiplePaths(t *testing.T) {
+	b := NewBuffer(1.0, 1.0)
+	b.Store(Step{Reward: 1, Value: 0})
+	b.FinishPath(0)
+	b.Store(Step{Reward: 5, Value: 0})
+	b.FinishPath(0)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	// Paths are independent: second path's return is 5, not 6.
+	if b.ret[1] != 5 || b.ret[0] != 1 {
+		t.Fatalf("ret = %v", b.ret)
+	}
+	if r := b.EpochReward(2); r != 3 {
+		t.Fatalf("EpochReward = %v, want 3", r)
+	}
+	if r := b.EpochReward(0); r != 0 {
+		t.Fatalf("EpochReward(0 paths) = %v, want 0", r)
+	}
+}
+
+func TestBufferBatchNormalizesAdvantages(t *testing.T) {
+	b := NewBuffer(0.99, 0.97)
+	for i := 0; i < 10; i++ {
+		b.Store(Step{Reward: float64(i), Value: 0})
+		b.FinishPath(0)
+	}
+	_, adv, _, err := b.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, variance float64
+	for _, a := range adv {
+		mean += a
+	}
+	mean /= float64(len(adv))
+	for _, a := range adv {
+		variance += (a - mean) * (a - mean)
+	}
+	variance /= float64(len(adv))
+	if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-6 {
+		t.Fatalf("normalized adv: mean %v var %v", mean, variance)
+	}
+}
+
+func TestBufferBatchErrors(t *testing.T) {
+	b := NewBuffer(0.99, 0.97)
+	if _, _, _, err := b.Batch(); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	b.Store(Step{Reward: 1})
+	if _, _, _, err := b.Batch(); err == nil {
+		t.Error("unfinished path accepted")
+	}
+}
+
+func TestBufferMerge(t *testing.T) {
+	a := NewBuffer(1, 1)
+	a.Store(Step{Reward: 1, Value: 0})
+	a.FinishPath(0)
+	b := NewBuffer(1, 1)
+	b.Store(Step{Reward: 2, Value: 0})
+	b.FinishPath(0)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 || a.ret[1] != 2 {
+		t.Fatalf("merge wrong: len=%d ret=%v", a.Len(), a.ret)
+	}
+
+	c := NewBuffer(1, 1)
+	c.Store(Step{Reward: 3})
+	if err := a.Merge(c); err == nil {
+		t.Error("merging unfinished buffer accepted")
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(1, 1)
+	b.Store(Step{Reward: 1})
+	b.FinishPath(0)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	b.Store(Step{Reward: 2, Value: 0})
+	b.FinishPath(0)
+	if b.ret[0] != 2 {
+		t.Fatal("buffer unusable after Reset")
+	}
+}
+
+func TestFinishPathEmptyIsNoOp(t *testing.T) {
+	b := NewBuffer(1, 1)
+	b.FinishPath(0)
+	if b.Len() != 0 {
+		t.Fatal("empty FinishPath should not add steps")
+	}
+}

@@ -1,0 +1,205 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// ActorCritic abstracts the GCN+MLP networks of Fig. 3. The policy and
+// value heads share the GCN trunk; each head exposes its own parameter list
+// (trunk parameters appear in both, matching "the weights of the GCN are
+// updated twice", §IV-C) and its own forward/backward pair.
+type ActorCritic interface {
+	// ForwardPolicy computes raw (unmasked) action logits for obs and
+	// caches activations for BackwardPolicy.
+	ForwardPolicy(obs Observation) []float64
+	// BackwardPolicy accumulates policy-head gradients for the upstream
+	// logit gradient.
+	BackwardPolicy(dLogits []float64)
+	// PolicyParams lists trunk + actor-head parameters.
+	PolicyParams() []nn.Param
+
+	// ForwardValue computes the value estimate for obs and caches
+	// activations for BackwardValue.
+	ForwardValue(obs Observation) float64
+	// BackwardValue accumulates value-head gradients.
+	BackwardValue(dValue float64)
+	// ValueParams lists trunk + critic-head parameters.
+	ValueParams() []nn.Param
+}
+
+// PPOConfig collects the update hyperparameters (Table II plus the
+// SpinningUp defaults for iteration counts).
+type PPOConfig struct {
+	// ClipRatio is ε of Eq. 5.
+	ClipRatio float64
+	// ActorLR / CriticLR are the Adam learning rates.
+	ActorLR  float64
+	CriticLR float64
+	// TrainPiIters / TrainVIters are gradient steps per epoch.
+	TrainPiIters int
+	TrainVIters  int
+	// TargetKL triggers early stopping of policy iterations when the
+	// sample KL estimate exceeds 1.5×TargetKL (SpinningUp convention).
+	TargetKL float64
+	// MaxGradNorm clips gradients when positive.
+	MaxGradNorm float64
+}
+
+// DefaultPPOConfig returns the paper defaults: clip ratio 0.2, actor LR
+// 3e-4, critic LR 1e-3, with SpinningUp's 80/80 iteration counts and 0.01
+// target KL.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		ClipRatio:    0.2,
+		ActorLR:      3e-4,
+		CriticLR:     1e-3,
+		TrainPiIters: 80,
+		TrainVIters:  80,
+		TargetKL:     0.01,
+	}
+}
+
+// Validate checks the configuration.
+func (c PPOConfig) Validate() error {
+	if c.ClipRatio <= 0 || c.ClipRatio >= 1 {
+		return fmt.Errorf("ppo: clip ratio %v must be in (0,1)", c.ClipRatio)
+	}
+	if c.ActorLR <= 0 || c.CriticLR <= 0 {
+		return fmt.Errorf("ppo: learning rates must be positive")
+	}
+	if c.TrainPiIters <= 0 || c.TrainVIters <= 0 {
+		return fmt.Errorf("ppo: iteration counts must be positive")
+	}
+	return nil
+}
+
+// UpdateStats reports what one PPO update did.
+type UpdateStats struct {
+	PolicyLoss   float64
+	ValueLoss    float64
+	ApproxKL     float64
+	Entropy      float64
+	ClipFraction float64
+	PiIters      int
+	EarlyStopped bool
+}
+
+// PPO owns the two Adam optimizers and performs epoch updates
+// (Algorithm 2, lines 19–21).
+type PPO struct {
+	cfg       PPOConfig
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+}
+
+// NewPPO builds a PPO updater.
+func NewPPO(cfg PPOConfig) (*PPO, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &PPO{
+		cfg:       cfg,
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+	}, nil
+}
+
+// Update performs one epoch's gradient updates from the buffered data:
+// gradient ascent on the PPO-clip objective for GCN+actor, gradient descent
+// on the value MSE for GCN+critic.
+func (p *PPO) Update(ac ActorCritic, buf *Buffer) (UpdateStats, error) {
+	steps, adv, ret, err := buf.Batch()
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	n := float64(len(steps))
+	var stats UpdateStats
+
+	// Policy iterations.
+	for iter := 0; iter < p.cfg.TrainPiIters; iter++ {
+		nn.ZeroGrads(ac.PolicyParams())
+		var loss, kl, entropy, clipped float64
+		for i, s := range steps {
+			logits := ac.ForwardPolicy(s.Obs)
+			masked := nn.MaskLogits(logits, s.Mask)
+			logp := nn.LogSoftmax(masked)[s.Action]
+			ratio := math.Exp(logp - s.LogP)
+
+			a := adv[i]
+			clipLo, clipHi := 1-p.cfg.ClipRatio, 1+p.cfg.ClipRatio
+			unclipped := ratio * a
+			clampedRatio := math.Min(math.Max(ratio, clipLo), clipHi)
+			obj := math.Min(unclipped, clampedRatio*a)
+			loss += -obj
+			kl += s.LogP - logp
+			entropy += nn.Entropy(nn.Softmax(masked))
+
+			// Gradient of -obj w.r.t. logp: active only when the
+			// unclipped branch is selected.
+			var dObjDLogp float64
+			if (a >= 0 && ratio <= clipHi) || (a < 0 && ratio >= clipLo) {
+				dObjDLogp = ratio * a
+			} else {
+				clipped++
+			}
+			if dObjDLogp != 0 {
+				gLogits := nn.LogSoftmaxGrad(masked, s.Action)
+				dLogits := make([]float64, len(gLogits))
+				scale := -dObjDLogp / n // minimize loss = -mean(obj)
+				for j, g := range gLogits {
+					dLogits[j] = scale * g
+				}
+				ac.BackwardPolicy(dLogits)
+			}
+		}
+		stats.PolicyLoss = loss / n
+		stats.ApproxKL = kl / n
+		stats.Entropy = entropy / n
+		stats.ClipFraction = clipped / n
+		stats.PiIters = iter + 1
+		if p.cfg.TargetKL > 0 && stats.ApproxKL > 1.5*p.cfg.TargetKL {
+			stats.EarlyStopped = true
+			break
+		}
+		if p.cfg.MaxGradNorm > 0 {
+			nn.ClipGrads(ac.PolicyParams(), p.cfg.MaxGradNorm)
+		}
+		p.actorOpt.Step(ac.PolicyParams())
+	}
+
+	// Value iterations.
+	for iter := 0; iter < p.cfg.TrainVIters; iter++ {
+		nn.ZeroGrads(ac.ValueParams())
+		var loss float64
+		for i, s := range steps {
+			v := ac.ForwardValue(s.Obs)
+			diff := v - ret[i]
+			loss += diff * diff
+			ac.BackwardValue(2 * diff / n)
+		}
+		stats.ValueLoss = loss / n
+		if p.cfg.MaxGradNorm > 0 {
+			nn.ClipGrads(ac.ValueParams(), p.cfg.MaxGradNorm)
+		}
+		p.criticOpt.Step(ac.ValueParams())
+	}
+	return stats, nil
+}
+
+// RewardScaler maps raw rewards into a small range by dividing by Scale
+// (the reward scaling factor of Table II, 10^3), keeping gradients away
+// from saturation (§IV-C "Reward Design").
+type RewardScaler struct {
+	Scale float64
+}
+
+// Apply scales a raw reward.
+func (r RewardScaler) Apply(raw float64) float64 {
+	if r.Scale == 0 {
+		return raw
+	}
+	return raw / r.Scale
+}

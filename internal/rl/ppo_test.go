@@ -1,0 +1,237 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// testAC is a minimal actor-critic over nn.Matrix observations, used to
+// exercise PPO end to end on a toy problem.
+type testAC struct {
+	actor  *nn.MLP
+	critic *nn.MLP
+}
+
+var _ ActorCritic = (*testAC)(nil)
+
+func newTestAC(rng *rand.Rand, obsDim, nActions int) *testAC {
+	return &testAC{
+		actor:  nn.NewMLP(rng, obsDim, []int{16}, nActions, nn.Tanh),
+		critic: nn.NewMLP(rng, obsDim, []int{16}, 1, nn.Tanh),
+	}
+}
+
+func (t *testAC) ForwardPolicy(obs Observation) []float64 {
+	x := obs.(*nn.Matrix)
+	return append([]float64(nil), t.actor.Forward(x).Data...)
+}
+
+func (t *testAC) BackwardPolicy(dLogits []float64) {
+	t.actor.Backward(nn.FromSlice(1, len(dLogits), append([]float64(nil), dLogits...)))
+}
+
+func (t *testAC) PolicyParams() []nn.Param { return t.actor.Params() }
+
+func (t *testAC) ForwardValue(obs Observation) float64 {
+	x := obs.(*nn.Matrix)
+	return t.critic.Forward(x).Data[0]
+}
+
+func (t *testAC) BackwardValue(dV float64) {
+	t.critic.Backward(nn.FromSlice(1, 1, []float64{dV}))
+}
+
+func (t *testAC) ValueParams() []nn.Param { return t.critic.Params() }
+
+// sampleAction draws an action from the masked policy and returns the
+// action with its log-probability.
+func sampleAction(rng *rand.Rand, ac ActorCritic, obs Observation, mask []bool) (int, float64) {
+	logits := ac.ForwardPolicy(obs)
+	masked := nn.MaskLogits(logits, mask)
+	probs := nn.Softmax(masked)
+	a := nn.SampleCategorical(rng, probs)
+	return a, nn.LogSoftmax(masked)[a]
+}
+
+func TestPPOLearnsBandit(t *testing.T) {
+	// Three-armed bandit with rewards 0 / 0.5 / 1: PPO must concentrate
+	// probability on arm 2.
+	rng := rand.New(rand.NewSource(42))
+	ac := newTestAC(rng, 1, 3)
+	ppo, err := NewPPO(PPOConfig{
+		ClipRatio: 0.2, ActorLR: 0.01, CriticLR: 0.01,
+		TrainPiIters: 10, TrainVIters: 10, TargetKL: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := nn.FromSlice(1, 1, []float64{1})
+	mask := []bool{true, true, true}
+	rewards := []float64{0, 0.5, 1}
+
+	for epoch := 0; epoch < 25; epoch++ {
+		buf := NewBuffer(0.99, 0.97)
+		for i := 0; i < 64; i++ {
+			a, logp := sampleAction(rng, ac, obs, mask)
+			v := ac.ForwardValue(obs)
+			buf.Store(Step{Obs: obs, Action: a, Mask: mask, LogP: logp, Value: v, Reward: rewards[a]})
+			buf.FinishPath(0)
+		}
+		if _, err := ppo.Update(ac, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probs := nn.Softmax(nn.MaskLogits(ac.ForwardPolicy(obs), mask))
+	if probs[2] < 0.8 {
+		t.Fatalf("policy did not learn the best arm: %v", probs)
+	}
+	// Critic should approach the expected value of the learned policy (~1).
+	if v := ac.ForwardValue(obs); v < 0.5 {
+		t.Fatalf("critic value %v did not track the return", v)
+	}
+}
+
+func TestPPOMaskedActionStaysMasked(t *testing.T) {
+	// Arm 2 pays the most but is masked out; the policy must settle on the
+	// best unmasked arm (1) and never sample 2.
+	rng := rand.New(rand.NewSource(7))
+	ac := newTestAC(rng, 1, 3)
+	ppo, err := NewPPO(PPOConfig{
+		ClipRatio: 0.2, ActorLR: 0.01, CriticLR: 0.01,
+		TrainPiIters: 10, TrainVIters: 5, TargetKL: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := nn.FromSlice(1, 1, []float64{1})
+	mask := []bool{true, true, false}
+	rewards := []float64{0, 0.5, 10}
+
+	for epoch := 0; epoch < 15; epoch++ {
+		buf := NewBuffer(0.99, 0.97)
+		for i := 0; i < 32; i++ {
+			a, logp := sampleAction(rng, ac, obs, mask)
+			if a == 2 {
+				t.Fatal("masked action sampled")
+			}
+			v := ac.ForwardValue(obs)
+			buf.Store(Step{Obs: obs, Action: a, Mask: mask, LogP: logp, Value: v, Reward: rewards[a]})
+			buf.FinishPath(0)
+		}
+		if _, err := ppo.Update(ac, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probs := nn.Softmax(nn.MaskLogits(ac.ForwardPolicy(obs), mask))
+	if probs[2] != 0 {
+		t.Fatalf("masked action has probability %v", probs[2])
+	}
+	if probs[1] < 0.7 {
+		t.Fatalf("policy did not prefer the best unmasked arm: %v", probs)
+	}
+}
+
+func TestPPOUpdateStatsAndEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ac := newTestAC(rng, 1, 2)
+	// Huge LR + tiny target KL forces early stopping.
+	ppo, err := NewPPO(PPOConfig{
+		ClipRatio: 0.2, ActorLR: 0.5, CriticLR: 0.01,
+		TrainPiIters: 50, TrainVIters: 2, TargetKL: 1e-5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := nn.FromSlice(1, 1, []float64{1})
+	mask := []bool{true, true}
+	buf := NewBuffer(0.99, 0.97)
+	for i := 0; i < 16; i++ {
+		a, logp := sampleAction(rng, ac, obs, mask)
+		buf.Store(Step{Obs: obs, Action: a, Mask: mask, LogP: logp, Value: 0, Reward: float64(a)})
+		buf.FinishPath(0)
+	}
+	stats, err := ppo.Update(ac, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.EarlyStopped || stats.PiIters >= 50 {
+		t.Fatalf("expected early stop, got %+v", stats)
+	}
+	if stats.Entropy <= 0 {
+		t.Fatalf("entropy should be positive early in training: %+v", stats)
+	}
+}
+
+func TestPPOConfigValidation(t *testing.T) {
+	bad := []PPOConfig{
+		{ClipRatio: 0, ActorLR: 1e-3, CriticLR: 1e-3, TrainPiIters: 1, TrainVIters: 1},
+		{ClipRatio: 0.2, ActorLR: 0, CriticLR: 1e-3, TrainPiIters: 1, TrainVIters: 1},
+		{ClipRatio: 0.2, ActorLR: 1e-3, CriticLR: 1e-3, TrainPiIters: 0, TrainVIters: 1},
+		{ClipRatio: 1.5, ActorLR: 1e-3, CriticLR: 1e-3, TrainPiIters: 1, TrainVIters: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPPO(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultPPOConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestPPOUpdateOnEmptyBufferFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ac := newTestAC(rng, 1, 2)
+	ppo, err := NewPPO(DefaultPPOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ppo.Update(ac, NewBuffer(0.99, 0.97)); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+func TestRewardScaler(t *testing.T) {
+	s := RewardScaler{Scale: 1000}
+	if got := s.Apply(-500); got != -0.5 {
+		t.Fatalf("Apply = %v, want -0.5", got)
+	}
+	zero := RewardScaler{}
+	if got := zero.Apply(-3); got != -3 {
+		t.Fatalf("zero scaler should pass through, got %v", got)
+	}
+}
+
+func TestPPOClipBoundsRatioInfluence(t *testing.T) {
+	// With a strongly off-policy batch (logp_old very high), the clipped
+	// objective must not blow up: the policy loss stays finite and bounded.
+	rng := rand.New(rand.NewSource(9))
+	ac := newTestAC(rng, 1, 2)
+	ppo, err := NewPPO(PPOConfig{
+		ClipRatio: 0.2, ActorLR: 1e-3, CriticLR: 1e-3,
+		TrainPiIters: 1, TrainVIters: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := nn.FromSlice(1, 1, []float64{1})
+	mask := []bool{true, true}
+	buf := NewBuffer(0.99, 0.97)
+	for i := 0; i < 8; i++ {
+		buf.Store(Step{Obs: obs, Action: i % 2, Mask: mask, LogP: -20, Value: 0, Reward: 1})
+		buf.FinishPath(0)
+	}
+	stats, err := ppo.Update(ac, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(stats.PolicyLoss) || math.IsInf(stats.PolicyLoss, 0) {
+		t.Fatalf("policy loss unbounded: %+v", stats)
+	}
+	if stats.ClipFraction == 0 {
+		t.Fatalf("expected clipping with off-policy data: %+v", stats)
+	}
+}

@@ -1,0 +1,115 @@
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// RandomOptions parameterizes a synthetic design scenario.
+type RandomOptions struct {
+	// EndStations and Switches set the vertex counts.
+	EndStations int
+	Switches    int
+	// ESLinkProb is the probability of each optional ES-switch link beyond
+	// the guaranteed two per end station.
+	ESLinkProb float64
+	// SWLinkProb is the probability of each optional switch-switch link
+	// beyond the guaranteed connected backbone.
+	SWLinkProb float64
+	// MaxLength is the maximum cable length (lengths are uniform in
+	// [1, MaxLength]; 0 means unit lengths).
+	MaxLength float64
+	// BasePeriod and SlotsPerBase configure timing (defaults: 500 µs / 20).
+	BasePeriod   time.Duration
+	SlotsPerBase int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Random builds a synthetic design scenario: every end station gets at
+// least two candidate switch attachments (so redundancy is possible), the
+// switch backbone is connected, and extra candidate links appear with the
+// configured probabilities. Useful for scale testing and fuzzing beyond
+// the two published scenarios.
+func Random(opts RandomOptions) (*Scenario, error) {
+	if opts.EndStations < 2 {
+		return nil, fmt.Errorf("random scenario: need at least 2 end stations")
+	}
+	if opts.Switches < 2 {
+		return nil, fmt.Errorf("random scenario: need at least 2 switches")
+	}
+	if opts.ESLinkProb < 0 || opts.ESLinkProb > 1 || opts.SWLinkProb < 0 || opts.SWLinkProb > 1 {
+		return nil, fmt.Errorf("random scenario: probabilities must be in [0,1]")
+	}
+	net := evalNetwork()
+	if opts.BasePeriod > 0 {
+		net.BasePeriod = opts.BasePeriod
+	}
+	if opts.SlotsPerBase > 0 {
+		net.SlotsPerBase = opts.SlotsPerBase
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("random scenario: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	length := func() float64 {
+		if opts.MaxLength <= 1 {
+			return 1
+		}
+		return 1 + rng.Float64()*(opts.MaxLength-1)
+	}
+
+	g := graph.New()
+	for i := 0; i < opts.EndStations; i++ {
+		g.AddVertex(fmt.Sprintf("es%d", i), graph.KindEndStation)
+	}
+	sw := make([]int, opts.Switches)
+	for i := range sw {
+		sw[i] = g.AddVertex(fmt.Sprintf("sw%d", i), graph.KindSwitch)
+	}
+	// Connected switch backbone: random spanning tree plus extras.
+	perm := rng.Perm(opts.Switches)
+	for i := 1; i < opts.Switches; i++ {
+		if err := g.AddEdge(sw[perm[i]], sw[perm[rng.Intn(i)]], length()); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < opts.Switches; i++ {
+		for j := i + 1; j < opts.Switches; j++ {
+			if !g.HasEdge(sw[i], sw[j]) && rng.Float64() < opts.SWLinkProb {
+				if err := g.AddEdge(sw[i], sw[j], length()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Every ES: two guaranteed candidate attachments + probabilistic rest.
+	for es := 0; es < opts.EndStations; es++ {
+		first := rng.Intn(opts.Switches)
+		second := (first + 1 + rng.Intn(opts.Switches-1)) % opts.Switches
+		if err := g.AddEdge(es, sw[first], length()); err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(es, sw[second], length()); err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.Switches; i++ {
+			if i == first || i == second {
+				continue
+			}
+			if rng.Float64() < opts.ESLinkProb {
+				if err := g.AddEdge(es, sw[i], length()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return &Scenario{
+		Name:        fmt.Sprintf("random-%des-%dsw-%d", opts.EndStations, opts.Switches, opts.Seed),
+		Connections: g,
+		Net:         net,
+	}, nil
+}

@@ -1,0 +1,109 @@
+package scenarios
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/nbf"
+)
+
+func TestRandomScenarioBasics(t *testing.T) {
+	s, err := Random(RandomOptions{
+		EndStations: 6, Switches: 3,
+		ESLinkProb: 0.5, SWLinkProb: 0.5,
+		MaxLength: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Connections.VerticesOfKind(graph.KindEndStation)); got != 6 {
+		t.Fatalf("ES = %d", got)
+	}
+	if got := len(s.Connections.VerticesOfKind(graph.KindSwitch)); got != 3 {
+		t.Fatalf("SW = %d", got)
+	}
+	// Problems built on it must validate.
+	prob := s.Problem(s.RandomFlows(4, 2), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomScenarioValidation(t *testing.T) {
+	if _, err := Random(RandomOptions{EndStations: 1, Switches: 2}); err == nil {
+		t.Error("1 ES accepted")
+	}
+	if _, err := Random(RandomOptions{EndStations: 2, Switches: 1}); err == nil {
+		t.Error("1 switch accepted")
+	}
+	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2, ESLinkProb: 2}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2, BasePeriod: 7, SlotsPerBase: 2}); err == nil {
+		t.Error("indivisible base period accepted")
+	}
+}
+
+func TestRandomScenarioProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		s, err := Random(RandomOptions{
+			EndStations: 4 + int(seed%5+5)%5, Switches: 2 + int(seed%3+3)%3,
+			ESLinkProb: 0.3, SWLinkProb: 0.4, MaxLength: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		g := s.Connections
+		// Every ES has at least 2 candidate attachments.
+		for _, es := range g.VerticesOfKind(graph.KindEndStation) {
+			if g.Degree(es) < 2 {
+				return false
+			}
+			// No ES-ES links.
+			for _, n := range g.Neighbors(es) {
+				if g.Kind(n) != graph.KindSwitch {
+					return false
+				}
+			}
+		}
+		// Switch backbone connected.
+		sws := g.VerticesOfKind(graph.KindSwitch)
+		for _, sw := range sws[1:] {
+			if !g.Connected(sws[0], sw) {
+				return false
+			}
+		}
+		// Lengths within [1, 2].
+		for _, e := range g.Edges() {
+			if e.Length < 1 || e.Length > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomScenarioDeterministic(t *testing.T) {
+	opts := RandomOptions{EndStations: 5, Switches: 3, ESLinkProb: 0.5, SWLinkProb: 0.5, Seed: 9}
+	a, err := Random(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Connections.Edges(), b.Connections.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("not deterministic")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("edges differ across identical seeds")
+		}
+	}
+}

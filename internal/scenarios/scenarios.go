@@ -1,0 +1,210 @@
+// Package scenarios provides the two design scenarios of the paper's
+// evaluation (§VI): ORION, the aerospace network abstracted from the ORION
+// crew exploration vehicle [30] (31 end stations, 15 optional switches,
+// optional links between node pairs within 3 hops of the original
+// topology), and ADS, the autonomous-driving system of [31] (12 end
+// stations, 4 optional switches, the complete 54-link connection set).
+//
+// The exact ORION topology drawing is not in the paper, so the original
+// network here is a faithful reconstruction from the published constraints:
+// every end station single-homed to one switch (making all-ASIL-D the only
+// valid static allocation), a meshed switch backbone needing up to 8-port
+// switches, and the stated vertex counts. The substitution is documented in
+// DESIGN.md.
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// Scenario bundles a connection graph with the evaluation's timing setup
+// and (for ORION) the manually designed original topology.
+type Scenario struct {
+	Name string
+	// Connections is Gc.
+	Connections *graph.Graph
+	// Original is the manual reference topology (nil when none exists).
+	Original *graph.Graph
+	// Net is the TAS configuration (500 µs base period, 20 slots).
+	Net tsn.Network
+}
+
+// Problem builds a planning problem over the scenario.
+func (s *Scenario) Problem(flows tsn.FlowSet, recovery nbf.NBF, r float64) *core.Problem {
+	return &core.Problem{
+		Connections:     s.Connections,
+		Net:             s.Net,
+		Flows:           flows,
+		NBF:             recovery,
+		ReliabilityGoal: r,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+		ESLevel:         asil.LevelD,
+	}
+}
+
+// RandomFlows generates n periodic unicast TT flows with period and
+// deadline equal to the base period, sources and destinations drawn
+// uniformly from distinct end stations (§VI-A).
+func (s *Scenario) RandomFlows(n int, seed int64) tsn.FlowSet {
+	rng := rand.New(rand.NewSource(seed))
+	es := s.Connections.VerticesOfKind(graph.KindEndStation)
+	fs := make(tsn.FlowSet, 0, n)
+	for i := 0; i < n; i++ {
+		src := es[rng.Intn(len(es))]
+		dst := es[rng.Intn(len(es))]
+		for dst == src {
+			dst = es[rng.Intn(len(es))]
+		}
+		fs = append(fs, tsn.Flow{
+			ID:        i,
+			Name:      fmt.Sprintf("%s-tt-%d", s.Name, i),
+			Src:       src,
+			Dsts:      []int{dst},
+			Period:    s.Net.BasePeriod,
+			Deadline:  s.Net.BasePeriod,
+			FrameSize: 100 + rng.Intn(400),
+		})
+	}
+	return fs
+}
+
+// evalNetwork is the §VI-A timing setup: B = 500 µs divided into 20 slots.
+func evalNetwork() tsn.Network {
+	return tsn.Network{BasePeriod: 500 * time.Microsecond, SlotsPerBase: 20}
+}
+
+// ORION builds the ORION design scenario: 31 end stations, 15 optional
+// switches, and an optional link for every valid node pair within 3 hops
+// of the original topology.
+func ORION() *Scenario {
+	original := graph.New()
+	// 31 end stations (IDs 0..30).
+	for i := 0; i < 31; i++ {
+		original.AddVertex(fmt.Sprintf("es%d", i), graph.KindEndStation)
+	}
+	// 15 switches (IDs 31..45).
+	sw := make([]int, 15)
+	for i := range sw {
+		sw[i] = original.AddVertex(fmt.Sprintf("sw%d", i), graph.KindSwitch)
+	}
+	mustEdge := func(g *graph.Graph, u, v int) {
+		if err := g.AddEdge(u, v, 1); err != nil {
+			panic(err)
+		}
+	}
+	// Switch backbone: a 15-switch ring, the layout whose 3-hop optional
+	// link expansion lands closest to the paper's |Ec| = 189 (ours: 200).
+	for i := 0; i < 15; i++ {
+		mustEdge(original, sw[i], sw[(i+1)%15])
+	}
+	// Every end station single-homed — the property §VI-A relies on:
+	// single-point switch failures isolate end stations, so the manual
+	// design is only valid with ASIL-D everywhere. The distribution is
+	// uneven (integration hubs host more devices), which is what pushes the
+	// largest switch to 8 ports, matching the paper's note that ORION needs
+	// switches with up to 8 ports.
+	esPerSwitch := []int{6, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1} // sums to 31
+	esID := 0
+	for i, count := range esPerSwitch {
+		for j := 0; j < count; j++ {
+			mustEdge(original, esID, sw[i])
+			esID++
+		}
+	}
+
+	// Connection graph: all original links plus any ES-SW or SW-SW pair
+	// within 3 hops of each other in the original topology.
+	gc := original.Clone()
+	for u := 0; u < original.NumVertices(); u++ {
+		dist := original.HopDistances(u)
+		for v := u + 1; v < original.NumVertices(); v++ {
+			if dist[v] < 1 || dist[v] > 3 {
+				continue
+			}
+			if original.Kind(u) == graph.KindEndStation && original.Kind(v) == graph.KindEndStation {
+				continue // direct ES-ES links are not valid TSSDN links
+			}
+			if !gc.HasEdge(u, v) {
+				mustEdge(gc, u, v)
+			}
+		}
+	}
+	return &Scenario{Name: "orion", Connections: gc, Original: original, Net: evalNetwork()}
+}
+
+// ADS builds the autonomous-driving-system scenario of [31]: 12 end
+// stations, 4 optional switches and the complete connection set minus
+// direct ES-ES links — 12×4 + C(4,2) = 54 optional links (§VI-B).
+func ADS() *Scenario {
+	gc := graph.New()
+	names := []string{
+		"lidar-front", "lidar-rear", "camera-front", "camera-rear",
+		"radar", "gnss-imu", "vehicle-state", "behavior-planner",
+		"motion-planner", "steering-ecu", "brake-ecu", "hmi",
+	}
+	for _, n := range names {
+		gc.AddVertex(n, graph.KindEndStation)
+	}
+	sw := make([]int, 4)
+	for i := range sw {
+		sw[i] = gc.AddVertex(fmt.Sprintf("sw%d", i), graph.KindSwitch)
+	}
+	for es := 0; es < 12; es++ {
+		for _, s := range sw {
+			if err := gc.AddEdge(es, s, 1); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := gc.AddEdge(sw[i], sw[j], 1); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return &Scenario{Name: "ads", Connections: gc, Net: evalNetwork()}
+}
+
+// ADSFlows generates the 12 flows of the ADS sensitivity test: two flows
+// for each of the 7 safety applications of [31] except vehicle state
+// estimation, which consumes data from the other sensing applications
+// (7×2−2 = 12, §VI-B). Sources and destinations follow the application
+// dataflow; frame sizes are seeded for reproducibility.
+func ADSFlows(seed int64) tsn.FlowSet {
+	rng := rand.New(rand.NewSource(seed))
+	net := evalNetwork()
+	// Application dataflows over the named end stations of ADS():
+	// sensing apps feed vehicle-state (6); planning feeds actuation.
+	pairs := [][2]int{
+		{0, 6}, {0, 8}, // lidar-front -> vehicle-state, motion-planner
+		{1, 6}, {1, 8}, // lidar-rear
+		{2, 6}, {2, 7}, // camera-front -> vehicle-state, behavior-planner
+		{3, 6}, {3, 7}, // camera-rear
+		{4, 6}, {4, 8}, // radar
+		{5, 6}, // gnss-imu -> vehicle-state
+		{8, 9}, // motion-planner -> steering-ecu
+	}
+	fs := make(tsn.FlowSet, 0, len(pairs))
+	for i, p := range pairs {
+		fs = append(fs, tsn.Flow{
+			ID:        i,
+			Name:      fmt.Sprintf("ads-tt-%d", i),
+			Src:       p[0],
+			Dsts:      []int{p[1]},
+			Period:    net.BasePeriod,
+			Deadline:  net.BasePeriod,
+			FrameSize: 100 + rng.Intn(400),
+		})
+	}
+	return fs
+}

@@ -1,0 +1,166 @@
+package scenarios
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nbf"
+)
+
+func TestORIONCounts(t *testing.T) {
+	s := ORION()
+	es := s.Connections.VerticesOfKind(graph.KindEndStation)
+	sw := s.Connections.VerticesOfKind(graph.KindSwitch)
+	if len(es) != 31 {
+		t.Fatalf("end stations = %d, want 31", len(es))
+	}
+	if len(sw) != 15 {
+		t.Fatalf("switches = %d, want 15", len(sw))
+	}
+	// The paper reports 189 optional links for its (unpublished) original
+	// topology; our reconstruction must land in the same regime.
+	if n := s.Connections.NumEdges(); n != 200 {
+		t.Fatalf("optional links = %d, want 200 (paper reports 189 for its unpublished layout)", n)
+	}
+	if s.Original == nil {
+		t.Fatal("ORION must carry the original topology")
+	}
+}
+
+func TestORIONOriginalProperties(t *testing.T) {
+	s := ORION()
+	// Every end station is single-homed (degree exactly 1) in the original
+	// design — the property that forces ASIL-D everywhere (§VI-A).
+	for _, es := range s.Original.VerticesOfKind(graph.KindEndStation) {
+		if d := s.Original.Degree(es); d != 1 {
+			t.Fatalf("end station %d degree %d, want 1", es, d)
+		}
+	}
+	// Switch degrees must be realizable with the 8-port library maximum.
+	maxDeg := 0
+	for _, sw := range s.Original.VerticesOfKind(graph.KindSwitch) {
+		if d := s.Original.Degree(sw); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 8 {
+		t.Fatalf("original needs a %d-port switch (max 8)", maxDeg)
+	}
+	if maxDeg < 7 {
+		t.Fatalf("original should drive near-8-port switches, max degree %d", maxDeg)
+	}
+	// The original must be a subgraph of the connection graph.
+	if !s.Original.IsSubgraphOf(s.Connections) {
+		t.Fatal("original topology not contained in Gc")
+	}
+	// The switch backbone must be connected.
+	sws := s.Original.VerticesOfKind(graph.KindSwitch)
+	for _, sw := range sws[1:] {
+		if !s.Original.Connected(sws[0], sw) {
+			t.Fatalf("switch backbone disconnected at %d", sw)
+		}
+	}
+}
+
+func TestORIONConnectionsRespectHopRule(t *testing.T) {
+	s := ORION()
+	// Every optional link connects vertices within 3 hops of the original
+	// topology and never two end stations.
+	for _, e := range s.Connections.Edges() {
+		if s.Connections.Kind(e.U) == graph.KindEndStation && s.Connections.Kind(e.V) == graph.KindEndStation {
+			t.Fatalf("ES-ES optional link (%d,%d)", e.U, e.V)
+		}
+		dist := s.Original.HopDistances(e.U)
+		if dist[e.V] < 1 || dist[e.V] > 3 {
+			t.Fatalf("optional link (%d,%d) spans %d hops", e.U, e.V, dist[e.V])
+		}
+	}
+}
+
+func TestADSCounts(t *testing.T) {
+	s := ADS()
+	es := s.Connections.VerticesOfKind(graph.KindEndStation)
+	sw := s.Connections.VerticesOfKind(graph.KindSwitch)
+	if len(es) != 12 {
+		t.Fatalf("end stations = %d, want 12", len(es))
+	}
+	if len(sw) != 4 {
+		t.Fatalf("switches = %d, want 4", len(sw))
+	}
+	// 12×4 ES-SW + C(4,2) SW-SW = 54 optional links (§VI-B).
+	if n := s.Connections.NumEdges(); n != 54 {
+		t.Fatalf("optional links = %d, want 54", n)
+	}
+}
+
+func TestADSFlows(t *testing.T) {
+	fs := ADSFlows(1)
+	if len(fs) != 12 {
+		t.Fatalf("flows = %d, want 12 (7 apps × 2 − 2)", len(fs))
+	}
+	s := ADS()
+	if err := fs.Validate(s.Net.BasePeriod); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if s.Connections.Kind(f.Src) != graph.KindEndStation {
+			t.Fatalf("flow %d source %d not an ES", f.ID, f.Src)
+		}
+	}
+	// Seeded determinism.
+	again := ADSFlows(1)
+	for i := range fs {
+		if fs[i].FrameSize != again[i].FrameSize {
+			t.Fatal("ADSFlows not deterministic")
+		}
+	}
+	other := ADSFlows(2)
+	diff := false
+	for i := range fs {
+		if fs[i].FrameSize != other[i].FrameSize {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should vary frame sizes")
+	}
+}
+
+func TestRandomFlowsValidAndSeeded(t *testing.T) {
+	s := ORION()
+	fs := s.RandomFlows(50, 7)
+	if len(fs) != 50 {
+		t.Fatalf("flows = %d", len(fs))
+	}
+	if err := fs.Validate(s.Net.BasePeriod); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Src == f.Dsts[0] {
+			t.Fatal("flow with identical endpoints")
+		}
+		if s.Connections.Kind(f.Src) != graph.KindEndStation || s.Connections.Kind(f.Dsts[0]) != graph.KindEndStation {
+			t.Fatal("flow endpoint is not an end station")
+		}
+	}
+	again := s.RandomFlows(50, 7)
+	for i := range fs {
+		if fs[i].Src != again[i].Src || fs[i].Dsts[0] != again[i].Dsts[0] {
+			t.Fatal("RandomFlows not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestScenarioProblemsValidate(t *testing.T) {
+	for _, s := range []*Scenario{ORION(), ADS()} {
+		flows := s.RandomFlows(5, 1)
+		prob := s.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
+		if err := prob.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	prob := ADS().Problem(ADSFlows(3), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

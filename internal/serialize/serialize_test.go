@@ -1,0 +1,217 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+func fixtureProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("cam", graph.KindEndStation)
+	g.AddVertex("ecu", graph.KindEndStation)
+	g.AddVertex("swA", graph.KindSwitch)
+	g.AddVertex("swB", graph.KindSwitch)
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 4; sw++ {
+			if err := g.AddEdge(es, sw, 1.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	net := tsn.DefaultNetwork()
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{{ID: 0, Name: "f0", Src: 0, Dsts: []int{1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 128}},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	prob := fixtureProblem(t)
+	enc := EncodeGraph(prob.Connections)
+	dec, err := DecodeGraph(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumVertices() != prob.Connections.NumVertices() || dec.NumEdges() != prob.Connections.NumEdges() {
+		t.Fatal("graph shape changed in round trip")
+	}
+	if dec.MustVertex(2).Name != "swA" || dec.Kind(2) != graph.KindSwitch {
+		t.Fatal("vertex attributes lost")
+	}
+	if l, ok := dec.EdgeLength(0, 2); !ok || l != 1.5 {
+		t.Fatal("edge length lost")
+	}
+}
+
+func TestDecodeGraphErrors(t *testing.T) {
+	if _, err := DecodeGraph(GraphJSON{Vertices: []VertexJSON{{ID: 1, Kind: "es"}}}); err == nil {
+		t.Error("non-dense IDs accepted")
+	}
+	if _, err := DecodeGraph(GraphJSON{Vertices: []VertexJSON{{ID: 0, Kind: "weird"}}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := DecodeGraph(GraphJSON{
+		Vertices: []VertexJSON{{ID: 0, Kind: "es"}},
+		Edges:    []EdgeJSON{{U: 0, V: 5}},
+	}); err == nil {
+		t.Error("dangling edge accepted")
+	}
+}
+
+func TestFlowsRoundTrip(t *testing.T) {
+	prob := fixtureProblem(t)
+	dec := DecodeFlows(EncodeFlows(prob.Flows))
+	if len(dec) != 1 || dec[0].Name != "f0" || dec[0].Period != prob.Flows[0].Period {
+		t.Fatalf("flows round trip: %+v", dec)
+	}
+	// Storage must be independent.
+	dec[0].Dsts[0] = 9
+	if prob.Flows[0].Dsts[0] == 9 {
+		t.Fatal("decoded flows share storage with input")
+	}
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	prob := fixtureProblem(t)
+	enc := EncodeProblem(prob, "stateless-greedy")
+	dec, err := DecodeProblem(enc, nbf.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ReliabilityGoal != prob.ReliabilityGoal || dec.MaxESDegree != prob.MaxESDegree {
+		t.Fatal("problem scalars changed")
+	}
+	if dec.Net != prob.Net {
+		t.Fatal("network config changed")
+	}
+	if dec.NBF.Name() != "stateless-greedy" {
+		t.Fatalf("NBF = %q", dec.NBF.Name())
+	}
+}
+
+func TestDecodeProblemErrors(t *testing.T) {
+	prob := fixtureProblem(t)
+	reg := nbf.NewRegistry()
+
+	enc := EncodeProblem(prob, "nope")
+	if _, err := DecodeProblem(enc, reg); err == nil {
+		t.Error("unknown NBF accepted")
+	}
+
+	enc = EncodeProblem(prob, "stateless-greedy")
+	enc.ESLevel = "Z"
+	if _, err := DecodeProblem(enc, reg); err == nil {
+		t.Error("unknown ASIL accepted")
+	}
+
+	enc = EncodeProblem(prob, "stateless-greedy")
+	enc.ReliabilityGoal = 0
+	if _, err := DecodeProblem(enc, reg); err == nil {
+		t.Error("invalid problem accepted")
+	}
+
+	enc = EncodeProblem(prob, "stateless-greedy")
+	enc.Connections.Vertices[0].Kind = "xx"
+	if _, err := DecodeProblem(enc, reg); err == nil {
+		t.Error("bad graph accepted")
+	}
+}
+
+func TestSolutionRoundTripAndVerify(t *testing.T) {
+	prob := fixtureProblem(t)
+	// Build a valid dual-homed solution by hand.
+	state := core.NewTSSDN(prob)
+	for sw := 2; sw < 4; sw++ {
+		for i := 0; i < 3; i++ { // ASIL-C
+			if err := state.UpgradeSwitch(sw); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 4; sw++ {
+			if err := state.AddPath(graph.Path{es, sw}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cost, err := state.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &core.Solution{Topology: state.Topo, Assignment: state.Assign, Cost: cost}
+	if err := core.VerifySolution(prob, sol); err != nil {
+		t.Fatalf("fixture solution invalid: %v", err)
+	}
+
+	dec, err := DecodeSolution(EncodeSolution(sol), prob.Connections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded solution must still verify and cost the same.
+	if err := core.VerifySolution(prob, dec); err != nil {
+		t.Fatalf("decoded solution invalid: %v", err)
+	}
+	if dec.Cost != cost {
+		t.Fatalf("cost changed: %v -> %v", cost, dec.Cost)
+	}
+}
+
+func TestDecodeSolutionErrors(t *testing.T) {
+	prob := fixtureProblem(t)
+	if _, err := DecodeSolution(SolutionJSON{
+		Switches: []SwitchJSON{{ID: 0, ASIL: "B"}}, // vertex 0 is an ES
+	}, prob.Connections); err == nil {
+		t.Error("non-switch allocation accepted")
+	}
+	if _, err := DecodeSolution(SolutionJSON{
+		Links: []LinkJSON{{U: 0, V: 99, ASIL: "B"}},
+	}, prob.Connections); err == nil {
+		t.Error("dangling link accepted")
+	}
+	if _, err := DecodeSolution(SolutionJSON{
+		Switches: []SwitchJSON{{ID: 2, ASIL: "?"}},
+	}, prob.Connections); err == nil {
+		t.Error("bad ASIL accepted")
+	}
+}
+
+func TestWriteReadJSON(t *testing.T) {
+	prob := fixtureProblem(t)
+	enc := EncodeProblem(prob, "stateless-greedy")
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, enc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"reliabilityGoal\"") {
+		t.Fatalf("unexpected JSON: %s", buf.String())
+	}
+	var back ProblemJSON
+	if err := ReadJSON(&buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ReliabilityGoal != 1e-6 {
+		t.Fatal("JSON round trip changed values")
+	}
+	// Unknown fields must be rejected.
+	if err := ReadJSON(strings.NewReader(`{"bogus": 1}`), &back); err == nil {
+		t.Error("unknown fields accepted")
+	}
+}

@@ -1,0 +1,261 @@
+// Package sim is a slot-accurate TSSDN simulator: it plays a planned
+// network's TAS schedule over time, injects component failures mid-run,
+// models the SDN controller's detection + reconfiguration latency, invokes
+// the recovery mechanism (the NBF, §II-B: "it can be obtained via network
+// simulation"), and reports per-flow delivery, loss and recovery metrics.
+// It is the dynamic counterpart of the static failure analyzer: where
+// Algorithm 3 asks "is every non-safe fault recoverable?", the simulator
+// shows what the recovery actually looks like on the timeline.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// Event injects a failure scenario at an absolute slot. Failures are
+// permanent (the random-failure model of §II-A) and accumulate.
+type Event struct {
+	Slot    int
+	Failure nbf.Failure
+}
+
+// Config sets the simulation horizon and the controller latency model.
+type Config struct {
+	// HorizonBasePeriods is the simulated duration in base periods.
+	HorizonBasePeriods int
+	// DetectionSlots is the latency between a failure and the controller
+	// learning about it (monitoring / keep-alive delay).
+	DetectionSlots int
+	// ReconfigSlots is the latency of computing and deploying the new
+	// configuration after detection (the reconfiguration protocol of [6]).
+	ReconfigSlots int
+}
+
+// DefaultConfig simulates 64 base periods with a one-base-period detection
+// and reconfiguration latency each.
+func DefaultConfig(net tsn.Network) Config {
+	return Config{
+		HorizonBasePeriods: 64,
+		DetectionSlots:     net.SlotsPerBase,
+		ReconfigSlots:      net.SlotsPerBase,
+	}
+}
+
+// FlowStats aggregates one (flow, destination) pair's delivery record.
+type FlowStats struct {
+	Released  int
+	Delivered int
+	Lost      int
+}
+
+// Recovery describes the controller's reaction to one failure event.
+type Recovery struct {
+	// InjectedAt is the failure's absolute slot.
+	InjectedAt int
+	// EffectiveAt is the slot from which the recomputed configuration is
+	// active (injection + detection + reconfiguration).
+	EffectiveAt int
+	// Recovered is true when the recomputed configuration restored every
+	// demanded pair.
+	Recovered bool
+	// UnrecoveredPairs lists pairs the NBF could not restore.
+	UnrecoveredPairs []tsn.Pair
+	// LostDuringGap counts frames lost between injection and the new
+	// configuration taking effect.
+	LostDuringGap int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	PerPair    map[tsn.Pair]*FlowStats
+	Recoveries []Recovery
+
+	TotalReleased  int
+	TotalDelivered int
+	TotalLost      int
+}
+
+// DeliveryRate returns delivered/released (1.0 for an idle network).
+func (r *Result) DeliveryRate() float64 {
+	if r.TotalReleased == 0 {
+		return 1
+	}
+	return float64(r.TotalDelivered) / float64(r.TotalReleased)
+}
+
+// Simulator drives a planned topology under a recovery mechanism.
+type Simulator struct {
+	Topo  *graph.Graph
+	Net   tsn.Network
+	Flows tsn.FlowSet
+	NBF   nbf.NBF
+	Cfg   Config
+}
+
+// segment is one interval of the timeline governed by a fixed flow state
+// (the configuration deployed by the controller from slot `from` on).
+type segment struct {
+	from  int // first slot (inclusive)
+	state *tsn.State
+}
+
+// Run simulates the configured horizon with the given failure events
+// (sorted by slot internally). It returns an error only for invalid
+// inputs; failures and unrecoverable pairs are reported in the Result.
+func (s *Simulator) Run(events []Event) (*Result, error) {
+	if s.Topo == nil || s.NBF == nil {
+		return nil, fmt.Errorf("sim: nil topology or NBF")
+	}
+	if err := s.Net.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := s.Flows.Validate(s.Net.BasePeriod); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if s.Cfg.HorizonBasePeriods <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive")
+	}
+	if s.Cfg.DetectionSlots < 0 || s.Cfg.ReconfigSlots < 0 {
+		return nil, fmt.Errorf("sim: negative controller latency")
+	}
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Slot < evs[j].Slot })
+	for _, e := range evs {
+		if e.Slot < 0 {
+			return nil, fmt.Errorf("sim: negative event slot %d", e.Slot)
+		}
+	}
+
+	res := &Result{PerPair: make(map[tsn.Pair]*FlowStats)}
+	for _, p := range s.Flows.Pairs() {
+		if _, ok := res.PerPair[p]; !ok {
+			res.PerPair[p] = &FlowStats{}
+		}
+	}
+
+	// Initial configuration FI0.
+	fi0, er0, err := s.NBF.Recover(s.Topo, nbf.Failure{}, s.Net, s.Flows)
+	if err != nil {
+		return nil, fmt.Errorf("sim: initial configuration: %w", err)
+	}
+	_ = er0 // pairs in ER0 simply have no plan and count as lost
+
+	// Build the timeline segments: each failure event triggers a
+	// recomputation over the CUMULATIVE failure set (stateless NBF: the
+	// result is independent of intermediate states, §II-B).
+	segments := []segment{{from: 0, state: fi0}}
+	var cumulative nbf.Failure
+	// failureAt records when each component failed, for in-flight losses.
+	nodeFailedAt := make(map[int]int)
+	edgeFailedAt := make(map[graph.Edge]int)
+
+	for i, e := range evs {
+		cumulative.Nodes = append(cumulative.Nodes, e.Failure.Nodes...)
+		cumulative.Edges = append(cumulative.Edges, e.Failure.Edges...)
+		for _, n := range e.Failure.Nodes {
+			if _, dup := nodeFailedAt[n]; !dup {
+				nodeFailedAt[n] = e.Slot
+			}
+		}
+		for _, ed := range e.Failure.Edges {
+			ce := ed.Canonical()
+			ce.Length = 0
+			if _, dup := edgeFailedAt[ce]; !dup {
+				edgeFailedAt[ce] = e.Slot
+			}
+		}
+		newState, er, err := s.NBF.Recover(s.Topo, cumulative.Clone(), s.Net, s.Flows)
+		if err != nil {
+			return nil, fmt.Errorf("sim: recovery after event %d: %w", i, err)
+		}
+		effective := e.Slot + s.Cfg.DetectionSlots + s.Cfg.ReconfigSlots
+		segments = append(segments, segment{from: effective, state: newState})
+		res.Recoveries = append(res.Recoveries, Recovery{
+			InjectedAt:       e.Slot,
+			EffectiveAt:      effective,
+			Recovered:        len(er) == 0,
+			UnrecoveredPairs: append([]tsn.Pair(nil), er...),
+		})
+	}
+
+	// Play the releases.
+	horizon := s.Cfg.HorizonBasePeriods * s.Net.SlotsPerBase
+	for _, f := range s.Flows {
+		periodSlots := s.Net.PeriodSlots(f.Period)
+		for _, dst := range f.Dsts {
+			pair := tsn.Pair{Src: f.Src, Dst: dst}
+			stats := res.PerPair[pair]
+			for release := 0; release < horizon; release += periodSlots {
+				stats.Released++
+				res.TotalReleased++
+				seg := activeSegment(segments, release)
+				plan, ok := seg.state.PlanFor(f.ID, dst)
+				if !ok {
+					stats.Lost++
+					res.TotalLost++
+					s.chargeGap(res, evs, release)
+					continue
+				}
+				if s.frameSurvives(plan, release, nodeFailedAt, edgeFailedAt) {
+					stats.Delivered++
+					res.TotalDelivered++
+					continue
+				}
+				stats.Lost++
+				res.TotalLost++
+				s.chargeGap(res, evs, release)
+			}
+		}
+	}
+	return res, nil
+}
+
+// activeSegment returns the last segment whose start is <= slot.
+func activeSegment(segments []segment, slot int) segment {
+	active := segments[0]
+	for _, s := range segments[1:] {
+		if s.from <= slot {
+			active = s
+		}
+	}
+	return active
+}
+
+// frameSurvives checks whether a frame released at `release` completes its
+// plan without touching a component that has already failed at each hop's
+// transmission instant.
+func (s *Simulator) frameSurvives(plan tsn.FlowPlan, release int, nodeFailedAt map[int]int, edgeFailedAt map[graph.Edge]int) bool {
+	for i := 0; i+1 < len(plan.Path); i++ {
+		at := release + plan.Slots[i]
+		u, v := plan.Path[i], plan.Path[i+1]
+		if t, failed := nodeFailedAt[u]; failed && t <= at {
+			return false
+		}
+		if t, failed := nodeFailedAt[v]; failed && t <= at {
+			return false
+		}
+		ce := graph.Edge{U: u, V: v}.Canonical()
+		ce.Length = 0
+		if t, failed := edgeFailedAt[ce]; failed && t <= at {
+			return false
+		}
+	}
+	return true
+}
+
+// chargeGap attributes a lost frame to the most recent failure whose
+// recovery was not yet effective at the release instant.
+func (s *Simulator) chargeGap(res *Result, evs []Event, release int) {
+	for i := len(evs) - 1; i >= 0; i-- {
+		r := &res.Recoveries[i]
+		if evs[i].Slot <= release && release < r.EffectiveAt {
+			r.LostDuringGap++
+			return
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// dualHomed builds 2 end stations (0,1) each connected to switches 2 and 3
+// (with a switch-switch link), so any single switch failure is survivable.
+func dualHomed(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("es0", graph.KindEndStation)
+	g.AddVertex("es1", graph.KindEndStation)
+	g.AddVertex("swA", graph.KindSwitch)
+	g.AddVertex("swB", graph.KindSwitch)
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 4; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func simFixture(t testing.TB) *Simulator {
+	t.Helper()
+	net := tsn.DefaultNetwork()
+	return &Simulator{
+		Topo: dualHomed(t),
+		Net:  net,
+		Flows: tsn.FlowSet{
+			{ID: 0, Src: 0, Dsts: []int{1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64},
+			{ID: 1, Src: 1, Dsts: []int{0}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64},
+		},
+		NBF: &nbf.StatelessRecovery{MaxAlternatives: 3},
+		Cfg: Config{HorizonBasePeriods: 20, DetectionSlots: 20, ReconfigSlots: 20},
+	}
+}
+
+func TestSimFaultFreeDeliversEverything(t *testing.T) {
+	s := simFixture(t)
+	res, err := s.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalReleased != 2*20 {
+		t.Fatalf("released = %d, want 40", res.TotalReleased)
+	}
+	if res.TotalLost != 0 || res.DeliveryRate() != 1 {
+		t.Fatalf("fault-free run lost frames: %+v", res)
+	}
+	if len(res.Recoveries) != 0 {
+		t.Fatal("no recoveries expected")
+	}
+}
+
+func TestSimSurvivableSwitchFailure(t *testing.T) {
+	s := simFixture(t)
+	// Fail swA at slot 100 (base period 5).
+	res, err := s.Run([]Event{{Slot: 100, Failure: nbf.Failure{Nodes: []int{2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("recoveries = %d", len(res.Recoveries))
+	}
+	rec := res.Recoveries[0]
+	if !rec.Recovered {
+		t.Fatalf("dual-homed failure must be recoverable: %+v", rec)
+	}
+	if rec.EffectiveAt != 100+20+20 {
+		t.Fatalf("EffectiveAt = %d, want 140", rec.EffectiveAt)
+	}
+	// Frames routed through swA between slots 100 and 140 are lost; after
+	// the new configuration everything flows again.
+	if res.TotalLost == 0 {
+		t.Fatal("expected losses during the recovery gap")
+	}
+	if rec.LostDuringGap == 0 {
+		t.Fatal("gap losses not attributed to the recovery")
+	}
+	if res.TotalDelivered+res.TotalLost != res.TotalReleased {
+		t.Fatal("delivery accounting broken")
+	}
+	// Deliveries must resume: frames released in the last base period are
+	// delivered (they are after EffectiveAt).
+	if res.DeliveryRate() < 0.5 {
+		t.Fatalf("delivery rate %v too low for a survivable failure", res.DeliveryRate())
+	}
+}
+
+func TestSimUnrecoverableFailureReported(t *testing.T) {
+	s := simFixture(t)
+	// Fail both switches: nothing can recover.
+	res, err := s.Run([]Event{{Slot: 40, Failure: nbf.Failure{Nodes: []int{2, 3}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Recoveries[0]
+	if rec.Recovered {
+		t.Fatal("total switch loss reported recovered")
+	}
+	if len(rec.UnrecoveredPairs) == 0 {
+		t.Fatal("unrecovered pairs missing")
+	}
+	// All frames after slot 40's releases through dead switches are lost.
+	if res.TotalLost == 0 {
+		t.Fatal("expected permanent losses")
+	}
+}
+
+func TestSimConsecutiveFailures(t *testing.T) {
+	s := simFixture(t)
+	// swA dies, the network recovers onto swB, then swB dies too.
+	res, err := s.Run([]Event{
+		{Slot: 60, Failure: nbf.Failure{Nodes: []int{2}}},
+		{Slot: 200, Failure: nbf.Failure{Nodes: []int{3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) != 2 {
+		t.Fatalf("recoveries = %d", len(res.Recoveries))
+	}
+	if !res.Recoveries[0].Recovered {
+		t.Fatal("first failure should be recoverable")
+	}
+	if res.Recoveries[1].Recovered {
+		t.Fatal("second failure leaves no switches; must be unrecoverable")
+	}
+	// Frames released before slot 60 must all be delivered.
+	if res.TotalDelivered == 0 {
+		t.Fatal("early frames should be delivered")
+	}
+}
+
+func TestSimLinkFailure(t *testing.T) {
+	s := simFixture(t)
+	res, err := s.Run([]Event{{Slot: 0, Failure: nbf.Failure{Edges: []graph.Edge{{U: 0, V: 2}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recoveries[0].Recovered {
+		t.Fatal("single link failure must be recoverable on a dual-homed net")
+	}
+	// After the recovery becomes effective no frame may touch (0,2).
+	if res.DeliveryRate() == 0 {
+		t.Fatal("delivery should resume")
+	}
+}
+
+func TestSimImmediateFailureAtSlotZero(t *testing.T) {
+	s := simFixture(t)
+	s.Cfg.DetectionSlots = 0
+	s.Cfg.ReconfigSlots = 0
+	res, err := s.Run([]Event{{Slot: 0, Failure: nbf.Failure{Nodes: []int{2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instant recovery: the new configuration is effective from slot 0, so
+	// nothing is lost.
+	if res.TotalLost != 0 {
+		t.Fatalf("instant reconfiguration should lose nothing, lost %d", res.TotalLost)
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	s := simFixture(t)
+	s.Topo = nil
+	if _, err := s.Run(nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	s = simFixture(t)
+	s.Cfg.HorizonBasePeriods = 0
+	if _, err := s.Run(nil); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	s = simFixture(t)
+	s.Cfg.DetectionSlots = -1
+	if _, err := s.Run(nil); err == nil {
+		t.Error("negative latency accepted")
+	}
+	s = simFixture(t)
+	if _, err := s.Run([]Event{{Slot: -5}}); err == nil {
+		t.Error("negative event slot accepted")
+	}
+	s = simFixture(t)
+	s.Net = tsn.Network{}
+	if _, err := s.Run(nil); err == nil {
+		t.Error("invalid network accepted")
+	}
+	s = simFixture(t)
+	s.Flows = tsn.FlowSet{{ID: 0, Src: 0, Dsts: []int{1}, Period: 0, Deadline: 0, FrameSize: 1}}
+	if _, err := s.Run(nil); err == nil {
+		t.Error("invalid flows accepted")
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	s := simFixture(t)
+	events := []Event{{Slot: 77, Failure: nbf.Failure{Nodes: []int{3}}}}
+	r1, err := s.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalDelivered != r2.TotalDelivered || r1.TotalLost != r2.TotalLost {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	net := tsn.DefaultNetwork()
+	cfg := DefaultConfig(net)
+	if cfg.HorizonBasePeriods != 64 || cfg.DetectionSlots != 20 || cfg.ReconfigSlots != 20 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestDeliveryRateEmpty(t *testing.T) {
+	r := &Result{}
+	if r.DeliveryRate() != 1 {
+		t.Fatal("idle network should report full delivery")
+	}
+}

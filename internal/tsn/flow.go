@@ -1,0 +1,130 @@
+// Package tsn models the Time-Sensitive Networking substrate of the paper:
+// time-triggered (TT) flows, the slotted Time-Aware-Shaper (TAS) timeline
+// derived from the base period B, and a deterministic TT scheduler that
+// routes and reserves time slots for all flows on a given topology. The
+// scheduler is the schedulability oracle behind every Network Behaviour
+// Function (NBF).
+package tsn
+
+import (
+	"fmt"
+	"time"
+)
+
+// Flow is the specification of one TT flow (an element of FS in §II-A):
+// periodic safety-critical traffic from one source end station to one or
+// more destination end stations.
+type Flow struct {
+	// ID is a unique flow identifier, dense within a FlowSet.
+	ID int
+	// Name is an optional human-readable label.
+	Name string
+	// Src is the source end-station vertex ID.
+	Src int
+	// Dsts are the destination end-station vertex IDs (unicast flows have
+	// exactly one).
+	Dsts []int
+	// Period is the flow period; it must be a positive multiple of the base
+	// period.
+	Period time.Duration
+	// Deadline is the maximum source-to-destination latency; it must be
+	// positive and no larger than Period.
+	Deadline time.Duration
+	// FrameSize is the frame payload size in bytes (one frame per period
+	// fits one time slot, the standard TT setup with uniform bandwidth).
+	FrameSize int
+}
+
+// Validate checks the flow's internal consistency against a base period.
+func (f Flow) Validate(base time.Duration) error {
+	if f.Src < 0 {
+		return fmt.Errorf("flow %d: negative source", f.ID)
+	}
+	if len(f.Dsts) == 0 {
+		return fmt.Errorf("flow %d: no destinations", f.ID)
+	}
+	for _, d := range f.Dsts {
+		if d < 0 {
+			return fmt.Errorf("flow %d: negative destination", f.ID)
+		}
+		if d == f.Src {
+			return fmt.Errorf("flow %d: destination equals source %d", f.ID, f.Src)
+		}
+	}
+	if f.Period <= 0 || base <= 0 || f.Period%base != 0 {
+		return fmt.Errorf("flow %d: period %v must be a positive multiple of base %v", f.ID, f.Period, base)
+	}
+	if f.Deadline <= 0 || f.Deadline > f.Period {
+		return fmt.Errorf("flow %d: deadline %v must be in (0, period %v]", f.ID, f.Deadline, f.Period)
+	}
+	if f.FrameSize <= 0 {
+		return fmt.Errorf("flow %d: frame size must be positive", f.ID)
+	}
+	return nil
+}
+
+// Pair identifies a source and destination end-station pair. The error
+// message ER of an NBF is a set of Pairs (§II-B).
+type Pair struct {
+	Src int
+	Dst int
+}
+
+// String formats the pair for logs and error messages.
+func (p Pair) String() string { return fmt.Sprintf("(%d->%d)", p.Src, p.Dst) }
+
+// FlowSet is the complete TT flow specification FS.
+type FlowSet []Flow
+
+// Validate checks all flows and the uniqueness of IDs.
+func (fs FlowSet) Validate(base time.Duration) error {
+	seen := make(map[int]struct{}, len(fs))
+	for _, f := range fs {
+		if err := f.Validate(base); err != nil {
+			return err
+		}
+		if _, dup := seen[f.ID]; dup {
+			return fmt.Errorf("duplicate flow ID %d", f.ID)
+		}
+		seen[f.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Pairs returns every (source, destination) pair demanded by the flow set,
+// with duplicates preserved in flow order (multiple flows may share a
+// pair).
+func (fs FlowSet) Pairs() []Pair {
+	var ps []Pair
+	for _, f := range fs {
+		for _, d := range f.Dsts {
+			ps = append(ps, Pair{Src: f.Src, Dst: d})
+		}
+	}
+	return ps
+}
+
+// UniquePairs returns the deduplicated set of demanded pairs in first-seen
+// order.
+func (fs FlowSet) UniquePairs() []Pair {
+	seen := make(map[Pair]struct{})
+	var ps []Pair
+	for _, p := range fs.Pairs() {
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// Clone deep-copies the flow set.
+func (fs FlowSet) Clone() FlowSet {
+	c := make(FlowSet, len(fs))
+	for i, f := range fs {
+		c[i] = f
+		c[i].Dsts = append([]int(nil), f.Dsts...)
+	}
+	return c
+}

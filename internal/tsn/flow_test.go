@@ -1,0 +1,134 @@
+package tsn
+
+import (
+	"testing"
+	"time"
+)
+
+const base = 500 * time.Microsecond
+
+func unicast(id, src, dst int) Flow {
+	return Flow{
+		ID: id, Src: src, Dsts: []int{dst},
+		Period: base, Deadline: base, FrameSize: 100,
+	}
+}
+
+func TestFlowValidate(t *testing.T) {
+	good := unicast(0, 1, 2)
+	if err := good.Validate(base); err != nil {
+		t.Fatalf("valid flow rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Flow)
+	}{
+		{"negative src", func(f *Flow) { f.Src = -1 }},
+		{"no dests", func(f *Flow) { f.Dsts = nil }},
+		{"negative dest", func(f *Flow) { f.Dsts = []int{-2} }},
+		{"dest equals src", func(f *Flow) { f.Dsts = []int{f.Src} }},
+		{"zero period", func(f *Flow) { f.Period = 0 }},
+		{"period not multiple", func(f *Flow) { f.Period = base + time.Microsecond }},
+		{"zero deadline", func(f *Flow) { f.Deadline = 0 }},
+		{"deadline beyond period", func(f *Flow) { f.Deadline = 2 * base }},
+		{"zero frame", func(f *Flow) { f.FrameSize = 0 }},
+	}
+	for _, c := range cases {
+		f := unicast(0, 1, 2)
+		c.mut(&f)
+		if err := f.Validate(base); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestFlowSetValidateDuplicateIDs(t *testing.T) {
+	fs := FlowSet{unicast(1, 0, 2), unicast(1, 2, 3)}
+	if err := fs.Validate(base); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	fs = FlowSet{unicast(1, 0, 2), unicast(2, 2, 3)}
+	if err := fs.Validate(base); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+}
+
+func TestFlowSetPairs(t *testing.T) {
+	multi := Flow{ID: 3, Src: 0, Dsts: []int{1, 2}, Period: base, Deadline: base, FrameSize: 64}
+	fs := FlowSet{unicast(1, 0, 1), unicast(2, 1, 2), multi}
+	pairs := fs.Pairs()
+	if len(pairs) != 4 {
+		t.Fatalf("Pairs = %v, want 4 entries", pairs)
+	}
+	// (0->1) repeats via the multicast flow; unique pairs keep first-seen order.
+	uniq := fs.UniquePairs()
+	if len(uniq) != 3 {
+		t.Fatalf("UniquePairs = %v, want 3 entries", uniq)
+	}
+	if uniq[0] != (Pair{Src: 0, Dst: 1}) || uniq[1] != (Pair{Src: 1, Dst: 2}) || uniq[2] != (Pair{Src: 0, Dst: 2}) {
+		t.Fatalf("UniquePairs order wrong: %v", uniq)
+	}
+}
+
+func TestFlowSetClone(t *testing.T) {
+	fs := FlowSet{unicast(1, 0, 2)}
+	c := fs.Clone()
+	c[0].Dsts[0] = 9
+	if fs[0].Dsts[0] == 9 {
+		t.Fatal("Clone shares destination storage")
+	}
+}
+
+func TestPairString(t *testing.T) {
+	if s := (Pair{Src: 1, Dst: 2}).String(); s != "(1->2)" {
+		t.Fatalf("Pair.String = %q", s)
+	}
+}
+
+func TestNetworkValidateAndSlots(t *testing.T) {
+	n := DefaultNetwork()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("default network invalid: %v", err)
+	}
+	if n.SlotWidth() != 25*time.Microsecond {
+		t.Errorf("SlotWidth = %v, want 25µs", n.SlotWidth())
+	}
+	if n.PeriodSlots(base) != 20 {
+		t.Errorf("PeriodSlots(B) = %d, want 20", n.PeriodSlots(base))
+	}
+	if n.PeriodSlots(2*base) != 40 {
+		t.Errorf("PeriodSlots(2B) = %d, want 40", n.PeriodSlots(2*base))
+	}
+	if n.DeadlineSlots(base) != 20 {
+		t.Errorf("DeadlineSlots(B) = %d, want 20", n.DeadlineSlots(base))
+	}
+
+	bad := Network{BasePeriod: 0, SlotsPerBase: 20}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero base period accepted")
+	}
+	bad = Network{BasePeriod: base, SlotsPerBase: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero slots accepted")
+	}
+	bad = Network{BasePeriod: 7, SlotsPerBase: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("indivisible base period accepted")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	n := DefaultNetwork()
+	fs := FlowSet{
+		unicast(1, 0, 1),
+		{ID: 2, Src: 0, Dsts: []int{1}, Period: 2 * base, Deadline: base, FrameSize: 1},
+		{ID: 3, Src: 0, Dsts: []int{1}, Period: 3 * base, Deadline: base, FrameSize: 1},
+	}
+	if h := n.Hyperperiod(fs); h != 120 {
+		t.Fatalf("Hyperperiod = %d slots, want 120 (lcm of 20,40,60)", h)
+	}
+	if h := n.Hyperperiod(nil); h != 1 {
+		t.Fatalf("empty Hyperperiod = %d, want 1", h)
+	}
+}

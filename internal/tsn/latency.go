@@ -1,0 +1,85 @@
+package tsn
+
+import (
+	"fmt"
+	"time"
+)
+
+// Latency describes the end-to-end timing of one scheduled (flow,
+// destination) pair under the slotted TAS model: a frame released at its
+// period boundary is transmitted on its first hop in slot FirstSlot and
+// arrives at the destination by the end of slot ArrivalSlot.
+type Latency struct {
+	FlowID int
+	Dst    int
+	// FirstSlot and ArrivalSlot are relative to the release instant.
+	FirstSlot   int
+	ArrivalSlot int
+	// Delay is the worst-case source-to-destination latency: the end of
+	// the arrival slot.
+	Delay time.Duration
+	// Slack is Deadline − Delay (never negative for a valid schedule).
+	Slack time.Duration
+}
+
+// Latencies computes the per-pair worst-case delays of a flow state. It
+// errors on plans referencing unknown flows; an empty state yields an
+// empty slice.
+func Latencies(net Network, fs FlowSet, st *State) ([]Latency, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	flowsByID := make(map[int]Flow, len(fs))
+	for _, f := range fs {
+		flowsByID[f.ID] = f
+	}
+	width := net.SlotWidth()
+	out := make([]Latency, 0, len(st.Plans))
+	for _, p := range st.Plans {
+		f, ok := flowsByID[p.FlowID]
+		if !ok {
+			return nil, fmt.Errorf("latency: plan references unknown flow %d", p.FlowID)
+		}
+		if len(p.Slots) == 0 {
+			return nil, fmt.Errorf("latency: flow %d has an empty plan", p.FlowID)
+		}
+		arrival := p.ArrivalSlot()
+		delay := time.Duration(arrival+1) * width
+		out = append(out, Latency{
+			FlowID:      p.FlowID,
+			Dst:         p.Dst,
+			FirstSlot:   p.Slots[0],
+			ArrivalSlot: arrival,
+			Delay:       delay,
+			Slack:       f.Deadline - delay,
+		})
+	}
+	return out, nil
+}
+
+// MaxDelay returns the largest worst-case delay across all pairs (0 for an
+// empty state).
+func MaxDelay(lats []Latency) time.Duration {
+	var maxDelay time.Duration
+	for _, l := range lats {
+		if l.Delay > maxDelay {
+			maxDelay = l.Delay
+		}
+	}
+	return maxDelay
+}
+
+// MinSlack returns the tightest deadline slack across all pairs, and
+// whether any pair exists.
+func MinSlack(lats []Latency) (time.Duration, bool) {
+	if len(lats) == 0 {
+		return 0, false
+	}
+	minSlack := lats[0].Slack
+	for _, l := range lats[1:] {
+		if l.Slack < minSlack {
+			minSlack = l.Slack
+		}
+	}
+	return minSlack, true
+}

@@ -1,0 +1,75 @@
+package tsn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencies(t *testing.T) {
+	g := starTopo(t, 3)
+	net := DefaultNetwork() // 25 µs slots
+	fs := FlowSet{unicast(0, 0, 1), unicast(1, 2, 1)}
+	st, er, err := Scheduler{}.Schedule(g, net, fs)
+	if err != nil || len(er) != 0 {
+		t.Fatalf("schedule: er=%v err=%v", er, err)
+	}
+	lats, err := Latencies(net, fs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 2 {
+		t.Fatalf("latencies = %d", len(lats))
+	}
+	// Flow 0 (scheduled first): slots [0,1] -> arrival slot 1 -> 50 µs.
+	for _, l := range lats {
+		if l.FlowID == 0 {
+			if l.ArrivalSlot != 1 || l.Delay != 50*time.Microsecond {
+				t.Fatalf("flow 0 latency = %+v", l)
+			}
+			if l.Slack != 450*time.Microsecond {
+				t.Fatalf("flow 0 slack = %v", l.Slack)
+			}
+		}
+		if l.Slack < 0 {
+			t.Fatalf("negative slack in a valid schedule: %+v", l)
+		}
+		if l.FirstSlot > l.ArrivalSlot {
+			t.Fatalf("slot ordering wrong: %+v", l)
+		}
+	}
+	if MaxDelay(lats) < 50*time.Microsecond {
+		t.Fatalf("MaxDelay = %v", MaxDelay(lats))
+	}
+	if s, ok := MinSlack(lats); !ok || s <= 0 {
+		t.Fatalf("MinSlack = %v,%v", s, ok)
+	}
+}
+
+func TestLatenciesErrors(t *testing.T) {
+	net := DefaultNetwork()
+	if _, err := Latencies(Network{}, nil, &State{}); err == nil {
+		t.Error("invalid network accepted")
+	}
+	st := &State{Plans: []FlowPlan{{FlowID: 7, Slots: []int{0}}}}
+	if _, err := Latencies(net, nil, st); err == nil {
+		t.Error("unknown flow accepted")
+	}
+	fs := FlowSet{unicast(7, 0, 1)}
+	st = &State{Plans: []FlowPlan{{FlowID: 7}}}
+	if _, err := Latencies(net, fs, st); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestLatenciesEmptyState(t *testing.T) {
+	lats, err := Latencies(DefaultNetwork(), nil, &State{})
+	if err != nil || len(lats) != 0 {
+		t.Fatalf("empty state: %v %v", lats, err)
+	}
+	if MaxDelay(nil) != 0 {
+		t.Error("MaxDelay(nil) should be 0")
+	}
+	if _, ok := MinSlack(nil); ok {
+		t.Error("MinSlack(nil) should report absence")
+	}
+}

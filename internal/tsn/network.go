@@ -1,0 +1,79 @@
+package tsn
+
+import (
+	"fmt"
+	"time"
+)
+
+// Network describes the global TAS timing configuration of a TSSDN: the
+// base period B of the synchronized gate schedule and the number of time
+// slots it is uniformly divided into (§VI-A uses B = 500 µs and 20 slots).
+type Network struct {
+	// BasePeriod is B, the period of the global TAS schedule.
+	BasePeriod time.Duration
+	// SlotsPerBase is the number of uniform time slots per base period.
+	SlotsPerBase int
+}
+
+// DefaultNetwork returns the evaluation setup of the paper: a 500 µs base
+// period divided into 20 slots.
+func DefaultNetwork() Network {
+	return Network{BasePeriod: 500 * time.Microsecond, SlotsPerBase: 20}
+}
+
+// Validate checks the network configuration.
+func (n Network) Validate() error {
+	if n.BasePeriod <= 0 {
+		return fmt.Errorf("network: base period %v must be positive", n.BasePeriod)
+	}
+	if n.SlotsPerBase <= 0 {
+		return fmt.Errorf("network: slots per base %d must be positive", n.SlotsPerBase)
+	}
+	if n.BasePeriod%time.Duration(n.SlotsPerBase) != 0 {
+		return fmt.Errorf("network: base period %v not divisible into %d slots", n.BasePeriod, n.SlotsPerBase)
+	}
+	return nil
+}
+
+// SlotWidth returns the duration of one time slot.
+func (n Network) SlotWidth() time.Duration {
+	return n.BasePeriod / time.Duration(n.SlotsPerBase)
+}
+
+// PeriodSlots converts a flow period into a slot count. The period must be
+// a multiple of the base period, so this is always exact.
+func (n Network) PeriodSlots(period time.Duration) int {
+	return int(period / n.SlotWidth())
+}
+
+// DeadlineSlots converts a deadline into the last admissible arrival slot
+// (rounded down: arriving in slot s means arrival by the end of slot s, so
+// a deadline of d admits slots 0..d/width-1).
+func (n Network) DeadlineSlots(deadline time.Duration) int {
+	return int(deadline / n.SlotWidth())
+}
+
+// Hyperperiod returns the hyperperiod of the flow set in slots: the least
+// common multiple of all flow periods (in slots), the horizon over which
+// slot reservations repeat.
+func (n Network) Hyperperiod(fs FlowSet) int {
+	h := 1
+	for _, f := range fs {
+		h = lcm(h, n.PeriodSlots(f.Period))
+	}
+	return h
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}

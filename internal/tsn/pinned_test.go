@@ -1,0 +1,212 @@
+package tsn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// frerTopo builds two end stations dual-connected via two switches:
+// es0 - sw2 - es1 and es0 - sw3 - es1.
+func frerTopo(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("", graph.KindEndStation) // 0
+	g.AddVertex("", graph.KindEndStation) // 1
+	g.AddVertex("", graph.KindSwitch)     // 2
+	g.AddVertex("", graph.KindSwitch)     // 3
+	for _, sw := range []int{2, 3} {
+		mustEdge(t, g, 0, sw)
+		mustEdge(t, g, 1, sw)
+	}
+	return g
+}
+
+func TestSchedulePinnedPathsFRERReplicas(t *testing.T) {
+	g := frerTopo(t)
+	f := unicast(0, 0, 1)
+	pinned := []PinnedFlow{
+		{Flow: f, Dst: 1, Path: graph.Path{0, 2, 1}, Tag: 0},
+		{Flow: f, Dst: 1, Path: graph.Path{0, 3, 1}, Tag: 1},
+	}
+	st, failed, err := Scheduler{}.SchedulePinnedPaths(g, DefaultNetwork(), pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("failed = %v", failed)
+	}
+	if len(st.Plans) != 2 {
+		t.Fatalf("plans = %d, want 2 replicas", len(st.Plans))
+	}
+	// Replicas use disjoint paths, so both can start at slot 0.
+	if st.Plans[0].Slots[0] != 0 || st.Plans[1].Slots[0] != 0 {
+		t.Fatalf("slots = %v / %v", st.Plans[0].Slots, st.Plans[1].Slots)
+	}
+}
+
+func TestSchedulePinnedPathsContention(t *testing.T) {
+	// Two replicas forced onto the SAME path must serialize; with a 2-slot
+	// base period the second cannot fit its increasing-slot chain.
+	net := Network{BasePeriod: 2 * time.Microsecond, SlotsPerBase: 2}
+	g := frerTopo(t)
+	f := Flow{ID: 0, Src: 0, Dsts: []int{1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 1}
+	pinned := []PinnedFlow{
+		{Flow: f, Dst: 1, Path: graph.Path{0, 2, 1}, Tag: 0},
+		{Flow: f, Dst: 1, Path: graph.Path{0, 2, 1}, Tag: 1},
+	}
+	_, failed, err := Scheduler{}.SchedulePinnedPaths(g, net, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 {
+		t.Fatalf("failed = %v, want one replica rejected", failed)
+	}
+}
+
+func TestSchedulePinnedPathsErrors(t *testing.T) {
+	g := frerTopo(t)
+	f := unicast(0, 0, 1)
+	// Endpoint mismatch.
+	if _, _, err := (Scheduler{}).SchedulePinnedPaths(g, DefaultNetwork(), []PinnedFlow{
+		{Flow: f, Dst: 1, Path: graph.Path{1, 2, 0}},
+	}); err == nil {
+		t.Error("reversed path accepted")
+	}
+	// Missing edge.
+	if _, _, err := (Scheduler{}).SchedulePinnedPaths(g, DefaultNetwork(), []PinnedFlow{
+		{Flow: f, Dst: 1, Path: graph.Path{0, 1}},
+	}); err == nil {
+		t.Error("path over missing edge accepted")
+	}
+	// Invalid network.
+	if _, _, err := (Scheduler{}).SchedulePinnedPaths(g, Network{}, nil); err == nil {
+		t.Error("invalid network accepted")
+	}
+	// Invalid flow.
+	bad := f
+	bad.Period = 0
+	if _, _, err := (Scheduler{}).SchedulePinnedPaths(g, DefaultNetwork(), []PinnedFlow{
+		{Flow: bad, Dst: 1, Path: graph.Path{0, 2, 1}},
+	}); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}
+
+func TestScheduleAroundPinsAndExtends(t *testing.T) {
+	g := frerTopo(t)
+	net := DefaultNetwork()
+	fs := FlowSet{unicast(0, 0, 1), unicast(1, 1, 0)}
+
+	// Schedule flow 0 alone, then pin it and schedule flow 1 around it.
+	first, er, err := Scheduler{}.Schedule(g, net, FlowSet{fs[0]})
+	if err != nil || len(er) != 0 {
+		t.Fatalf("first: er=%v err=%v", er, err)
+	}
+	combined, er, err := Scheduler{}.ScheduleAround(g, net, fs, first, FlowSet{fs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 0 {
+		t.Fatalf("ER = %v", er)
+	}
+	if len(combined.Plans) != 2 {
+		t.Fatalf("plans = %d", len(combined.Plans))
+	}
+	// The pinned plan must be unchanged.
+	p0, ok := combined.PlanFor(0, 1)
+	if !ok || !p0.Path.Equal(first.Plans[0].Path) {
+		t.Fatal("pinned plan was altered")
+	}
+	if err := VerifyState(g, net, fs, combined); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleAroundRespectsPinnedSlots(t *testing.T) {
+	// Pin a plan occupying slot 0 on 0->2; the pending flow sharing that
+	// directed link must take a later slot.
+	g := frerTopo(t)
+	net := DefaultNetwork()
+	fs := FlowSet{unicast(0, 0, 1), unicast(1, 0, 1)}
+	pinned := &State{Net: net, Plans: []FlowPlan{
+		{FlowID: 0, Dst: 1, Path: graph.Path{0, 2, 1}, Slots: []int{0, 1}},
+	}}
+	combined, er, err := Scheduler{}.ScheduleAround(g, net, fs, pinned, FlowSet{fs[1]})
+	if err != nil || len(er) != 0 {
+		t.Fatalf("er=%v err=%v", er, err)
+	}
+	p1, _ := combined.PlanFor(1, 1)
+	if p1.Path.Equal(graph.Path{0, 2, 1}) && p1.Slots[0] == 0 {
+		t.Fatal("pending flow reused a pinned slot")
+	}
+	if err := VerifyState(g, net, fs, combined); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleAroundInvalidNetwork(t *testing.T) {
+	g := frerTopo(t)
+	if _, _, err := (Scheduler{}).ScheduleAround(g, Network{}, nil, nil, nil); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestVerifyStateDetectsCorruption(t *testing.T) {
+	g := frerTopo(t)
+	net := DefaultNetwork()
+	fs := FlowSet{unicast(0, 0, 1)}
+	st, _, err := Scheduler{}.Schedule(g, net, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(*State)) error {
+		c := &State{Net: st.Net, Plans: make([]FlowPlan, len(st.Plans))}
+		for i, p := range st.Plans {
+			c.Plans[i] = FlowPlan{FlowID: p.FlowID, Dst: p.Dst, Path: p.Path.Clone(), Slots: append([]int(nil), p.Slots...)}
+		}
+		mut(c)
+		return VerifyState(g, net, fs, c)
+	}
+	if err := corrupt(func(s *State) { s.Plans[0].FlowID = 99 }); err == nil {
+		t.Error("unknown flow not detected")
+	}
+	if err := corrupt(func(s *State) { s.Plans[0].Slots[1] = s.Plans[0].Slots[0] }); err == nil {
+		t.Error("non-increasing slots not detected")
+	}
+	if err := corrupt(func(s *State) { s.Plans[0].Slots[1] = 100 }); err == nil {
+		t.Error("deadline violation not detected")
+	}
+	if err := corrupt(func(s *State) { s.Plans[0].Slots = s.Plans[0].Slots[:1] }); err == nil {
+		t.Error("slot/hop mismatch not detected")
+	}
+	if err := corrupt(func(s *State) { s.Plans[0].Path = graph.Path{0, 1} }); err == nil {
+		t.Error("missing topology edge not detected")
+	}
+	if err := corrupt(func(s *State) { s.Plans[0].Path = graph.Path{0, 2, 0} }); err == nil {
+		t.Error("looped path not detected")
+	}
+	if err := corrupt(func(s *State) { s.Plans[0].Dst = 0 }); err == nil {
+		t.Error("endpoint mismatch not detected")
+	}
+	// Duplicate plan: same directed link + slot collides.
+	c := &State{Net: st.Net, Plans: append(append([]FlowPlan(nil), st.Plans...), st.Plans...)}
+	if err := VerifyState(g, net, fs, c); err == nil {
+		t.Error("slot collision not detected")
+	}
+}
+
+func TestLCMAndGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{4, 6, 12}, {1, 7, 7}, {20, 20, 20}, {0, 5, 0}, {5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := lcm(c.a, c.b); got != c.want {
+			t.Errorf("lcm(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if gcd(12, 18) != 6 {
+		t.Error("gcd wrong")
+	}
+}
