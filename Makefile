@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-quick eval-micro eval-small examples coverage loc clean
+.PHONY: all build test test-short race vet bench bench-quick eval-micro eval-small examples coverage loc clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent training core (multi-worker
+# exploration, panic quarantine, cancellation).
+race:
+	$(GO) test -race -short ./...
 
 # One iteration of every table/figure/ablation benchmark.
 bench-quick:

@@ -22,6 +22,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/nbf"
 	"repro/internal/scenarios"
+	"repro/internal/serialize"
 )
 
 func main() {
@@ -200,17 +201,11 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// writeCSV creates path and streams CSV content through fn.
+// writeCSV streams CSV content through fn into path atomically (temp file
+// + rename, Close error checked), so a short write to a full disk is
+// reported instead of leaving a truncated file behind.
 func writeCSV(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := fn(f); err != nil {
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	return nil
+	return serialize.WriteFileAtomic(path, fn)
 }
 
 func parseInts(csv string) ([]int, error) {

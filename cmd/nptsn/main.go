@@ -2,19 +2,31 @@
 // scenarios: it trains the RL-based network generator and prints the best
 // topology, ASIL allocation and cost found.
 //
+// Long training runs are resilient: -checkpoint FILE writes an atomic
+// training checkpoint every -checkpoint-every epochs and again on SIGINT/
+// SIGTERM, and -resume FILE continues a run from such a checkpoint — with
+// the same scenario, seed and hyperparameters, the resumed run reproduces
+// the uninterrupted run's per-epoch statistics exactly. An interrupt prints
+// the best solution found so far before exiting cleanly.
+//
 // Examples:
 //
 //	nptsn -scenario ads -epochs 16 -steps 256
 //	nptsn -scenario orion -flows 10 -seed 3 -epochs 8 -steps 128 -workers 2
+//	nptsn -scenario ads -epochs 256 -checkpoint run.ckpt -checkpoint-every 16
+//	nptsn -scenario ads -epochs 256 -resume run.ckpt -checkpoint run.ckpt
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -27,13 +39,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nptsn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nptsn", flag.ContinueOnError)
 	var (
 		scenarioName = fs.String("scenario", "ads", "design scenario: ads or orion")
@@ -51,6 +65,9 @@ func run(args []string, out io.Writer) error {
 		problemOut   = fs.String("dump-problem", "", "write the problem as JSON to this file")
 		dotOut       = fs.String("dot", "", "write the solution as Graphviz DOT to this file")
 		csvOut       = fs.String("csv", "", "write per-epoch training statistics as CSV to this file")
+		ckptPath     = fs.String("checkpoint", "", "write training checkpoints to this file (atomic temp+rename)")
+		ckptEvery    = fs.Int("checkpoint-every", 8, "epochs between checkpoint writes (with -checkpoint)")
+		resumePath   = fs.String("resume", "", "resume training from this checkpoint file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +109,20 @@ func run(args []string, out io.Writer) error {
 	cfg.MaxStep = *steps
 	cfg.Workers = *workers
 	cfg.Seed = *seed
+	if *ckptPath != "" {
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.CheckpointFunc = func(ck *core.Checkpoint) error {
+			return serialize.SaveCheckpoint(*ckptPath, ck)
+		}
+	}
+	if *resumePath != "" {
+		ck, err := serialize.LoadCheckpoint(*resumePath, prob.Connections)
+		if err != nil {
+			return err
+		}
+		cfg.Resume = ck
+		fmt.Fprintf(out, "resuming from %s (epoch %d of %d)\n", *resumePath, ck.Epoch, cfg.MaxEpoch)
+	}
 
 	fmt.Fprintf(out, "scenario %s: %d end stations, %d optional switches, %d optional links, %d flows\n",
 		scen.Name,
@@ -103,16 +134,34 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report, err := planner.Plan()
+	report, err := planner.PlanContext(ctx)
 	if err != nil {
 		return err
 	}
 
+	lastEpoch := 0
+	if n := len(report.Epochs); n > 0 {
+		lastEpoch = report.Epochs[n-1].Epoch
+	}
 	for _, e := range report.Epochs {
-		if e.Epoch == 1 || e.Epoch%8 == 0 || e.Epoch == len(report.Epochs) {
+		if e.Epoch == 1 || e.Epoch%8 == 0 || e.Epoch == lastEpoch {
 			fmt.Fprintf(out, "epoch %3d: reward %8.4f  trajectories %3d  solutions %2d  dead-ends %2d  best %.0f\n",
 				e.Epoch, e.Reward, e.Trajectories, e.Solutions, e.DeadEnds, e.BestCost)
 		}
+		for _, p := range e.Panics {
+			fmt.Fprintf(out, "epoch %3d: recovered %s\n", e.Epoch, p)
+		}
+		if e.Divergences > 0 {
+			fmt.Fprintf(out, "epoch %3d: %d divergence rollback(s), learning rates halved\n", e.Epoch, e.Divergences)
+		}
+	}
+
+	if report.Interrupted {
+		fmt.Fprintf(out, "interrupted after %d completed epoch(s)", len(report.Epochs))
+		if *ckptPath != "" && len(report.Epochs) > 0 {
+			fmt.Fprintf(out, "; checkpoint written to %s (resume with -resume %s)", *ckptPath, *ckptPath)
+		}
+		fmt.Fprintln(out)
 	}
 
 	if !report.GuaranteeMet() {
@@ -158,30 +207,18 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// writeFile creates path and streams content through fn.
+// writeFile streams content through fn into path atomically (temp file +
+// rename, Close error checked), so a full disk or crash reports an error
+// instead of leaving a truncated file that looks like success.
 func writeFile(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := fn(f); err != nil {
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	return nil
+	return serialize.WriteFileAtomic(path, fn)
 }
 
-// writeJSONFile persists v as indented JSON.
+// writeJSONFile persists v as indented JSON, atomically.
 func writeJSONFile(path string, v interface{}) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := serialize.WriteJSON(f, v); err != nil {
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	return nil
+	return serialize.WriteFileAtomic(path, func(w io.Writer) error {
+		return serialize.WriteJSON(w, v)
+	})
 }
 
 // renderSolution prints the switches (with ASIL and degree) and links of a

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,7 @@ func TestRunADSMicro(t *testing.T) {
 	probPath := filepath.Join(dir, "p.json")
 	solPath := filepath.Join(dir, "s.json")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-scenario", "ads", "-epochs", "2", "-steps", "48",
 		"-k", "4", "-mlp", "16", "-seed", "2",
 		"-dump-problem", probPath, "-out", solPath,
@@ -40,22 +41,86 @@ func TestRunADSMicro(t *testing.T) {
 
 func TestRunUnknownScenario(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "mars"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "mars"}, &out); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
 }
 
 func TestRunUnknownNBF(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-nbf", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nbf", "bogus"}, &out); err == nil {
 		t.Fatal("unknown NBF accepted")
 	}
 }
 
 func TestRunBadFlagValue(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-epochs", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-epochs", "0"}, &out); err == nil {
 		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "run.ckpt")
+	common := []string{
+		"-scenario", "ads", "-steps", "48",
+		"-k", "4", "-mlp", "16", "-seed", "2",
+	}
+
+	// Reference: 4 epochs straight through.
+	var ref bytes.Buffer
+	if err := run(context.Background(), append([]string{"-epochs", "4"}, common...), &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// First half: 2 epochs with checkpointing.
+	var first bytes.Buffer
+	args := append([]string{"-epochs", "2", "-checkpoint", ckptPath, "-checkpoint-every", "1"}, common...)
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Second half: resume to 4 epochs.
+	var second bytes.Buffer
+	args = append([]string{"-epochs", "4", "-resume", ckptPath}, common...)
+	if err := run(context.Background(), args, &second); err != nil {
+		t.Fatal(err)
+	}
+	text := second.String()
+	if !strings.Contains(text, "resuming from "+ckptPath+" (epoch 2 of 4)") {
+		t.Fatalf("missing resume banner:\n%s", text)
+	}
+	// The final result line of the resumed run must equal the reference's.
+	refResult := lastResultLine(ref.String())
+	resResult := lastResultLine(text)
+	if refResult == "" || refResult != resResult {
+		t.Fatalf("resumed result %q differs from reference %q", resResult, refResult)
+	}
+}
+
+// lastResultLine extracts the "result: ..." line of a run's output.
+func lastResultLine(s string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "result:") {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestRunResumeMissingCheckpoint(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-scenario", "ads", "-epochs", "2", "-steps", "48",
+		"-k", "4", "-mlp", "16",
+		"-resume", filepath.Join(t.TempDir(), "nope.ckpt"),
+	}, &out)
+	if err == nil {
+		t.Fatal("missing checkpoint accepted")
 	}
 }
 
@@ -64,7 +129,7 @@ func TestRunDotAndCSVOutputs(t *testing.T) {
 	dotPath := filepath.Join(dir, "sol.dot")
 	csvPath := filepath.Join(dir, "train.csv")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-scenario", "ads", "-epochs", "2", "-steps", "48",
 		"-k", "4", "-mlp", "16", "-seed", "2",
 		"-dot", dotPath, "-csv", csvPath,

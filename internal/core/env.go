@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/asil"
 	"repro/internal/failure"
+	"repro/internal/graph"
 	"repro/internal/nbf"
+	"repro/internal/rng"
 	"repro/internal/tsn"
 )
 
@@ -34,7 +38,13 @@ type Env struct {
 	enc      *Encoder
 	scaler   float64
 	bonus    float64
+	src      *rng.Source
 	rng      *rand.Rand
+	// rngBeforeGen is the RNG state captured immediately before the last
+	// SOAG generation. Checkpoints store it: restoring it and re-running
+	// the analyzer regenerates the identical action set and leaves the RNG
+	// exactly where the uninterrupted run had it.
+	rngBeforeGen uint64
 
 	state   *TSSDN
 	actions *ActionSet
@@ -63,6 +73,7 @@ func NewEnv(prob *Problem, cfg Config, seed int64) (*Env, error) {
 	}
 	soag.DisableDegreeMask = cfg.DisableSOAGMasking
 	soag.ExhaustiveValidPaths = cfg.ExhaustivePathGeneration
+	src := rng.New(seed)
 	e := &Env{
 		prob: prob,
 		soag: soag,
@@ -77,10 +88,11 @@ func NewEnv(prob *Problem, cfg Config, seed int64) (*Env, error) {
 		enc:    NewEncoderWithOptions(prob, cfg.K, cfg.PerFlowEncoding),
 		scaler: cfg.RewardScale,
 		bonus:  cfg.SolutionBonus,
-		rng:    rand.New(rand.NewSource(seed)),
+		src:    src,
+		rng:    rand.New(src),
 		state:  NewTSSDN(prob),
 	}
-	if err := e.analyzeAndGenerate(); err != nil {
+	if err := e.analyzeAndGenerate(context.Background()); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -88,8 +100,8 @@ func NewEnv(prob *Problem, cfg Config, seed int64) (*Env, error) {
 
 // analyzeAndGenerate runs the failure analyzer on the current state and
 // refreshes the action set from the SOAG.
-func (e *Env) analyzeAndGenerate() error {
-	res, err := e.analyzer.Analyze(e.state.Topo, e.state.Assign, e.prob.Flows)
+func (e *Env) analyzeAndGenerate(ctx context.Context) error {
+	res, err := e.analyzer.AnalyzeContext(ctx, e.state.Topo, e.state.Assign, e.prob.Flows)
 	if err != nil {
 		return fmt.Errorf("env: %w", err)
 	}
@@ -97,6 +109,7 @@ func (e *Env) analyzeAndGenerate() error {
 	e.lastGf = res.Failure
 	e.lastER = res.ER
 	e.lastOK = res.OK
+	e.rngBeforeGen = e.src.State()
 	e.actions = e.soag.Generate(e.state, e.lastGf, e.lastER, e.rng)
 	return nil
 }
@@ -121,10 +134,10 @@ func (e *Env) State() *TSSDN { return e.state }
 func (e *Env) Solved() bool { return e.lastOK }
 
 // reset clears the TSSDN and refreshes analysis + actions.
-func (e *Env) reset() error {
+func (e *Env) reset(ctx context.Context) error {
 	e.state.Reset()
 	e.cost = 0
-	return e.analyzeAndGenerate()
+	return e.analyzeAndGenerate(ctx)
 }
 
 // Step applies action index idx (which must be unmasked unless SOAG
@@ -133,6 +146,14 @@ func (e *Env) reset() error {
 // OutcomeDeadEnd the state has been reset and the reward includes the -1
 // penalty (Algorithm 2, lines 8-16).
 func (e *Env) Step(idx int) (float64, StepOutcome, error) {
+	return e.StepContext(context.Background(), idx)
+}
+
+// StepContext is Step with cancellation: the failure analysis triggered by
+// the action checks ctx before every NBF recovery simulation, so a
+// deadline or a SIGINT-driven cancel interrupts even a long analysis. On
+// cancellation the error wraps ctx.Err().
+func (e *Env) StepContext(ctx context.Context, idx int) (float64, StepOutcome, error) {
 	if idx < 0 || idx >= e.actions.Size() {
 		return 0, 0, fmt.Errorf("env: action index %d out of range", idx)
 	}
@@ -155,7 +176,7 @@ func (e *Env) Step(idx int) (float64, StepOutcome, error) {
 			return 0, 0, fmt.Errorf("env: unmasked action failed: %w", applyErr)
 		}
 		e.DeadEnds++
-		if err := e.reset(); err != nil {
+		if err := e.reset(ctx); err != nil {
 			return 0, 0, err
 		}
 		return -1, OutcomeDeadEnd, nil
@@ -169,7 +190,7 @@ func (e *Env) Step(idx int) (float64, StepOutcome, error) {
 	reward := (e.cost - newCost) / e.scaler
 	e.cost = newCost
 
-	if err := e.analyzeAndGenerate(); err != nil {
+	if err := e.analyzeAndGenerate(ctx); err != nil {
 		return 0, 0, err
 	}
 	if e.lastOK {
@@ -183,7 +204,7 @@ func (e *Env) Step(idx int) (float64, StepOutcome, error) {
 				FoundAtStep: e.Steps,
 			}
 		}
-		if err := e.reset(); err != nil {
+		if err := e.reset(ctx); err != nil {
 			return 0, 0, err
 		}
 		return reward + e.bonus, OutcomeSolved, nil
@@ -191,10 +212,94 @@ func (e *Env) Step(idx int) (float64, StepOutcome, error) {
 	if e.actions.AllMasked() {
 		// No valid action remains: penalty and reset (line 14-16).
 		e.DeadEnds++
-		if err := e.reset(); err != nil {
+		if err := e.reset(ctx); err != nil {
 			return 0, 0, err
 		}
 		return reward - 1, OutcomeDeadEnd, nil
 	}
 	return reward, OutcomeContinue, nil
+}
+
+// EnvState is a serializable snapshot of the environment at an epoch
+// boundary: the TSSDN under construction, the running cost, the outcome
+// counters and the RNG state from just before the current action set was
+// generated. The best-so-far solution is carried separately (see
+// WorkerState) because it needs the richer solution codec.
+type EnvState struct {
+	Edges     []graph.Edge       `json:"edges,omitempty"`
+	Switches  map[int]asil.Level `json:"switches,omitempty"`
+	Cost      float64            `json:"cost"`
+	Steps     int                `json:"steps"`
+	Solutions int                `json:"solutions"`
+	DeadEnds  int                `json:"deadEnds"`
+	NBFCalls  int                `json:"nbfCalls"`
+	RNG       uint64             `json:"rng"`
+}
+
+// ExportState snapshots the environment. All mutable data is deep-copied,
+// so the snapshot stays valid while the environment keeps stepping.
+func (e *Env) ExportState() EnvState {
+	st := EnvState{
+		Edges:     e.state.Topo.Edges(),
+		Cost:      e.cost,
+		Steps:     e.Steps,
+		Solutions: e.Solutions,
+		DeadEnds:  e.DeadEnds,
+		NBFCalls:  e.NBFCalls,
+		RNG:       e.rngBeforeGen,
+	}
+	if len(e.state.Assign.Switches) > 0 {
+		st.Switches = make(map[int]asil.Level, len(e.state.Assign.Switches))
+		for sw, lvl := range e.state.Assign.Switches {
+			st.Switches[sw] = lvl
+		}
+	}
+	return st
+}
+
+// ImportState restores a snapshot taken with ExportState against the same
+// problem. It rebuilds the TSSDN (link ASILs are re-derived from the
+// endpoint-minimum invariant), rewinds the RNG to the pre-generation state
+// and re-runs the failure analysis, which regenerates the exact action set
+// the snapshotted environment was holding. best becomes the environment's
+// best-so-far solution (cloned; nil is allowed).
+func (e *Env) ImportState(st EnvState, best *Solution) error {
+	e.state.Reset()
+	for sw, lvl := range st.Switches {
+		if e.prob.Connections.Kind(sw) != graph.KindSwitch {
+			return fmt.Errorf("env: restore: vertex %d is not an optional switch", sw)
+		}
+		if !lvl.Valid() {
+			return fmt.Errorf("env: restore: switch %d has invalid ASIL %d", sw, int(lvl))
+		}
+		e.state.Assign.Switches[sw] = lvl
+	}
+	for _, ed := range st.Edges {
+		if !e.prob.Connections.HasEdge(ed.U, ed.V) {
+			return fmt.Errorf("env: restore: edge (%d,%d) not in the connection graph", ed.U, ed.V)
+		}
+		if err := e.state.Topo.AddEdge(ed.U, ed.V, ed.Length); err != nil {
+			return fmt.Errorf("env: restore: %w", err)
+		}
+		e.state.Assign.SetLink(ed.U, ed.V, asil.Min(e.state.vertexLevel(ed.U), e.state.vertexLevel(ed.V)))
+	}
+	if err := e.state.CheckInvariants(); err != nil {
+		return fmt.Errorf("env: restore: %w", err)
+	}
+	e.src.SetState(st.RNG)
+	if err := e.analyzeAndGenerate(context.Background()); err != nil {
+		return fmt.Errorf("env: restore: %w", err)
+	}
+	// Counters are restored after the analysis so its NBF calls don't
+	// double-count against the snapshot.
+	e.cost = st.Cost
+	e.Steps = st.Steps
+	e.Solutions = st.Solutions
+	e.DeadEnds = st.DeadEnds
+	e.NBFCalls = st.NBFCalls
+	e.best = nil
+	if best != nil {
+		e.best = best.Clone()
+	}
+	return nil
 }

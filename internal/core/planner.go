@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/nn"
 	"repro/internal/rl"
+	"repro/internal/rng"
 )
 
 // EpochStats records one training epoch for reporting (the Fig. 5 curves).
@@ -26,6 +30,13 @@ type EpochStats struct {
 	PolicyLoss float64
 	ValueLoss  float64
 	ApproxKL   float64
+	// Panics lists the recovered panics of quarantined workers this epoch
+	// (empty in a healthy epoch); their step quota was rebalanced across
+	// the surviving workers.
+	Panics []string `json:",omitempty"`
+	// Divergences counts NaN-watchdog rollbacks during this epoch's PPO
+	// update; each one halved both learning rates.
+	Divergences int `json:",omitempty"`
 	// Duration is the wall-clock time of the epoch (exploration +
 	// update); the paper reports ~39 s/epoch for ORION and ~10 s for ADS
 	// on its Python stack.
@@ -42,6 +53,11 @@ type Report struct {
 	// into Config.InitialWeights to continue training or to plan related
 	// problem instances without starting cold.
 	FinalWeights [][]float64
+	// Interrupted is true when training stopped early because the context
+	// was cancelled (deadline or signal). Epochs then holds only the
+	// completed epochs; the in-flight epoch was discarded so that a
+	// checkpoint-resumed run stays bit-identical to an uninterrupted one.
+	Interrupted bool
 }
 
 // GuaranteeMet reports whether any recorded solution satisfied the goal.
@@ -51,6 +67,18 @@ func (r *Report) GuaranteeMet() bool { return r.Best != nil }
 type Planner struct {
 	prob *Problem
 	cfg  Config
+
+	// hooks are test-only injection points (fault injection, epoch fences).
+	hooks plannerHooks
+}
+
+// plannerHooks lets resilience tests inject faults deterministically.
+type plannerHooks struct {
+	// explorePanic runs at the start of each worker's exploration; a test
+	// hook may panic to simulate a crashing worker.
+	explorePanic func(epoch, worker int)
+	// afterEpoch runs after each completed epoch (e.g. to cancel a ctx).
+	afterEpoch func(epoch int)
 }
 
 // NewPlanner validates inputs and builds a planner.
@@ -68,6 +96,7 @@ func NewPlanner(prob *Problem, cfg Config) (*Planner, error) {
 type worker struct {
 	env  *Env
 	nets *Nets
+	src  *rng.Source
 	rng  *rand.Rand
 	buf  *rl.Buffer
 
@@ -75,12 +104,20 @@ type worker struct {
 	solutions    int
 	deadEnds     int
 	err          error
+	panicMsg     string
+	interrupted  bool
 }
 
 // explore gathers `steps` environment steps into the worker's buffer
-// (Algorithm 2 lines 4-18, per processor).
-func (w *worker) explore(steps int) {
+// (Algorithm 2 lines 4-18, per processor). It stops early when ctx is
+// cancelled, leaving the buffer in an undefined (possibly unfinished)
+// state; the planner discards the whole epoch in that case.
+func (w *worker) explore(ctx context.Context, steps int) {
 	for j := 0; j < steps; j++ {
+		if ctx.Err() != nil {
+			w.interrupted = true
+			return
+		}
 		obs := w.env.Observation()
 		mask := append([]bool(nil), w.env.Mask()...)
 		if allFalse(mask) {
@@ -96,9 +133,13 @@ func (w *worker) explore(steps int) {
 		logp := nn.LogSoftmax(masked)[action]
 		value := w.nets.ForwardValue(obs)
 
-		reward, outcome, err := w.env.Step(action)
+		reward, outcome, err := w.env.StepContext(ctx, action)
 		if err != nil {
-			w.err = err
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				w.interrupted = true
+			} else {
+				w.err = err
+			}
 			return
 		}
 		w.buf.Store(rl.Step{
@@ -133,6 +174,26 @@ func allFalse(mask []bool) bool {
 // Plan trains the decision maker and returns the best TSSDN found together
 // with the per-epoch training statistics.
 func (p *Planner) Plan() (*Report, error) {
+	return p.PlanContext(context.Background())
+}
+
+// PlanContext is Plan with cancellation and resilience semantics:
+//
+//   - When ctx is cancelled (deadline, SIGINT handler), the in-flight epoch
+//     is discarded, the last completed epoch is checkpointed (when
+//     Config.CheckpointFunc is set), and the report collected so far is
+//     returned with Interrupted set — no error.
+//   - A worker that panics is quarantined for the epoch: its partial data
+//     is dropped, its step quota is re-collected by the surviving workers,
+//     the panic is surfaced in EpochStats.Panics, and its environment is
+//     reset so it rejoins the next epoch. Training fails only when every
+//     worker panicked.
+//   - A PPO update that diverges (NaN/Inf losses or weights) is rolled
+//     back and retried with halved learning rates up to
+//     Config.DivergenceRetries times; exhausting the budget returns an
+//     error wrapping rl.ErrDiverged with the networks left at the last
+//     good weights.
+func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 	global, err := p.buildNets(rand.New(rand.NewSource(p.cfg.Seed)))
 	if err != nil {
 		return nil, err
@@ -149,7 +210,7 @@ func (p *Planner) Plan() (*Report, error) {
 
 	workers := make([]*worker, p.cfg.Workers)
 	for i := range workers {
-		wrng := rand.New(rand.NewSource(p.cfg.Seed + int64(i)*7919 + 1))
+		src := rng.New(p.cfg.Seed + int64(i)*7919 + 1)
 		env, err := NewEnv(p.prob, p.cfg, p.cfg.Seed+int64(i)*104729+2)
 		if err != nil {
 			return nil, err
@@ -159,11 +220,18 @@ func (p *Planner) Plan() (*Report, error) {
 			return nil, err
 		}
 		nets.SyncFrom(global)
-		workers[i] = &worker{env: env, nets: nets, rng: wrng}
+		workers[i] = &worker{env: env, nets: nets, src: src, rng: rand.New(src)}
 	}
 
-	// Trivial problem: the empty network already satisfies the goal.
-	if workers[0].env.Solved() {
+	report := &Report{}
+	startEpoch := 1
+	if p.cfg.Resume != nil {
+		if err := p.restore(p.cfg.Resume, global, ppo, workers, report); err != nil {
+			return nil, err
+		}
+		startEpoch = p.cfg.Resume.Epoch + 1
+	} else if workers[0].env.Solved() {
+		// Trivial problem: the empty network already satisfies the goal.
 		sol := &Solution{
 			Topology:   workers[0].env.State().Topo.Clone(),
 			Assignment: workers[0].env.State().Assign.Clone(),
@@ -171,29 +239,63 @@ func (p *Planner) Plan() (*Report, error) {
 		return &Report{Best: sol}, nil
 	}
 
-	report := &Report{}
 	stepsPerWorker := p.cfg.MaxStep / p.cfg.Workers
 	if stepsPerWorker == 0 {
-		stepsPerWorker = 1
+		stepsPerWorker = 1 // unreachable: Validate rejects Workers > MaxStep
 	}
 
-	for epoch := 1; epoch <= p.cfg.MaxEpoch; epoch++ {
+	var lastCkpt *Checkpoint
+	lastWritten := 0
+
+	for epoch := startEpoch; epoch <= p.cfg.MaxEpoch; epoch++ {
+		if ctx.Err() != nil {
+			report.Interrupted = true
+			break
+		}
 		epochStart := time.Now()
 		var wg sync.WaitGroup
-		for _, w := range workers {
+		for i, w := range workers {
 			w.buf = rl.NewBuffer(p.cfg.Discount, p.cfg.GAELambda)
 			w.trajectories, w.solutions, w.deadEnds = 0, 0, 0
+			w.err, w.panicMsg, w.interrupted = nil, "", false
 			wg.Add(1)
-			go func(w *worker) {
-				defer wg.Done()
-				w.explore(stepsPerWorker)
-			}(w)
+			go p.runWorker(ctx, &wg, w, epoch, i, stepsPerWorker)
 		}
 		wg.Wait()
+		if ctx.Err() != nil {
+			// Discard the partial epoch: buffers may hold unfinished paths
+			// and an update on them would break resume reproducibility.
+			report.Interrupted = true
+			break
+		}
+
+		es := EpochStats{Epoch: epoch}
+		var healthy []*worker
+		for _, w := range workers {
+			if w.panicMsg != "" {
+				es.Panics = append(es.Panics, w.panicMsg)
+				continue
+			}
+			healthy = append(healthy, w)
+		}
+		if len(healthy) == 0 {
+			return nil, fmt.Errorf("planner: epoch %d: all %d workers panicked: %s",
+				epoch, len(workers), strings.Join(es.Panics, "; "))
+		}
+		// Rebalance the quarantined workers' step quota across survivors.
+		if missing := (len(workers) - len(healthy)) * stepsPerWorker; missing > 0 {
+			p.topUp(ctx, healthy, epoch, missing, &es)
+			if ctx.Err() != nil {
+				report.Interrupted = true
+				break
+			}
+		}
 
 		merged := rl.NewBuffer(p.cfg.Discount, p.cfg.GAELambda)
-		es := EpochStats{Epoch: epoch}
 		for _, w := range workers {
+			if w.panicMsg != "" {
+				continue // quarantined this epoch (initial round or top-up)
+			}
 			if w.err != nil {
 				return nil, w.err
 			}
@@ -204,17 +306,32 @@ func (p *Planner) Plan() (*Report, error) {
 			es.Solutions += w.solutions
 			es.DeadEnds += w.deadEnds
 		}
+		if merged.Len() == 0 {
+			return nil, fmt.Errorf("planner: epoch %d: no exploration data survived (%d workers panicked)",
+				epoch, len(es.Panics))
+		}
 		es.Reward = merged.EpochReward(es.Trajectories)
 
 		// Gradient update on the merged batch (equivalent to averaging the
-		// per-worker gradient estimators, §IV-C), then synchronize replicas.
-		stats, err := ppo.Update(global, merged)
+		// per-worker gradient estimators, §IV-C) under the divergence
+		// watchdog, then synchronize replicas.
+		stats, recovery, err := ppo.UpdateWithRecovery(global, merged, p.cfg.DivergenceRetries)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("planner: epoch %d: %w", epoch, err)
 		}
+		es.Divergences = recovery.Rollbacks
 		es.PolicyLoss, es.ValueLoss, es.ApproxKL = stats.PolicyLoss, stats.ValueLoss, stats.ApproxKL
 		for _, w := range workers {
 			w.nets.SyncFrom(global)
+		}
+		// Re-arm quarantined workers with a clean environment for the next
+		// epoch (a panic may have left the construction state mid-action).
+		for _, w := range workers {
+			if w.panicMsg != "" {
+				if err := w.env.reset(ctx); err != nil {
+					return nil, fmt.Errorf("planner: resetting panicked worker: %w", err)
+				}
+			}
 		}
 
 		if best := p.bestOf(workers); best != nil {
@@ -227,12 +344,77 @@ func (p *Planner) Plan() (*Report, error) {
 		}
 		es.Duration = time.Since(epochStart)
 		report.Epochs = append(report.Epochs, es)
+
+		if p.cfg.CheckpointFunc != nil {
+			lastCkpt = p.capture(epoch, global, ppo, workers, report)
+			if epoch%p.cfg.CheckpointEvery == 0 {
+				if err := p.cfg.CheckpointFunc(lastCkpt); err != nil {
+					return nil, fmt.Errorf("planner: checkpoint at epoch %d: %w", epoch, err)
+				}
+				lastWritten = epoch
+			}
+		}
+		if p.hooks.afterEpoch != nil {
+			p.hooks.afterEpoch(epoch)
+		}
 	}
+
+	// Shutdown checkpoint: persist the last completed epoch if the
+	// periodic schedule has not already written it.
+	if p.cfg.CheckpointFunc != nil && lastCkpt != nil && lastWritten != lastCkpt.Epoch {
+		if err := p.cfg.CheckpointFunc(lastCkpt); err != nil {
+			return nil, fmt.Errorf("planner: shutdown checkpoint: %w", err)
+		}
+	}
+
 	for _, w := range workers {
 		report.TotalNBFCalls += w.env.NBFCalls
 	}
 	report.FinalWeights = global.ExportWeights()
 	return report, nil
+}
+
+// runWorker executes one worker's exploration with panic isolation: a
+// panic is recovered, recorded on the worker, and handled by the epoch
+// loop (quarantine + step rebalancing) instead of crashing the run.
+func (p *Planner) runWorker(ctx context.Context, wg *sync.WaitGroup, w *worker, epoch, idx, steps int) {
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			w.panicMsg = fmt.Sprintf("worker %d: %v", idx, r)
+		}
+	}()
+	if p.hooks.explorePanic != nil {
+		p.hooks.explorePanic(epoch, idx)
+	}
+	w.explore(ctx, steps)
+}
+
+// topUp redistributes `missing` exploration steps across the surviving
+// workers after quarantining panicked ones, so the epoch still trains on
+// the configured MaxStep budget. A survivor that panics during the top-up
+// round is quarantined too (without further rebalancing).
+func (p *Planner) topUp(ctx context.Context, healthy []*worker, epoch, missing int, es *EpochStats) {
+	share := missing / len(healthy)
+	rem := missing % len(healthy)
+	var wg sync.WaitGroup
+	for i, w := range healthy {
+		extra := share
+		if i < rem {
+			extra++
+		}
+		if extra == 0 {
+			continue
+		}
+		wg.Add(1)
+		go p.runWorker(ctx, &wg, w, epoch, i, extra)
+	}
+	wg.Wait()
+	for _, w := range healthy {
+		if w.panicMsg != "" {
+			es.Panics = append(es.Panics, w.panicMsg)
+		}
+	}
 }
 
 // buildNets constructs the network stack for the problem geometry.

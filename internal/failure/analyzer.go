@@ -6,6 +6,7 @@
 package failure
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -128,6 +129,14 @@ func maxOrder(sortedIDs []int, prob map[int]float64, r float64) int {
 // recoverable, or the first non-recoverable failure scenario found together
 // with its error message.
 func (a *Analyzer) Analyze(gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (Result, error) {
+	return a.AnalyzeContext(context.Background(), gt, assign, fs)
+}
+
+// AnalyzeContext is Analyze with cancellation: the scenario enumeration
+// checks ctx before every recovery simulation (the expensive inner step),
+// so deadlines and SIGINT-driven cancellation take effect promptly even on
+// large failure spaces. On cancellation it returns ctx.Err().
+func (a *Analyzer) AnalyzeContext(ctx context.Context, gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (Result, error) {
 	if err := a.validate(); err != nil {
 		return Result{}, err
 	}
@@ -157,6 +166,10 @@ func (a *Analyzer) Analyze(gt *graph.Graph, assign *asil.Assignment, fs tsn.Flow
 		var foundER []tsn.Pair
 		var loopErr error
 		graph.Combinations(ids, order, func(subset []int) bool {
+			if err := ctx.Err(); err != nil {
+				loopErr = err
+				return false
+			}
 			res.ScenariosConsidered++
 			set := append([]int(nil), subset...)
 			sort.Ints(set)

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam implements the Adam optimizer (Kingma & Ba, 2014) over a parameter
 // list, the gradient method used for all updates in the paper (§IV-C).
@@ -49,3 +52,50 @@ func (a *Adam) Step(ps []Param) {
 
 // Steps returns how many updates have been applied.
 func (a *Adam) Steps() int { return a.step }
+
+// AdamState is a serializable snapshot of the optimizer's moment estimates,
+// used by training checkpoints: resuming with restored moments reproduces
+// the uninterrupted update sequence exactly.
+type AdamState struct {
+	Step int         `json:"step"`
+	M    [][]float64 `json:"m,omitempty"`
+	V    [][]float64 `json:"v,omitempty"`
+}
+
+// Export deep-copies the optimizer state. An optimizer that has never
+// stepped exports an empty state.
+func (a *Adam) Export() AdamState {
+	st := AdamState{Step: a.step}
+	for i := range a.m {
+		st.M = append(st.M, append([]float64(nil), a.m[i].Data...))
+		st.V = append(st.V, append([]float64(nil), a.v[i].Data...))
+	}
+	return st
+}
+
+// Import restores a snapshot taken with Export. ps must be the parameter
+// list the optimizer steps over — it supplies the moment tensor shapes.
+func (a *Adam) Import(ps []Param, st AdamState) error {
+	if len(st.M) == 0 && len(st.V) == 0 {
+		a.step = st.Step
+		a.m, a.v = nil, nil
+		return nil
+	}
+	if len(st.M) != len(ps) || len(st.V) != len(ps) {
+		return fmt.Errorf("nn: adam state has %d/%d moment tensors, network has %d params",
+			len(st.M), len(st.V), len(ps))
+	}
+	m := make([]*Matrix, len(ps))
+	v := make([]*Matrix, len(ps))
+	for i, p := range ps {
+		if len(st.M[i]) != len(p.Value.Data) || len(st.V[i]) != len(p.Value.Data) {
+			return fmt.Errorf("nn: adam moment tensor %d has %d/%d values, param expects %d",
+				i, len(st.M[i]), len(st.V[i]), len(p.Value.Data))
+		}
+		m[i] = FromSlice(p.Value.Rows, p.Value.Cols, append([]float64(nil), st.M[i]...))
+		v[i] = FromSlice(p.Value.Rows, p.Value.Cols, append([]float64(nil), st.V[i]...))
+	}
+	a.step = st.Step
+	a.m, a.v = m, v
+	return nil
+}

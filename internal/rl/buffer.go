@@ -138,6 +138,24 @@ func (b *Buffer) Batch() ([]Step, []float64, []float64, error) {
 	return b.steps, adv, ret, nil
 }
 
+// CheckFinite verifies that every stored log-probability, value estimate,
+// reward and every derived advantage/return is finite. The divergence
+// watchdog calls it before an update: NaN inputs make every retry futile.
+func (b *Buffer) CheckFinite() error {
+	for i, s := range b.steps {
+		if !finite(s.LogP) || !finite(s.Value) || !finite(s.Reward) {
+			return fmt.Errorf("rl: step %d has non-finite data (logp=%v value=%v reward=%v)",
+				i, s.LogP, s.Value, s.Reward)
+		}
+	}
+	for i := range b.adv {
+		if !finite(b.adv[i]) || !finite(b.ret[i]) {
+			return fmt.Errorf("rl: step %d has non-finite advantage/return (%v/%v)", i, b.adv[i], b.ret[i])
+		}
+	}
+	return nil
+}
+
 // EpochReward returns the mean total reward per finished trajectory, the
 // quantity plotted in the sensitivity figures (Fig. 5). Trajectories are
 // delimited implicitly: with all paths finished, the undiscounted sum of

@@ -1,0 +1,51 @@
+// Package rng provides a small, fast, serializable random source for the
+// planner's exploration workers and environments. The standard library's
+// default source hides its state, which makes exact checkpoint/resume of a
+// training run impossible; this source exposes its single 64-bit state word
+// so a resumed run can reproduce the uninterrupted run bit for bit.
+package rng
+
+import "math/rand"
+
+// Source is a SplitMix64 generator (Steele, Lea & Flood 2014). It
+// implements math/rand.Source64, so it plugs directly into rand.New, and
+// its entire state is one uint64 that can be stored in a checkpoint.
+type Source struct {
+	state uint64
+}
+
+var _ rand.Source64 = (*Source)(nil)
+
+// New returns a source seeded with seed. Distinct seeds — even consecutive
+// integers — produce decorrelated streams because every output passes
+// through the SplitMix64 finalizer.
+func New(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// Uint64 advances the state by the golden-gamma increment and returns the
+// mixed output.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) {
+	s.state = uint64(seed)
+}
+
+// State returns the current generator state for checkpointing.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores a state captured with State. The next outputs are
+// identical to the ones produced after the capture point.
+func (s *Source) SetState(state uint64) { s.state = state }

@@ -1,0 +1,72 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 17; i++ {
+		s.Uint64()
+	}
+	saved := s.State()
+	var want []uint64
+	for i := 0; i < 100; i++ {
+		want = append(want, s.Uint64())
+	}
+	restored := New(0)
+	restored.SetState(saved)
+	for i, w := range want {
+		if got := restored.Uint64(); got != w {
+			t.Fatalf("restored draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestWorksAsRandSource(t *testing.T) {
+	r := rand.New(New(3))
+	// Float64 must land in [0, 1) and look roughly uniform.
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+	// Intn must cover the full range.
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(4)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("Intn(4) only produced %v", seen)
+	}
+}
+
+func TestDistinctSeedsDecorrelated(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("consecutive seeds produced %d identical draws", same)
+	}
+}

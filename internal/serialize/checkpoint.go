@@ -1,0 +1,159 @@
+package serialize
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rl"
+)
+
+// CheckpointVersion is the on-disk checkpoint format version; Load rejects
+// files written by an incompatible version.
+const CheckpointVersion = 1
+
+// WorkerJSON serializes one exploration worker's resumable state.
+type WorkerJSON struct {
+	RNG  uint64        `json:"rng"`
+	Env  core.EnvState `json:"env"`
+	Best *SolutionJSON `json:"best,omitempty"`
+}
+
+// CheckpointJSON is the versioned on-disk training checkpoint format.
+type CheckpointJSON struct {
+	Version     int               `json:"version"`
+	Fingerprint string            `json:"fingerprint"`
+	Epoch       int               `json:"epoch"`
+	Weights     [][]float64       `json:"weights"`
+	PPO         rl.PPOState       `json:"ppo"`
+	Best        *SolutionJSON     `json:"best,omitempty"`
+	Epochs      []core.EpochStats `json:"epochs"`
+	Workers     []WorkerJSON      `json:"workers"`
+}
+
+// EncodeCheckpoint converts a training checkpoint to its JSON form.
+func EncodeCheckpoint(ck *core.Checkpoint) CheckpointJSON {
+	out := CheckpointJSON{
+		Version:     CheckpointVersion,
+		Fingerprint: ck.Fingerprint,
+		Epoch:       ck.Epoch,
+		Weights:     ck.Weights,
+		PPO:         ck.PPO,
+		Epochs:      ck.Epochs,
+	}
+	if ck.Best != nil {
+		s := EncodeSolution(ck.Best)
+		out.Best = &s
+	}
+	for _, w := range ck.Workers {
+		wj := WorkerJSON{RNG: w.RNG, Env: w.Env}
+		if w.Best != nil {
+			s := EncodeSolution(w.Best)
+			wj.Best = &s
+		}
+		out.Workers = append(out.Workers, wj)
+	}
+	return out
+}
+
+// DecodeCheckpoint rebuilds a training checkpoint. connections is the
+// planning problem's connection graph, needed to reconstruct the embedded
+// solutions; the caller must resume against the same problem (the planner
+// additionally verifies the fingerprint).
+func DecodeCheckpoint(in CheckpointJSON, connections *graph.Graph) (*core.Checkpoint, error) {
+	if in.Version != CheckpointVersion {
+		return nil, fmt.Errorf("serialize: checkpoint version %d, this build reads version %d", in.Version, CheckpointVersion)
+	}
+	if in.Epoch <= 0 {
+		return nil, fmt.Errorf("serialize: checkpoint has invalid epoch %d", in.Epoch)
+	}
+	if len(in.Weights) == 0 {
+		return nil, fmt.Errorf("serialize: checkpoint has no network weights")
+	}
+	ck := &core.Checkpoint{
+		Fingerprint: in.Fingerprint,
+		Epoch:       in.Epoch,
+		Weights:     in.Weights,
+		PPO:         in.PPO,
+		Epochs:      in.Epochs,
+	}
+	if in.Best != nil {
+		sol, err := DecodeSolution(*in.Best, connections)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: checkpoint best: %w", err)
+		}
+		ck.Best = sol
+	}
+	for i, wj := range in.Workers {
+		ws := core.WorkerState{RNG: wj.RNG, Env: wj.Env}
+		if wj.Best != nil {
+			sol, err := DecodeSolution(*wj.Best, connections)
+			if err != nil {
+				return nil, fmt.Errorf("serialize: checkpoint worker %d best: %w", i, err)
+			}
+			ws.Best = sol
+		}
+		ck.Workers = append(ck.Workers, ws)
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint persists a checkpoint to path atomically: the JSON is
+// written to a temp file in the same directory, synced, and renamed over
+// the destination, so a crash or full disk never leaves a truncated
+// checkpoint in place of a good one.
+func SaveCheckpoint(path string, ck *core.Checkpoint) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteJSON(w, EncodeCheckpoint(ck))
+	})
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. Corrupted,
+// truncated or version-mismatched files are rejected.
+func LoadCheckpoint(path string, connections *graph.Graph) (*core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var in CheckpointJSON
+	if err := ReadJSON(f, &in); err != nil {
+		return nil, fmt.Errorf("serialize: checkpoint %s is corrupt or truncated: %w", path, err)
+	}
+	ck, err := DecodeCheckpoint(in, connections)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// WriteFileAtomic streams content through fn into a temp file in path's
+// directory, checks the Close error (a short write to a full disk is
+// reported, not swallowed), and renames the temp file over path. Readers
+// never observe a partially written file.
+func WriteFileAtomic(path string, fn func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename succeeded
+	if err := fn(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

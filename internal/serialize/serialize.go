@@ -212,13 +212,14 @@ type LinkJSON struct {
 type SolutionJSON struct {
 	Cost         float64      `json:"cost"`
 	FoundAtEpoch int          `json:"foundAtEpoch,omitempty"`
+	FoundAtStep  int          `json:"foundAtStep,omitempty"`
 	Switches     []SwitchJSON `json:"switches"`
 	Links        []LinkJSON   `json:"links"`
 }
 
 // EncodeSolution converts a solution.
 func EncodeSolution(sol *core.Solution) SolutionJSON {
-	out := SolutionJSON{Cost: sol.Cost, FoundAtEpoch: sol.FoundAtEpoch}
+	out := SolutionJSON{Cost: sol.Cost, FoundAtEpoch: sol.FoundAtEpoch, FoundAtStep: sol.FoundAtStep}
 	for _, sw := range sol.Topology.VerticesOfKind(graph.KindSwitch) {
 		lvl, ok := sol.Assignment.Switches[sw]
 		if !ok {
@@ -269,6 +270,7 @@ func DecodeSolution(in SolutionJSON, connections *graph.Graph) (*core.Solution, 
 		Assignment:   assign,
 		Cost:         in.Cost,
 		FoundAtEpoch: in.FoundAtEpoch,
+		FoundAtStep:  in.FoundAtStep,
 	}, nil
 }
 
