@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-quick eval-micro eval-small examples coverage loc clean
+.PHONY: all build test test-short race vet bench bench-quick eval-micro eval-small examples coverage loc clean certify fuzz
 
 all: build vet test
 
@@ -43,6 +43,15 @@ examples:
 	$(GO) run ./examples/custom-nbf
 	$(GO) run ./examples/simulate
 	$(GO) run ./examples/orion
+
+# Independent certification audit of the shipped example solution.
+certify:
+	$(GO) run ./cmd/nptsn-certify -problem testdata/example-problem.json -solution testdata/example-solution.json
+
+# Short coverage-guided fuzzing pass over the untrusted decode paths.
+fuzz:
+	$(GO) test ./internal/serialize -run '^$$' -fuzz FuzzProblemSpec -fuzztime 20s
+	$(GO) test ./internal/serialize -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 20s
 
 coverage:
 	$(GO) test -cover ./...

@@ -67,7 +67,7 @@ func BenchmarkTableI_LibraryOps(b *testing.B) {
 // pass of the Table II architecture (GCN-2 + 256x256 MLPs) on an ADS-sized
 // observation — the per-step neural cost of the default configuration.
 func BenchmarkTableII_PolicyForwardBackward(b *testing.B) {
-	scen := scenarios.ADS()
+	scen := mustADS(b)
 	prob := scen.Problem(scenarios.ADSFlows(1), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	if err := prob.Validate(); err != nil {
 		b.Fatal(err)
@@ -97,7 +97,7 @@ func BenchmarkTableII_PolicyForwardBackward(b *testing.B) {
 // benchFig4 runs one reduced ORION test case through the requested
 // approaches and reports the figure's quantity via b.ReportMetric.
 func benchFig4(b *testing.B, approaches []eval.Approach, metric func(map[eval.Approach]eval.CaseResult) (string, float64)) {
-	scen := scenarios.ORION()
+	scen := mustORION(b)
 	cfg := microCfg(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -143,7 +143,7 @@ func BenchmarkFig4b_SolutionCost(b *testing.B) {
 // BenchmarkFig4c_ASILDistribution regenerates a Fig. 4(c) sample: the
 // share of low-ASIL (A/B) switches in NPTSN's solution.
 func BenchmarkFig4c_ASILDistribution(b *testing.B) {
-	scen := scenarios.ADS()
+	scen := mustADS(b)
 	cfg := microCfg(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -170,7 +170,7 @@ func BenchmarkFig4c_ASILDistribution(b *testing.B) {
 // and reports the mean epoch reward — the quantity of the Fig. 5 curves.
 func benchSensitivity(b *testing.B, label string, mutate func(*core.Config)) {
 	b.Run(label, func(b *testing.B) {
-		scen := scenarios.ADS()
+		scen := mustADS(b)
 		prob := scen.Problem(scenarios.ADSFlows(1), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 		cfg := microCfg(1)
 		mutate(&cfg)
@@ -244,7 +244,7 @@ func BenchmarkAblation_SOAGMasking(b *testing.B) {
 	}{{"masked", false}, {"unmasked", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
-			scen := scenarios.ADS()
+			scen := mustADS(b)
 			prob := scen.Problem(scenarios.ADSFlows(1), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 			cfg := microCfg(1)
 			cfg.DisableSOAGMasking = mode.disable
@@ -366,7 +366,7 @@ func BenchmarkAblation_FailurePruning(b *testing.B) {
 // enumeration (justified by Eq. 6) against brute-force enumeration over
 // switches AND links.
 func BenchmarkAblation_SwitchOnlyReduction(b *testing.B) {
-	scen := scenarios.ADS()
+	scen := mustADS(b)
 	flows := scenarios.ADSFlows(1)
 	prob := scen.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	if err := prob.Validate(); err != nil {
@@ -414,7 +414,7 @@ func BenchmarkAblation_SwitchOnlyReduction(b *testing.B) {
 // simulation for the stateless greedy NBF vs the rebased incremental
 // (stateful) mechanism (§II-B).
 func BenchmarkAblation_StatelessNBF(b *testing.B) {
-	scen := scenarios.ADS()
+	scen := mustADS(b)
 	flows := scenarios.ADSFlows(1)
 	topo := scen.Connections.Clone() // fully meshed candidate set as topology
 	gf := nbf.Failure{Nodes: []int{12}}
@@ -437,7 +437,7 @@ func BenchmarkAblation_StatelessNBF(b *testing.B) {
 // NeuroPlan's individual-link actions on the same budget: the decision
 // trajectory length shows up as solutions found per training run.
 func BenchmarkAblation_PathVsLink(b *testing.B) {
-	scen := scenarios.ADS()
+	scen := mustADS(b)
 	prob := scen.Problem(scenarios.ADSFlows(1), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	cfg := microCfg(1)
 	b.Run("path-actions-nptsn", func(b *testing.B) {
@@ -483,7 +483,7 @@ func BenchmarkAblation_PathVsLink(b *testing.B) {
 // BenchmarkScheduler measures the TT scheduler on an ADS-sized network —
 // the inner loop of every NBF simulation.
 func BenchmarkScheduler(b *testing.B) {
-	scen := scenarios.ADS()
+	scen := mustADS(b)
 	flows := scenarios.ADSFlows(1)
 	topo := scen.Connections.Clone()
 	sched := tsn.Scheduler{MaxAlternatives: 3}
@@ -498,7 +498,7 @@ func BenchmarkScheduler(b *testing.B) {
 // BenchmarkFailureAnalysisORION measures one full Algorithm 3 run on an
 // ORION-scale dual-homed topology — the dominant cost of training (§IV-C).
 func BenchmarkFailureAnalysisORION(b *testing.B) {
-	scen := scenarios.ORION()
+	scen := mustORION(b)
 	flows := scen.RandomFlows(20, 1)
 	prob := scen.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	if err := prob.Validate(); err != nil {
@@ -565,7 +565,7 @@ func BenchmarkAblation_GCNvsGAT(b *testing.B) {
 	}{{"gcn", false}, {"gat", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
-			scen := scenarios.ADS()
+			scen := mustADS(b)
 			prob := scen.Problem(scenarios.ADSFlows(1), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 			cfg := microCfg(1)
 			cfg.UseGAT = mode.gat
@@ -600,7 +600,7 @@ func BenchmarkAblation_MaskedVsExhaustivePaths(b *testing.B) {
 	}{{"masked-k", false}, {"exhaustive", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
-			scen := scenarios.ORION()
+			scen := mustORION(b)
 			prob := scen.Problem(scen.RandomFlows(10, 1), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 			cfg := microCfg(1)
 			cfg.ExhaustivePathGeneration = mode.exhaustive

@@ -1,0 +1,114 @@
+// Command nptsn-certify independently audits a planned TSSDN against its
+// problem spec: structural re-validation, independent cost recomputation,
+// a re-run of the reliability analysis cross-checked against exhaustive
+// switch-and-link brute force on small instances, and a seeded Monte Carlo
+// fault-injection campaign through the event simulator. It consumes the
+// problem/solution JSON written by `nptsn -dump-problem ... -out ...` and
+// emits a machine-readable certificate.
+//
+//	nptsn -scenario ads -epochs 8 -steps 128 -dump-problem p.json -out s.json
+//	nptsn-certify -problem p.json -solution s.json -cert cert.json
+//
+// Exit status: 0 when the certificate verdict is PASS, 1 on FAIL, 2 when
+// the audit itself could not run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/certify"
+	"repro/internal/nbf"
+	"repro/internal/serialize"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ok, err := run(ctx, os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nptsn-certify:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("nptsn-certify", flag.ContinueOnError)
+	var (
+		problemPath  = fs.String("problem", "", "problem JSON (from nptsn -dump-problem)")
+		solutionPath = fs.String("solution", "", "solution JSON (from nptsn -out)")
+		certPath     = fs.String("cert", "", "write the certificate as JSON to this file (atomic)")
+		samples      = fs.Int("samples", 256, "Monte Carlo fault-injection trials")
+		seed         = fs.Int64("seed", 1, "seed for the fault-injection campaign")
+		horizon      = fs.Int("horizon", 16, "simulated base periods per injection trial")
+		bruteMax     = fs.Int("brute-max", 14, "component cap for the exhaustive brute-force cross-check")
+		splitMax     = fs.Int("split-max", 3, "most events a sampled scenario is split into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if *problemPath == "" || *solutionPath == "" {
+		return false, fmt.Errorf("both -problem and -solution are required")
+	}
+
+	var probJSON serialize.ProblemJSON
+	if err := readJSONFile(*problemPath, &probJSON); err != nil {
+		return false, err
+	}
+	prob, err := serialize.DecodeProblem(probJSON, nbf.NewRegistry())
+	if err != nil {
+		return false, err
+	}
+	var solJSON serialize.SolutionJSON
+	if err := readJSONFile(*solutionPath, &solJSON); err != nil {
+		return false, err
+	}
+	sol, err := serialize.DecodeSolution(solJSON, prob.Connections)
+	if err != nil {
+		return false, err
+	}
+
+	c := &certify.Certifier{
+		Prob: prob,
+		Sol:  sol,
+		Opt: certify.Options{
+			Samples:            *samples,
+			Seed:               *seed,
+			HorizonBasePeriods: *horizon,
+			MaxBruteComponents: *bruteMax,
+			MaxSplitEvents:     *splitMax,
+		},
+	}
+	cert, err := c.Certify(ctx)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprint(out, cert.Render())
+	if *certPath != "" {
+		if err := certify.Write(*certPath, cert); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(out, "certificate written to %s\n", *certPath)
+	}
+	return cert.OK(), nil
+}
+
+func readJSONFile(path string, v interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := serialize.ReadJSON(f, v); err != nil {
+		return fmt.Errorf("read %s: %w", path, err)
+	}
+	return nil
+}

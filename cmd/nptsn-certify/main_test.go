@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/graph"
+	"repro/internal/serialize"
+)
+
+// writeFixture builds a problem + solution JSON pair on disk. Dual-homed
+// solutions certify; single-homed ones do not.
+func writeFixture(t *testing.T, dir string, dualHomed bool) (string, string) {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("es0", graph.KindEndStation)
+	g.AddVertex("es1", graph.KindEndStation)
+	g.AddVertex("swA", graph.KindSwitch)
+	g.AddVertex("swB", graph.KindSwitch)
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 4; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	probJSON := serialize.ProblemJSON{
+		Connections:     serialize.EncodeGraph(g),
+		BasePeriodNs:    500_000,
+		SlotsPerBase:    20,
+		NBF:             "stateless-greedy",
+		ReliabilityGoal: 1e-6,
+		MaxESDegree:     2,
+		ESLevel:         "D",
+		Flows: []serialize.FlowJSON{
+			{ID: 0, Src: 0, Dsts: []int{1}, PeriodNs: 500_000, DeadlineNs: 500_000, FrameSize: 64},
+		},
+	}
+	solJSON := serialize.SolutionJSON{
+		Switches: []serialize.SwitchJSON{{ID: 2, ASIL: "A"}},
+		Links: []serialize.LinkJSON{
+			{U: 0, V: 2, Length: 1, ASIL: "A"},
+			{U: 1, V: 2, Length: 1, ASIL: "A"},
+		},
+	}
+	if dualHomed {
+		solJSON.Switches = append(solJSON.Switches, serialize.SwitchJSON{ID: 3, ASIL: "A"})
+		solJSON.Links = append(solJSON.Links,
+			serialize.LinkJSON{U: 0, V: 3, Length: 1, ASIL: "A"},
+			serialize.LinkJSON{U: 1, V: 3, Length: 1, ASIL: "A"})
+	}
+	probPath := filepath.Join(dir, "p.json")
+	solPath := filepath.Join(dir, "s.json")
+	for _, pair := range []struct {
+		path string
+		v    interface{}
+	}{{probPath, probJSON}, {solPath, solJSON}} {
+		f, err := os.Create(pair.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := serialize.WriteJSON(f, pair.v); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return probPath, solPath
+}
+
+func TestCertifyCLIPass(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir, true)
+	certPath := filepath.Join(dir, "cert.json")
+	var out bytes.Buffer
+	ok, err := run(context.Background(), []string{
+		"-problem", probPath, "-solution", solPath,
+		"-cert", certPath, "-samples", "32", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("dual-homed solution failed certification:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "certificate: PASS") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	f, err := os.Open(certPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var cert certify.Certificate
+	if err := serialize.ReadJSON(f, &cert); err != nil {
+		t.Fatal(err)
+	}
+	if !cert.OK() || cert.Seed != 5 || cert.Samples != 32 {
+		t.Fatalf("written certificate: %+v", cert)
+	}
+}
+
+func TestCertifyCLIFailSingleHomed(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir, false)
+	var out bytes.Buffer
+	ok, err := run(context.Background(), []string{
+		"-problem", probPath, "-solution", solPath, "-samples", "16",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("single-homed solution certified:\n%s", out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "certificate: FAIL") || !strings.Contains(text, "counterexample") {
+		t.Fatalf("output:\n%s", text)
+	}
+}
+
+func TestCertifyCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir, true)
+	var out bytes.Buffer
+	if _, err := run(context.Background(), nil, &out); err == nil {
+		t.Error("missing paths accepted")
+	}
+	if _, err := run(context.Background(), []string{"-problem", probPath, "-solution", "/nope.json"}, &out); err == nil {
+		t.Error("missing solution file accepted")
+	}
+	if _, err := run(context.Background(), []string{"-problem", solPath, "-solution", solPath}, &out); err == nil {
+		t.Error("solution passed as problem accepted")
+	}
+}
+
+func TestCertifyCLICancellation(t *testing.T) {
+	dir := t.TempDir()
+	probPath, solPath := writeFixture(t, dir, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if _, err := run(ctx, []string{"-problem", probPath, "-solution", solPath}, &out); err == nil {
+		t.Error("cancelled run reported success")
+	}
+}
+
+func TestCertifyCLIShippedExample(t *testing.T) {
+	// The repository ships a trained example solution; certification of it
+	// must keep passing, or the committed artifacts have rotted.
+	var out bytes.Buffer
+	ok, err := run(context.Background(), []string{
+		"-problem", "../../testdata/example-problem.json",
+		"-solution", "../../testdata/example-solution.json",
+		"-samples", "64",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("shipped example failed certification:\n%s", out.String())
+	}
+}

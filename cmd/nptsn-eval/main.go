@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/nbf"
@@ -70,6 +71,8 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "base random seed")
 		verbose  = fs.Bool("v", false, "per-case progress output")
 		csvDir   = fs.String("csv-dir", "", "also write fig4.csv / fig5<x>.csv into this directory")
+		doCert   = fs.Bool("certify", false, "independently certify every produced solution and report PASS rates")
+		certSamp = fs.Int("certify-samples", 64, "Monte Carlo trials per certification audit (with -certify)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +94,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if wantFig4 {
+		orion, err := scenarios.ORION()
+		if err != nil {
+			return err
+		}
 		progress := func(string, ...interface{}) {}
 		if *verbose {
 			progress = func(format string, args ...interface{}) {
@@ -98,13 +105,15 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		res, err := eval.RunFig4(eval.Fig4Options{
-			Scenario:     scenarios.ORION(),
-			FlowCounts:   flowCounts,
-			Cases:        *cases,
-			Seed:         *seed,
-			NPTSNCfg:     cfg,
-			NeuroPlanCfg: cfg,
-			Progress:     progress,
+			Scenario:       orion,
+			FlowCounts:     flowCounts,
+			Cases:          *cases,
+			Seed:           *seed,
+			NPTSNCfg:       cfg,
+			NeuroPlanCfg:   cfg,
+			Progress:       progress,
+			Certify:        *doCert,
+			CertifyOptions: certify.Options{Samples: *certSamp, Seed: *seed},
 		})
 		if err != nil {
 			return err
@@ -124,6 +133,10 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, res.RenderASIL())
 			fmt.Fprintln(out)
 		}
+		if *doCert {
+			fmt.Fprint(out, res.RenderCertification())
+			fmt.Fprintln(out)
+		}
 		if *csvDir != "" {
 			if err := writeCSV(filepath.Join(*csvDir, "fig4.csv"), res.WriteFig4CSV); err != nil {
 				return err
@@ -132,7 +145,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if wantFig5["5a"] || wantFig5["5b"] || wantFig5["5c"] {
-		ads := scenarios.ADS()
+		ads, err := scenarios.ADS()
+		if err != nil {
+			return err
+		}
 		prob := ads.Problem(scenarios.ADSFlows(*seed), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 
 		if wantFig5["5a"] {

@@ -8,12 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -23,7 +26,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nptsn-sim:", err)
 		os.Exit(1)
 	}
@@ -39,7 +44,7 @@ func (f *failureFlag) Set(v string) error {
 	return nil
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nptsn-sim", flag.ContinueOnError)
 	var fails failureFlag
 	var (
@@ -73,7 +78,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := core.VerifySolution(prob, sol); err != nil {
+	if err := core.VerifySolutionContext(ctx, prob, sol); err != nil {
 		return fmt.Errorf("solution does not satisfy the problem: %w", err)
 	}
 
@@ -96,7 +101,7 @@ func run(args []string, out io.Writer) error {
 		NBF:   prob.NBF,
 		Cfg:   cfg,
 	}
-	res, err := s.Run(events)
+	res, err := s.RunContext(ctx, events)
 	if err != nil {
 		return err
 	}

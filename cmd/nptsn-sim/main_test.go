@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,7 +74,7 @@ func TestSimCLIRecoverableFailure(t *testing.T) {
 	dir := t.TempDir()
 	probPath, solPath := writeFixture(t, dir)
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-problem", probPath, "-solution", solPath,
 		"-horizon", "16", "-fail", "swA@100",
 	}, &out)
@@ -90,7 +91,7 @@ func TestSimCLIByVertexID(t *testing.T) {
 	dir := t.TempDir()
 	probPath, solPath := writeFixture(t, dir)
 	var out bytes.Buffer
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-problem", probPath, "-solution", solPath,
 		"-horizon", "8", "-fail", "3@40",
 	}, &out); err != nil {
@@ -105,19 +106,19 @@ func TestSimCLIErrors(t *testing.T) {
 	dir := t.TempDir()
 	probPath, solPath := writeFixture(t, dir)
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing paths accepted")
 	}
-	if err := run([]string{"-problem", probPath, "-solution", "/nope.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-problem", probPath, "-solution", "/nope.json"}, &out); err == nil {
 		t.Error("missing solution file accepted")
 	}
-	if err := run([]string{"-problem", probPath, "-solution", solPath, "-fail", "swA"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-problem", probPath, "-solution", solPath, "-fail", "swA"}, &out); err == nil {
 		t.Error("malformed -fail accepted")
 	}
-	if err := run([]string{"-problem", probPath, "-solution", solPath, "-fail", "ghost@5"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-problem", probPath, "-solution", solPath, "-fail", "ghost@5"}, &out); err == nil {
 		t.Error("unknown vertex accepted")
 	}
-	if err := run([]string{"-problem", probPath, "-solution", solPath, "-fail", "swA@-2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-problem", probPath, "-solution", solPath, "-fail", "swA@-2"}, &out); err == nil {
 		t.Error("negative slot accepted")
 	}
 }
@@ -143,7 +144,7 @@ func TestSimCLIRejectsInvalidSolution(t *testing.T) {
 	}
 	f.Close()
 	var out bytes.Buffer
-	if err := run([]string{"-problem", probPath, "-solution", solPath}, &out); err == nil {
+	if err := run(context.Background(), []string{"-problem", probPath, "-solution", solPath}, &out); err == nil {
 		t.Fatal("invalid solution accepted")
 	}
 }

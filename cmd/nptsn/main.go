@@ -28,6 +28,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/graph"
@@ -68,19 +69,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckptPath     = fs.String("checkpoint", "", "write training checkpoints to this file (atomic temp+rename)")
 		ckptEvery    = fs.Int("checkpoint-every", 8, "epochs between checkpoint writes (with -checkpoint)")
 		resumePath   = fs.String("resume", "", "resume training from this checkpoint file")
+		doCertify    = fs.Bool("certify", false, "run the independent certification audit and refuse uncertified solutions")
+		certOut      = fs.String("certificate", "", "write the certification result as JSON to this file (implies -certify)")
+		certSamples  = fs.Int("certify-samples", 256, "Monte Carlo fault-injection trials (with -certify)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var scen *scenarios.Scenario
-	switch *scenarioName {
-	case "ads":
-		scen = scenarios.ADS()
-	case "orion":
-		scen = scenarios.ORION()
-	default:
-		return fmt.Errorf("unknown scenario %q (want ads or orion)", *scenarioName)
+	scen, err := scenarios.ByName(*scenarioName)
+	if err != nil {
+		return err
 	}
 
 	var flowSet tsn.FlowSet
@@ -168,8 +167,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintln(out, "result: no topology satisfying the reliability guarantee was found")
 		return nil
 	}
-	if err := core.VerifySolution(prob, report.Best); err != nil {
+	if err := core.VerifySolutionContext(ctx, prob, report.Best); err != nil {
 		return fmt.Errorf("solution failed verification: %w", err)
+	}
+	if *doCertify || *certOut != "" {
+		// Post-plan gate: the independent audit must pass before the
+		// solution is reported or exported.
+		c := &certify.Certifier{
+			Prob: prob,
+			Sol:  report.Best,
+			Opt:  certify.Options{Samples: *certSamples, Seed: *seed},
+		}
+		cert, err := c.Certify(ctx)
+		if err != nil {
+			return fmt.Errorf("certification audit: %w", err)
+		}
+		fmt.Fprint(out, cert.Render())
+		if *certOut != "" {
+			if err := certify.Write(*certOut, cert); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "certificate written to %s\n", *certOut)
+		}
+		if !cert.OK() {
+			return fmt.Errorf("solution failed independent certification; refusing to report it")
+		}
 	}
 	fmt.Fprintf(out, "result: cost %.1f (found at epoch %d)\n", report.Best.Cost, report.Best.FoundAtEpoch)
 	fmt.Fprint(out, renderSolution(prob, report.Best))

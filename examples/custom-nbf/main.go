@@ -82,7 +82,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	scen := scenarios.ADS()
+	scen, err := scenarios.ADS()
+	if err != nil {
+		log.Fatal(err)
+	}
 	flows := scenarios.ADSFlows(11)
 	prob := scen.Problem(flows, mech, 1e-6)
 

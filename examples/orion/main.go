@@ -18,7 +18,10 @@ import (
 )
 
 func main() {
-	scen := scenarios.ORION()
+	scen, err := scenarios.ORION()
+	if err != nil {
+		log.Fatal(err)
+	}
 	flows := scen.RandomFlows(10, 3)
 	prob := scen.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 

@@ -18,7 +18,10 @@ import (
 )
 
 func main() {
-	scen := scenarios.ADS()
+	scen, err := scenarios.ADS()
+	if err != nil {
+		log.Fatal(err)
+	}
 	flows := scenarios.ADSFlows(5)
 	recovery := &nbf.StatelessRecovery{MaxAlternatives: 3}
 	prob := scen.Problem(flows, recovery, 1e-6)

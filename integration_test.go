@@ -22,7 +22,7 @@ import (
 // planADS trains a scaled-down planner on the ADS scenario.
 func planADS(t *testing.T, seed int64) (*core.Problem, *core.Report) {
 	t.Helper()
-	scen := scenarios.ADS()
+	scen := mustADS(t)
 	prob := scen.Problem(scenarios.ADSFlows(seed), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	cfg := microCfg(seed)
 	cfg.MaxEpoch = 4
@@ -125,7 +125,7 @@ func TestEndToEndSolutionSurvivesBruteForceCheck(t *testing.T) {
 func TestEndToEndORIONOriginalBaseline(t *testing.T) {
 	// The reconstructed ORION original must be a valid all-ASIL-D design
 	// at R = 1e-6 for a light flow load (the Fig. 4a premise).
-	scen := scenarios.ORION()
+	scen := mustORION(t)
 	flows := scen.RandomFlows(10, 2)
 	prob := scen.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	res, err := (&baselines.Original{Topology: scen.Original}).Plan(prob)
@@ -149,7 +149,7 @@ func TestEndToEndFig4MicroOrdering(t *testing.T) {
 	// One ORION case at micro budget: NPTSN and the baselines must
 	// reproduce the paper's cost ordering Original > NPTSN when both meet
 	// the guarantee.
-	scen := scenarios.ORION()
+	scen := mustORION(t)
 	flows := scen.RandomFlows(10, 4)
 	prob := scen.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	cfg := microCfg(2)
@@ -197,7 +197,7 @@ func TestEndToEndCheapestSolutionImprovesWithBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training runs")
 	}
-	scen := scenarios.ADS()
+	scen := mustADS(t)
 	prob := scen.Problem(scenarios.ADSFlows(9), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	run := func(epochs, steps int) float64 {
 		cfg := microCfg(9)

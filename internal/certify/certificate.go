@@ -1,0 +1,230 @@
+package certify
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serialize"
+	"repro/internal/tsn"
+)
+
+// CertificateVersion is the on-disk certificate format version.
+const CertificateVersion = 1
+
+// CheckStatus is the outcome of one audit stage.
+type CheckStatus string
+
+// The three check outcomes.
+const (
+	StatusPass    CheckStatus = "pass"
+	StatusFail    CheckStatus = "fail"
+	StatusSkipped CheckStatus = "skipped"
+)
+
+// Check records one audit stage's outcome.
+type Check struct {
+	Name   string      `json:"name"`
+	Status CheckStatus `json:"status"`
+	Detail string      `json:"detail"`
+}
+
+// LinkRef identifies a failed link in a counterexample.
+type LinkRef struct {
+	U     int    `json:"u"`
+	V     int    `json:"v"`
+	UName string `json:"uName,omitempty"`
+	VName string `json:"vName,omitempty"`
+}
+
+// PairRef identifies an unrecovered (src, dst) pair.
+type PairRef struct {
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	SrcName string `json:"srcName,omitempty"`
+	DstName string `json:"dstName,omitempty"`
+}
+
+// Counterexample is a non-safe failure scenario the planned network does
+// not survive, minimized so that removing any single component makes it
+// recoverable (or drops it below the reliability goal).
+type Counterexample struct {
+	// Nodes and Links are the failed components.
+	Nodes     []int     `json:"nodes,omitempty"`
+	NodeNames []string  `json:"nodeNames,omitempty"`
+	Links     []LinkRef `json:"links,omitempty"`
+	// Probability is the Eq. 2 scenario probability (>= R by definition).
+	Probability float64 `json:"probability"`
+	// UnrecoveredPairs lists the pairs the NBF could not restore.
+	UnrecoveredPairs []PairRef `json:"unrecoveredPairs,omitempty"`
+	// Minimized is true when the delta-debugging pass completed (the set
+	// is 1-minimal); false when it was cut short by cancellation.
+	Minimized bool `json:"minimized"`
+	// FoundBy names the audit stage that produced it: "analyzer",
+	// "brute-force" or "monte-carlo".
+	FoundBy string `json:"foundBy"`
+}
+
+// Certificate is the machine-readable audit result.
+type Certificate struct {
+	Version int `json:"version"`
+	// Verdict is "PASS" when every executed check passed, "FAIL" otherwise.
+	Verdict string  `json:"verdict"`
+	Checks  []Check `json:"checks"`
+	// Counterexamples holds the minimized failing scenarios (empty on PASS).
+	Counterexamples []Counterexample `json:"counterexamples,omitempty"`
+	// ScenariosChecked counts Monte Carlo trials drawn (including safe and
+	// duplicate draws); DistinctScenarios counts unique non-safe scenarios
+	// actually injected into the simulator.
+	ScenariosChecked  int `json:"scenariosChecked"`
+	DistinctScenarios int `json:"distinctScenarios"`
+	// CoverageMass is the summed Eq. 2 probability of the distinct
+	// non-safe scenarios checked; TotalNonSafeMass is the exhaustive total
+	// when enumerable (0 = unknown, instance too large to enumerate).
+	CoverageMass     float64 `json:"coverageMass"`
+	TotalNonSafeMass float64 `json:"totalNonSafeMass,omitempty"`
+	// NBFCalls counts recovery simulations across all audit stages.
+	NBFCalls int `json:"nbfCalls"`
+	// WallMillis is the audit wall time in milliseconds.
+	WallMillis int64 `json:"wallMillis"`
+	Seed       int64 `json:"seed"`
+	Samples    int   `json:"samples"`
+}
+
+// OK reports whether the certificate's verdict is PASS.
+func (c *Certificate) OK() bool { return c.Verdict == "PASS" }
+
+func (c *Certificate) addCheck(name string, ck Check) {
+	ck.Name = name
+	c.Checks = append(c.Checks, ck)
+}
+
+func (c *Certificate) failed(name string) bool {
+	for _, ck := range c.Checks {
+		if ck.Name == name && ck.Status == StatusFail {
+			return true
+		}
+	}
+	return false
+}
+
+// finish seals the verdict and wall time.
+func (c *Certificate) finish(start time.Time) {
+	c.Verdict = "PASS"
+	for _, ck := range c.Checks {
+		if ck.Status == StatusFail {
+			c.Verdict = "FAIL"
+			break
+		}
+	}
+	c.WallMillis = time.Since(start).Milliseconds()
+}
+
+// Render formats the certificate as a human-readable report.
+func (c *Certificate) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "certificate: %s\n", c.Verdict)
+	for _, ck := range c.Checks {
+		fmt.Fprintf(&b, "  %-12s %-7s %s\n", ck.Name, ck.Status, ck.Detail)
+	}
+	if c.DistinctScenarios > 0 || c.ScenariosChecked > 0 {
+		cov := fmt.Sprintf("probability mass %.3g", c.CoverageMass)
+		if c.TotalNonSafeMass > 0 {
+			cov = fmt.Sprintf("%.1f%% of non-safe probability mass %.3g",
+				100*c.CoverageMass/c.TotalNonSafeMass, c.TotalNonSafeMass)
+		}
+		fmt.Fprintf(&b, "  coverage: %d distinct non-safe scenarios over %d trials, %s\n",
+			c.DistinctScenarios, c.ScenariosChecked, cov)
+	}
+	for i, cx := range c.Counterexamples {
+		min := "minimized"
+		if !cx.Minimized {
+			min = "not minimized"
+		}
+		fmt.Fprintf(&b, "  counterexample %d (%s, %s, p=%.3g):", i+1, cx.FoundBy, min, cx.Probability)
+		for j, n := range cx.Nodes {
+			name := fmt.Sprintf("%d", n)
+			if j < len(cx.NodeNames) && cx.NodeNames[j] != "" {
+				name = cx.NodeNames[j]
+			}
+			fmt.Fprintf(&b, " %s", name)
+		}
+		for _, l := range cx.Links {
+			u, v := l.UName, l.VName
+			if u == "" {
+				u = fmt.Sprintf("%d", l.U)
+			}
+			if v == "" {
+				v = fmt.Sprintf("%d", l.V)
+			}
+			fmt.Fprintf(&b, " %s--%s", u, v)
+		}
+		if len(cx.UnrecoveredPairs) > 0 {
+			fmt.Fprintf(&b, " -> unrecovered")
+			for _, p := range cx.UnrecoveredPairs {
+				s, d := p.SrcName, p.DstName
+				if s == "" {
+					s = fmt.Sprintf("%d", p.Src)
+				}
+				if d == "" {
+					d = fmt.Sprintf("%d", p.Dst)
+				}
+				fmt.Fprintf(&b, " %s->%s", s, d)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  effort: %d NBF calls, %d ms\n", c.NBFCalls, c.WallMillis)
+	return b.String()
+}
+
+// Write persists the certificate as indented JSON, atomically (temp file +
+// rename), so a crash mid-write never leaves a truncated certificate that
+// could be mistaken for a verdict.
+func Write(path string, cert *Certificate) error {
+	return serialize.WriteFileAtomic(path, func(w io.Writer) error {
+		return serialize.WriteJSON(w, cert)
+	})
+}
+
+// newCounterexample builds a named, sorted counterexample from a failed
+// component set and the pairs its recovery left unrestored.
+func (c *Certifier) newCounterexample(set []component, prob float64, er []tsn.Pair, minimized bool, foundBy string) Counterexample {
+	cx := Counterexample{Probability: prob, Minimized: minimized, FoundBy: foundBy}
+	var nodes []int
+	var links []graph.Edge
+	for _, comp := range set {
+		if comp.isLink {
+			links = append(links, comp.edge)
+		} else {
+			nodes = append(nodes, comp.node)
+		}
+	}
+	sort.Ints(nodes)
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].U != links[j].U {
+			return links[i].U < links[j].U
+		}
+		return links[i].V < links[j].V
+	})
+	name := func(id int) string {
+		if v, err := c.Prob.Connections.Vertex(id); err == nil {
+			return v.Name
+		}
+		return ""
+	}
+	for _, n := range nodes {
+		cx.Nodes = append(cx.Nodes, n)
+		cx.NodeNames = append(cx.NodeNames, name(n))
+	}
+	for _, l := range links {
+		cx.Links = append(cx.Links, LinkRef{U: l.U, V: l.V, UName: name(l.U), VName: name(l.V)})
+	}
+	for _, p := range er {
+		cx.UnrecoveredPairs = append(cx.UnrecoveredPairs, PairRef{Src: p.Src, Dst: p.Dst, SrcName: name(p.Src), DstName: name(p.Dst)})
+	}
+	return cx
+}

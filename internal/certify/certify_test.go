@@ -1,0 +1,323 @@
+package certify
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/serialize"
+	"repro/internal/tsn"
+)
+
+// dualHomedFixture plans a survivable network: 2 end stations (0, 1) each
+// linked to both switches (2, 3) at ASIL-A. Every single component failure
+// (probability ~1e-3 >= R = 1e-6) leaves an alternative path; double
+// failures fall below R and are safe.
+func dualHomedFixture(t testing.TB) (*core.Problem, *core.Solution) {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("cam", graph.KindEndStation)
+	g.AddVertex("ecu", graph.KindEndStation)
+	g.AddVertex("swA", graph.KindSwitch)
+	g.AddVertex("swB", graph.KindSwitch)
+	for es := 0; es < 2; es++ {
+		for sw := 2; sw < 4; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	net := tsn.DefaultNetwork()
+	prob := &core.Problem{
+		Connections: g,
+		Net:         net,
+		Flows: tsn.FlowSet{
+			{ID: 0, Src: 0, Dsts: []int{1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64},
+			{ID: 1, Src: 1, Dsts: []int{0}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64},
+		},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	state := core.NewTSSDN(prob)
+	for _, sw := range []int{2, 3} {
+		if err := state.UpgradeSwitch(sw); err != nil { // ASIL-A
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []graph.Path{{0, 2, 1}, {0, 3, 1}} {
+		if err := state.AddPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost, err := state.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, &core.Solution{Topology: state.Topo, Assignment: state.Assign, Cost: cost}
+}
+
+// singleHomedFixture plans a NON-survivable network: end station 0 reaches
+// the rest of the network only through switch 2, whose failure probability
+// (~1e-3) is far above R = 1e-6. The reliability guarantee cannot hold.
+func singleHomedFixture(t testing.TB) (*core.Problem, *core.Solution) {
+	t.Helper()
+	g := graph.New()
+	g.AddVertex("cam", graph.KindEndStation)
+	g.AddVertex("ecu", graph.KindEndStation)
+	g.AddVertex("swA", graph.KindSwitch)
+	g.AddVertex("swB", graph.KindSwitch)
+	if err := g.AddEdge(0, 2, 1); err != nil { // cam is single-homed on swA
+		t.Fatal(err)
+	}
+	for sw := 2; sw < 4; sw++ {
+		if err := g.AddEdge(1, sw, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	net := tsn.DefaultNetwork()
+	prob := &core.Problem{
+		Connections: g,
+		Net:         net,
+		Flows: tsn.FlowSet{
+			{ID: 0, Src: 0, Dsts: []int{1}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64},
+		},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	state := core.NewTSSDN(prob)
+	if err := state.UpgradeSwitch(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := state.AddPath(graph.Path{0, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := state.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, &core.Solution{Topology: state.Topo, Assignment: state.Assign, Cost: cost}
+}
+
+func TestCertifyPassOnSurvivableNetwork(t *testing.T) {
+	prob, sol := dualHomedFixture(t)
+	c := &Certifier{Prob: prob, Sol: sol, Opt: Options{Samples: 64, Seed: 7}}
+	cert, err := c.Certify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.OK() {
+		t.Fatalf("expected PASS, got:\n%s", cert.Render())
+	}
+	for _, ck := range cert.Checks {
+		if ck.Status != StatusPass {
+			t.Errorf("check %s: %s (%s)", ck.Name, ck.Status, ck.Detail)
+		}
+	}
+	if len(cert.Counterexamples) != 0 {
+		t.Fatalf("PASS certificate carries counterexamples: %+v", cert.Counterexamples)
+	}
+	if cert.NBFCalls == 0 {
+		t.Error("no NBF calls recorded")
+	}
+	if cert.DistinctScenarios == 0 || cert.CoverageMass <= 0 {
+		t.Errorf("Monte Carlo coverage empty: %d scenarios, mass %v",
+			cert.DistinctScenarios, cert.CoverageMass)
+	}
+	if cert.TotalNonSafeMass > 0 && cert.CoverageMass > cert.TotalNonSafeMass*(1+1e-9) {
+		t.Errorf("coverage mass %v exceeds total non-safe mass %v",
+			cert.CoverageMass, cert.TotalNonSafeMass)
+	}
+	if !strings.Contains(cert.Render(), "PASS") {
+		t.Error("render lacks verdict")
+	}
+}
+
+func TestCertifyFailOnSingleHomedES(t *testing.T) {
+	prob, sol := singleHomedFixture(t)
+	c := &Certifier{Prob: prob, Sol: sol, Opt: Options{Samples: 64, Seed: 7}}
+	cert, err := c.Certify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.OK() {
+		t.Fatalf("single-homed ES must fail certification:\n%s", cert.Render())
+	}
+	if len(cert.Counterexamples) == 0 {
+		t.Fatal("FAIL certificate has no counterexample")
+	}
+	cx := cert.Counterexamples[0]
+	if !cx.Minimized {
+		t.Error("counterexample not minimized")
+	}
+	if cx.Probability < prob.ReliabilityGoal {
+		t.Errorf("counterexample probability %v below R %v", cx.Probability, prob.ReliabilityGoal)
+	}
+	// The 1-minimal failing set is exactly the single-homing switch (or one
+	// of the components on the only path); a single component must suffice.
+	if len(cx.Nodes)+len(cx.Links) != 1 {
+		t.Errorf("counterexample not 1-minimal: nodes %v links %v", cx.Nodes, cx.Links)
+	}
+	if len(cx.UnrecoveredPairs) == 0 {
+		t.Error("counterexample lists no unrecovered pairs")
+	}
+}
+
+// alwaysOKChecker is a deliberately broken reliability analyzer: it
+// certifies every solution. The brute-force cross-check must catch it.
+type alwaysOKChecker struct{}
+
+func (alwaysOKChecker) AnalyzeContext(ctx context.Context, gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (failure.Result, error) {
+	return failure.Result{OK: true, MaxOrder: 1, NBFCalls: 1}, nil
+}
+
+func TestCertifyCatchesInjectedAnalyzerBug(t *testing.T) {
+	prob, sol := singleHomedFixture(t)
+	c := &Certifier{Prob: prob, Sol: sol, Opt: Options{Samples: 64, Seed: 7}, Checker: alwaysOKChecker{}}
+	cert, err := c.Certify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.OK() {
+		t.Fatalf("broken analyzer slipped through:\n%s", cert.Render())
+	}
+	var brute *Check
+	for i := range cert.Checks {
+		if cert.Checks[i].Name == "brute-force" {
+			brute = &cert.Checks[i]
+		}
+	}
+	if brute == nil || brute.Status != StatusFail {
+		t.Fatalf("brute-force cross-check did not fail: %+v", cert.Checks)
+	}
+	if !strings.Contains(brute.Detail, "DISAGREEMENT") {
+		t.Errorf("detail does not flag the disagreement: %s", brute.Detail)
+	}
+	found := false
+	for _, cx := range cert.Counterexamples {
+		if cx.FoundBy == "brute-force" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no brute-force counterexample recorded")
+	}
+}
+
+func TestCertifyStructureTamperStopsEarly(t *testing.T) {
+	prob, sol := dualHomedFixture(t)
+	// Violate the ASIL = min(endpoints) rule behind the planner's back.
+	sol.Assignment.SetLink(0, 2, asil.LevelD)
+	c := &Certifier{Prob: prob, Sol: sol}
+	cert, err := c.Certify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.OK() {
+		t.Fatal("tampered assignment certified")
+	}
+	for _, ck := range cert.Checks {
+		if ck.Name == "analyzer" || ck.Name == "brute-force" || ck.Name == "monte-carlo" {
+			t.Errorf("reliability stage %s ran on a structurally broken solution", ck.Name)
+		}
+	}
+}
+
+func TestCertifyCostMismatch(t *testing.T) {
+	prob, sol := dualHomedFixture(t)
+	sol.Cost += 5
+	c := &Certifier{Prob: prob, Sol: sol, Opt: Options{Samples: 8, Seed: 1}}
+	cert, err := c.Certify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.OK() {
+		t.Fatal("wrong recorded cost certified")
+	}
+	if !cert.failed("cost") {
+		t.Fatalf("cost check did not fail: %+v", cert.Checks)
+	}
+}
+
+func TestCertifyCancellation(t *testing.T) {
+	prob, sol := dualHomedFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Certifier{Prob: prob, Sol: sol}
+	if _, err := c.Certify(ctx); err == nil {
+		t.Fatal("cancelled certification returned no error")
+	}
+}
+
+func TestCertifyInputValidation(t *testing.T) {
+	prob, sol := dualHomedFixture(t)
+	if _, err := (&Certifier{Prob: nil, Sol: sol}).Certify(context.Background()); err == nil {
+		t.Error("nil problem accepted")
+	}
+	if _, err := (&Certifier{Prob: prob, Sol: nil}).Certify(context.Background()); err == nil {
+		t.Error("nil solution accepted")
+	}
+	if _, err := (&Certifier{Prob: prob, Sol: &core.Solution{}}).Certify(context.Background()); err == nil {
+		t.Error("empty solution accepted")
+	}
+}
+
+func TestCertificateWriteIsReadableJSON(t *testing.T) {
+	prob, sol := dualHomedFixture(t)
+	c := &Certifier{Prob: prob, Sol: sol, Opt: Options{Samples: 16, Seed: 3}}
+	cert, err := c.Certify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cert.json")
+	if err := Write(path, cert); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got Certificate
+	if err := serialize.ReadJSON(f, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != CertificateVersion || got.Verdict != cert.Verdict || len(got.Checks) != len(cert.Checks) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, cert)
+	}
+}
+
+func TestCertifyDeterministicForSeed(t *testing.T) {
+	prob, sol := dualHomedFixture(t)
+	run := func() *Certificate {
+		c := &Certifier{Prob: prob, Sol: sol, Opt: Options{Samples: 32, Seed: 42}}
+		cert, err := c.Certify(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cert
+	}
+	a, b := run(), run()
+	if a.DistinctScenarios != b.DistinctScenarios || a.CoverageMass != b.CoverageMass || a.NBFCalls != b.NBFCalls {
+		t.Fatalf("same seed, different campaign: %+v vs %+v", a, b)
+	}
+}

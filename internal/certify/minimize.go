@@ -1,0 +1,167 @@
+package certify
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// failureOf converts a component set to an NBF failure scenario.
+func failureOf(set []component) nbf.Failure {
+	var f nbf.Failure
+	for _, c := range set {
+		if c.isLink {
+			f.Edges = append(f.Edges, c.edge)
+		} else {
+			f.Nodes = append(f.Nodes, c.node)
+		}
+	}
+	return f
+}
+
+// probOf computes the Eq. 2 scenario probability of a component set.
+func probOf(set []component) float64 {
+	p := 1.0
+	for _, c := range set {
+		p *= c.prob
+	}
+	return p
+}
+
+// keyOf is a canonical map key for a component set (the set must be kept
+// in the deterministic order produced by components()).
+func keyOf(set []component) string {
+	parts := make([]string, len(set))
+	for i, c := range set {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// componentsOf maps a failure scenario back to components with their
+// failure probabilities looked up from the solution's assignment.
+func (c *Certifier) componentsOf(f nbf.Failure) []component {
+	var set []component
+	for _, n := range f.Nodes {
+		set = append(set, component{node: n, prob: c.Prob.Library.FailureProb(c.Sol.Assignment.SwitchLevel(n))})
+	}
+	for _, e := range f.Edges {
+		ce := e.Canonical()
+		ce.Length = 0
+		set = append(set, component{isLink: true, edge: ce, prob: c.Prob.Library.FailureProb(c.Sol.Assignment.LinkLevel(e.U, e.V))})
+	}
+	return set
+}
+
+// scenarioFails decides whether the planned network fails under the given
+// component set: the NBF either reports unrecoverable pairs, or claims
+// recovery with a configuration that still routes frames through failed
+// components (the steady-state-loss bug class the simulator surfaces).
+func (c *Certifier) scenarioFails(ctx context.Context, set []component) (bool, []tsn.Pair, error) {
+	if err := ctx.Err(); err != nil {
+		return false, nil, err
+	}
+	c.nbfCalls++
+	st, er, err := c.Prob.NBF.Recover(c.Sol.Topology, failureOf(set), c.Prob.Net, c.Prob.Flows)
+	if err != nil {
+		return false, nil, fmt.Errorf("certify: recovery: %w", err)
+	}
+	if len(er) > 0 {
+		return true, er, nil
+	}
+	failedNode := make(map[int]bool)
+	failedEdge := make(map[graph.Edge]bool)
+	for _, comp := range set {
+		if comp.isLink {
+			failedEdge[comp.edge] = true
+		} else {
+			failedNode[comp.node] = true
+		}
+	}
+	var ghost []tsn.Pair
+	for _, plan := range st.Plans {
+		if planUsesFailed(plan, failedNode, failedEdge) {
+			ghost = append(ghost, tsn.Pair{Src: plan.Path[0], Dst: plan.Dst})
+		}
+	}
+	return len(ghost) > 0, ghost, nil
+}
+
+// planUsesFailed reports whether a flow plan traverses a failed component.
+func planUsesFailed(plan tsn.FlowPlan, failedNode map[int]bool, failedEdge map[graph.Edge]bool) bool {
+	for i, v := range plan.Path {
+		if failedNode[v] {
+			return true
+		}
+		if i+1 < len(plan.Path) {
+			ce := graph.Edge{U: v, V: plan.Path[i+1]}.Canonical()
+			ce.Length = 0
+			if failedEdge[ce] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// minimize delta-debugs a failing component set to a 1-minimal one: every
+// single-component removal either makes the scenario recoverable or drops
+// its probability below R. Returns the minimized set, its unrecovered
+// pairs, its probability, and whether minimization completed (false when
+// cut short by cancellation — the set is still failing, just not minimal).
+func (c *Certifier) minimize(ctx context.Context, set []component) ([]component, []tsn.Pair, float64, bool, error) {
+	cur := append([]component(nil), set...)
+	_, curER, err := c.scenarioFails(ctx, cur)
+	if err != nil {
+		return cur, nil, probOf(cur), false, err
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			if ctx.Err() != nil {
+				return cur, curER, probOf(cur), false, nil
+			}
+			if len(cur) == 1 {
+				break
+			}
+			cand := make([]component, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if probOf(cand) < c.Prob.ReliabilityGoal {
+				continue
+			}
+			fails, er, err := c.scenarioFails(ctx, cand)
+			if err != nil {
+				if ctx.Err() != nil {
+					return cur, curER, probOf(cur), false, nil
+				}
+				return cur, curER, probOf(cur), false, err
+			}
+			if fails {
+				cur, curER = cand, er
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, curER, probOf(cur), true, nil
+}
+
+// counterexampleFromSet minimizes a failing component set and renders it.
+func (c *Certifier) counterexampleFromSet(ctx context.Context, set []component, foundBy string) (Counterexample, error) {
+	min, er, p, minimized, err := c.minimize(ctx, set)
+	if err != nil {
+		return Counterexample{}, err
+	}
+	return c.newCounterexample(min, p, er, minimized, foundBy), nil
+}
+
+// counterexampleFromNodes is counterexampleFromSet for a node-only failure
+// (the analyzer's counterexample form).
+func (c *Certifier) counterexampleFromNodes(ctx context.Context, nodes []int, foundBy string) (Counterexample, error) {
+	return c.counterexampleFromSet(ctx, c.componentsOf(nbf.Failure{Nodes: nodes}), foundBy)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/failure"
@@ -11,6 +12,13 @@ import (
 // analysis (Algorithm 3). It is the acceptance check used by tests, the
 // CLI, and the evaluation harness.
 func VerifySolution(prob *Problem, sol *Solution) error {
+	return VerifySolutionContext(context.Background(), prob, sol)
+}
+
+// VerifySolutionContext is VerifySolution with cancellation: the embedded
+// reliability analysis honors ctx, so verification of large topologies can
+// be interrupted like the rest of the planning pipeline.
+func VerifySolutionContext(ctx context.Context, prob *Problem, sol *Solution) error {
 	if sol == nil {
 		return fmt.Errorf("verify: nil solution")
 	}
@@ -33,7 +41,7 @@ func VerifySolution(prob *Problem, sol *Solution) error {
 		FlowLevelRedundancy: prob.FlowLevelRedundancy,
 		ESLevel:             prob.ESLevel,
 	}
-	res, err := an.Analyze(sol.Topology, sol.Assignment, prob.Flows)
+	res, err := an.AnalyzeContext(ctx, sol.Topology, sol.Assignment, prob.Flows)
 	if err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}

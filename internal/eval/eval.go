@@ -42,6 +42,11 @@ type CaseResult struct {
 	SwitchLevels map[asil.Level]int
 	// Reason explains a failed guarantee.
 	Reason string
+	// Solution is the best/only solution produced (nil when none).
+	Solution *core.Solution
+	// CertVerdict records the independent certification audit's verdict
+	// ("PASS"/"FAIL") when certification was requested; empty otherwise.
+	CertVerdict string
 }
 
 // switchLevelCounts extracts the ASIL histogram of a solution's switches.
@@ -76,6 +81,7 @@ func RunCase(prob *core.Problem, original *graph.Graph, nptsnCfg, neuroPlanCfg c
 				Approach: ap, GuaranteeMet: res.GuaranteeMet,
 				Cost: res.Solution.Cost, Reason: res.Reason,
 				SwitchLevels: switchLevelCounts(res.Solution),
+				Solution:     res.Solution,
 			}
 		case ApproachTRH:
 			res, err := baselines.NewTRH().Plan(prob)
@@ -86,6 +92,7 @@ func RunCase(prob *core.Problem, original *graph.Graph, nptsnCfg, neuroPlanCfg c
 			if res.Solution != nil {
 				cr.Cost = res.Solution.Cost
 				cr.SwitchLevels = switchLevelCounts(res.Solution)
+				cr.Solution = res.Solution
 			}
 			out[ap] = cr
 		case ApproachNeuroPlan:
@@ -101,6 +108,7 @@ func RunCase(prob *core.Problem, original *graph.Graph, nptsnCfg, neuroPlanCfg c
 			if res.Solution != nil {
 				cr.Cost = res.Solution.Cost
 				cr.SwitchLevels = switchLevelCounts(res.Solution)
+				cr.Solution = res.Solution
 			}
 			out[ap] = cr
 		case ApproachNPTSN:
@@ -116,6 +124,7 @@ func RunCase(prob *core.Problem, original *graph.Graph, nptsnCfg, neuroPlanCfg c
 			if report.Best != nil {
 				cr.Cost = report.Best.Cost
 				cr.SwitchLevels = switchLevelCounts(report.Best)
+				cr.Solution = report.Best
 			} else {
 				cr.Reason = "no valid topology discovered within the training budget"
 			}
@@ -137,6 +146,9 @@ type Fig4Row struct {
 	MeanCost map[Approach]float64
 	// SwitchLevels sums the ASIL histograms over cases with solutions.
 	SwitchLevels map[Approach]map[asil.Level]int
+	// CertifiedRate is the fraction of certificates with verdict PASS among
+	// cases where the independent audit ran (absent key = no audits).
+	CertifiedRate map[Approach]float64
 	// Cases is the number of test cases behind the row.
 	Cases int
 }
@@ -154,15 +166,23 @@ func Aggregate(flows int, cases []map[Approach]CaseResult, approaches []Approach
 		GuaranteeRate: make(map[Approach]float64),
 		MeanCost:      make(map[Approach]float64),
 		SwitchLevels:  make(map[Approach]map[asil.Level]int),
+		CertifiedRate: make(map[Approach]float64),
 		Cases:         len(cases),
 	}
 	counts := make(map[Approach]int)
 	solved := make(map[Approach]int)
+	certified := make(map[Approach]int)
 	for _, c := range cases {
 		for ap, r := range c {
 			counts[ap]++
 			if r.GuaranteeMet {
 				row.GuaranteeRate[ap]++
+			}
+			if r.CertVerdict != "" {
+				certified[ap]++
+				if r.CertVerdict == "PASS" {
+					row.CertifiedRate[ap]++
+				}
 			}
 			if r.Cost > 0 {
 				row.MeanCost[ap] += r.Cost
@@ -182,6 +202,11 @@ func Aggregate(flows int, cases []map[Approach]CaseResult, approaches []Approach
 		row.GuaranteeRate[ap] /= float64(counts[ap])
 		if solved[ap] > 0 {
 			row.MeanCost[ap] /= float64(solved[ap])
+		}
+		if certified[ap] > 0 {
+			row.CertifiedRate[ap] /= float64(certified[ap])
+		} else {
+			delete(row.CertifiedRate, ap)
 		}
 	}
 	return row
@@ -203,6 +228,18 @@ func (r *Fig4Result) RenderCost() string {
 			return "     -"
 		}
 		return fmt.Sprintf("%6.1f", c)
+	})
+}
+
+// RenderCertification formats the independent-audit series: percentage of
+// produced solutions whose certification verdict was PASS.
+func (r *Fig4Result) RenderCertification() string {
+	return r.render("Certification: % of solutions passing the independent audit", func(row Fig4Row, ap Approach) string {
+		rate, ok := row.CertifiedRate[ap]
+		if !ok {
+			return "     -"
+		}
+		return fmt.Sprintf("%5.0f%%", rate*100)
 	})
 }
 

@@ -1,8 +1,10 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/nbf"
 	"repro/internal/scenarios"
@@ -31,6 +33,11 @@ type Fig4Options struct {
 	Approaches []Approach
 	// Progress, when non-nil, receives per-case status lines.
 	Progress func(format string, args ...interface{})
+	// Certify runs the independent certification audit (internal/certify)
+	// on every solution produced and records the verdict per test case.
+	Certify bool
+	// CertifyOptions bounds the audit effort when Certify is set.
+	CertifyOptions certify.Options
 }
 
 func (o *Fig4Options) defaults() {
@@ -71,6 +78,22 @@ func RunFig4(opts Fig4Options) (*Fig4Result, error) {
 			res, err := RunCase(prob, opts.Scenario.Original, opts.NPTSNCfg, opts.NeuroPlanCfg, opts.Approaches)
 			if err != nil {
 				return nil, fmt.Errorf("fig4: %d flows case %d: %w", n, c, err)
+			}
+			if opts.Certify {
+				for ap, cr := range res {
+					if cr.Solution == nil {
+						continue
+					}
+					cert, err := (&certify.Certifier{
+						Prob: prob, Sol: cr.Solution, Opt: opts.CertifyOptions,
+					}).Certify(context.Background())
+					if err != nil {
+						return nil, fmt.Errorf("fig4: %d flows case %d: certify %s: %w", n, c, ap, err)
+					}
+					cr.CertVerdict = cert.Verdict
+					res[ap] = cr
+					opts.Progress("fig4: flows=%d case=%d %s certificate %s", n, c, ap, cert.Verdict)
+				}
 			}
 			opts.Progress("fig4: flows=%d case=%d done", n, c)
 			cases = append(cases, res)

@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,13 @@ type component struct {
 // Analyze returns whether the guarantee holds and, if not, the first
 // non-recoverable non-safe fault found. The result also counts NBF calls.
 func (b *BruteForce) Analyze(gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (Result, error) {
+	return b.AnalyzeContext(context.Background(), gt, assign, fs)
+}
+
+// AnalyzeContext is Analyze with cancellation: the exhaustive enumeration
+// checks ctx before every recovery simulation, so the exponential search is
+// interruptible. On cancellation it returns ctx.Err().
+func (b *BruteForce) AnalyzeContext(ctx context.Context, gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet) (Result, error) {
 	if b.Lib == nil || b.NBF == nil {
 		return Result{}, fmt.Errorf("brute force: nil library or NBF")
 	}
@@ -91,6 +99,10 @@ func (b *BruteForce) Analyze(gt *graph.Graph, assign *asil.Assignment, fs tsn.Fl
 			}
 			if prob < b.R {
 				return true
+			}
+			if err := ctx.Err(); err != nil {
+				loopErr = err
+				return false
 			}
 			res.NBFCalls++
 			_, er, err := b.NBF.Recover(gt, gf, b.Net, fs)

@@ -1,0 +1,149 @@
+package failure
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// randomCase is one generated property-test instance: a small topology with
+// a connected switch backbone, randomly homed end stations, a link-min-rule
+// assignment and a random flow set.
+type randomCase struct {
+	topo   *graph.Graph
+	assign *asil.Assignment
+	flows  tsn.FlowSet
+}
+
+// randomTopology generates a small TSSDN topology: 2–4 end stations homed
+// to 1–2 of 2–3 ring-connected switches, with random switch ASIL levels and
+// link levels derived by the min rule of §IV-B. Every instance admits an
+// initial flow state (the backbone is connected and every ES is attached),
+// so the analyzers only ever disagree about failure scenarios, never about
+// the intact network.
+func randomTopology(tb testing.TB, rng *rand.Rand) randomCase {
+	tb.Helper()
+	nES := 2 + rng.Intn(3)
+	nSW := 2 + rng.Intn(2)
+	g := graph.New()
+	for i := 0; i < nES; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	sw := make([]int, nSW)
+	for i := range sw {
+		sw[i] = g.AddVertex("", graph.KindSwitch)
+	}
+	// Connected backbone: a path, plus the closing chord half the time when
+	// there are 3 switches (ring vs. line changes which failures isolate).
+	for i := 0; i+1 < nSW; i++ {
+		mustEdge(tb, g, sw[i], sw[i+1])
+	}
+	if nSW == 3 && rng.Intn(2) == 0 {
+		mustEdge(tb, g, sw[0], sw[2])
+	}
+	// Home each end station to 1 or 2 distinct switches.
+	for es := 0; es < nES; es++ {
+		first := rng.Intn(nSW)
+		mustEdge(tb, g, es, sw[first])
+		if rng.Intn(2) == 0 {
+			second := (first + 1 + rng.Intn(nSW-1)) % nSW
+			mustEdge(tb, g, es, sw[second])
+		}
+	}
+	levels := make(map[int]asil.Level, nSW)
+	all := []asil.Level{asil.LevelA, asil.LevelB, asil.LevelC, asil.LevelD}
+	for _, s := range sw {
+		levels[s] = all[rng.Intn(len(all))]
+	}
+	nFlows := 1 + rng.Intn(3)
+	fs := make(tsn.FlowSet, 0, nFlows)
+	for i := 0; i < nFlows; i++ {
+		src := rng.Intn(nES)
+		dst := rng.Intn(nES)
+		for dst == src {
+			dst = rng.Intn(nES)
+		}
+		fs = append(fs, flow(i, src, dst))
+	}
+	return randomCase{topo: g, assign: assignLevels(g, levels), flows: fs}
+}
+
+// TestAnalyzerMatchesBruteForceOnRandomTopologies is the cross-check
+// property of §V: on any topology, Algorithm 3 (switch-only enumeration
+// with the Eq. 6 link reduction) must reach the same verdict as the
+// exhaustive brute-force enumeration over switches AND links. The seed is
+// fixed so the generated instances — and thus the test — are deterministic.
+func TestAnalyzerMatchesBruteForceOnRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lib := asil.DefaultLibrary()
+	net := tsn.DefaultNetwork()
+	mechanisms := []nbf.NBF{
+		&nbf.StatelessRecovery{MaxAlternatives: 3},
+		&nbf.StatelessRecovery{MaxAlternatives: 1},
+		&nbf.LoadBalancedRecovery{MaxAlternatives: 4},
+	}
+	goals := []float64{1e-6, 1e-4, 1e-2}
+
+	cases := 20
+	if testing.Short() {
+		cases = 6
+	}
+	for i := 0; i < cases; i++ {
+		rc := randomTopology(t, rng)
+		for _, mech := range mechanisms {
+			for _, r := range goals {
+				a := &Analyzer{Lib: lib, NBF: mech, Net: net, R: r}
+				res, err := a.Analyze(rc.topo, rc.assign, rc.flows)
+				if err != nil {
+					t.Fatalf("case %d %s R=%g: analyzer: %v", i, mech.Name(), r, err)
+				}
+				b := &BruteForce{Lib: lib, NBF: mech, Net: net, R: r}
+				bres, err := b.Analyze(rc.topo, rc.assign, rc.flows)
+				if err != nil {
+					t.Fatalf("case %d %s R=%g: brute force: %v", i, mech.Name(), r, err)
+				}
+				if res.OK != bres.OK {
+					t.Errorf("case %d %s R=%g: analyzer OK=%v but brute force OK=%v (analyzer failure %v, brute failure %v)",
+						i, mech.Name(), r, res.OK, bres.OK, res.Failure, bres.Failure)
+					continue
+				}
+				// A reported counterexample must be genuine: non-safe
+				// probability and actually unrecoverable under the NBF.
+				for _, witness := range []struct {
+					name string
+					res  Result
+				}{{"analyzer", res}, {"brute force", bres}} {
+					if witness.res.OK {
+						continue
+					}
+					checkWitness(t, rc, lib, net, mech, r, witness.name, witness.res)
+				}
+			}
+		}
+	}
+}
+
+// checkWitness asserts that a failing Result carries a real counterexample.
+func checkWitness(t *testing.T, rc randomCase, lib *asil.Library, net tsn.Network, mech nbf.NBF, r float64, name string, res Result) {
+	t.Helper()
+	prob, err := asil.FailureProbability(rc.assign, lib, res.Failure.Nodes, res.Failure.Edges)
+	if err != nil {
+		t.Errorf("%s R=%g: failure probability: %v", name, r, err)
+		return
+	}
+	if prob < r {
+		t.Errorf("%s R=%g: reported failure %v is a safe fault (prob %g)", name, r, res.Failure, prob)
+	}
+	_, er, err := mech.Recover(rc.topo, res.Failure, net, rc.flows)
+	if err != nil {
+		t.Errorf("%s R=%g: recover on witness: %v", name, r, err)
+		return
+	}
+	if len(er) == 0 {
+		t.Errorf("%s R=%g: reported failure %v is recoverable", name, r, res.Failure)
+	}
+}

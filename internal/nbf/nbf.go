@@ -98,19 +98,19 @@ type Registry struct {
 // NewRegistry returns a registry pre-populated with the built-in recovery
 // mechanisms.
 func NewRegistry() *Registry {
-	r := &Registry{factories: make(map[string]func() NBF)}
-	r.MustRegister("stateless-greedy", func() NBF { return &StatelessRecovery{MaxAlternatives: 3} })
-	r.MustRegister("stateless-shortest", func() NBF { return &StatelessRecovery{MaxAlternatives: 1} })
-	r.MustRegister("rebased-incremental", func() NBF {
-		return NewRebased(&IncrementalRecovery{MaxAlternatives: 3})
-	})
-	r.MustRegister("flow-redundant-greedy", func() NBF {
-		return NewFlowRedundant(&StatelessRecovery{MaxAlternatives: 3})
-	})
-	r.MustRegister("stateless-load-balanced", func() NBF {
-		return &LoadBalancedRecovery{MaxAlternatives: 4}
-	})
-	return r
+	return &Registry{factories: map[string]func() NBF{
+		"stateless-greedy":   func() NBF { return &StatelessRecovery{MaxAlternatives: 3} },
+		"stateless-shortest": func() NBF { return &StatelessRecovery{MaxAlternatives: 1} },
+		"rebased-incremental": func() NBF {
+			return NewRebased(&IncrementalRecovery{MaxAlternatives: 3})
+		},
+		"flow-redundant-greedy": func() NBF {
+			return NewFlowRedundant(&StatelessRecovery{MaxAlternatives: 3})
+		},
+		"stateless-load-balanced": func() NBF {
+			return &LoadBalancedRecovery{MaxAlternatives: 4}
+		},
+	}}
 }
 
 // Register adds a named constructor. Registering a duplicate name fails.
@@ -123,13 +123,6 @@ func (r *Registry) Register(name string, factory func() NBF) error {
 	}
 	r.factories[name] = factory
 	return nil
-}
-
-// MustRegister is Register for static initialization; it panics on error.
-func (r *Registry) MustRegister(name string, factory func() NBF) {
-	if err := r.Register(name, factory); err != nil {
-		panic(err)
-	}
 }
 
 // New instantiates the named recovery mechanism.

@@ -205,12 +205,18 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
-func TestRegistryMustRegisterPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustRegister should panic on duplicate")
-		}
-	}()
+func TestRegistryBuiltinsComplete(t *testing.T) {
+	// The built-in lineup must instantiate without error — the registry has
+	// no panicking registration path anymore, so a typo in the static table
+	// must surface here.
 	r := NewRegistry()
-	r.MustRegister("stateless-greedy", func() NBF { return nil })
+	for _, name := range r.Names() {
+		mech, err := r.New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mech == nil {
+			t.Fatalf("%s: nil mechanism", name)
+		}
+	}
 }

@@ -82,10 +82,22 @@ func evalNetwork() tsn.Network {
 	return tsn.Network{BasePeriod: 500 * time.Microsecond, SlotsPerBase: 20}
 }
 
+// ByName builds the named built-in scenario ("orion" or "ads").
+func ByName(name string) (*Scenario, error) {
+	switch name {
+	case "orion":
+		return ORION()
+	case "ads":
+		return ADS()
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want ads or orion)", name)
+	}
+}
+
 // ORION builds the ORION design scenario: 31 end stations, 15 optional
 // switches, and an optional link for every valid node pair within 3 hops
 // of the original topology.
-func ORION() *Scenario {
+func ORION() (*Scenario, error) {
 	original := graph.New()
 	// 31 end stations (IDs 0..30).
 	for i := 0; i < 31; i++ {
@@ -96,15 +108,12 @@ func ORION() *Scenario {
 	for i := range sw {
 		sw[i] = original.AddVertex(fmt.Sprintf("sw%d", i), graph.KindSwitch)
 	}
-	mustEdge := func(g *graph.Graph, u, v int) {
-		if err := g.AddEdge(u, v, 1); err != nil {
-			panic(err)
-		}
-	}
 	// Switch backbone: a 15-switch ring, the layout whose 3-hop optional
 	// link expansion lands closest to the paper's |Ec| = 189 (ours: 200).
 	for i := 0; i < 15; i++ {
-		mustEdge(original, sw[i], sw[(i+1)%15])
+		if err := original.AddEdge(sw[i], sw[(i+1)%15], 1); err != nil {
+			return nil, fmt.Errorf("orion: backbone: %w", err)
+		}
 	}
 	// Every end station single-homed — the property §VI-A relies on:
 	// single-point switch failures isolate end stations, so the manual
@@ -116,7 +125,9 @@ func ORION() *Scenario {
 	esID := 0
 	for i, count := range esPerSwitch {
 		for j := 0; j < count; j++ {
-			mustEdge(original, esID, sw[i])
+			if err := original.AddEdge(esID, sw[i], 1); err != nil {
+				return nil, fmt.Errorf("orion: end station %d: %w", esID, err)
+			}
 			esID++
 		}
 	}
@@ -134,17 +145,19 @@ func ORION() *Scenario {
 				continue // direct ES-ES links are not valid TSSDN links
 			}
 			if !gc.HasEdge(u, v) {
-				mustEdge(gc, u, v)
+				if err := gc.AddEdge(u, v, 1); err != nil {
+					return nil, fmt.Errorf("orion: optional link (%d,%d): %w", u, v, err)
+				}
 			}
 		}
 	}
-	return &Scenario{Name: "orion", Connections: gc, Original: original, Net: evalNetwork()}
+	return &Scenario{Name: "orion", Connections: gc, Original: original, Net: evalNetwork()}, nil
 }
 
 // ADS builds the autonomous-driving-system scenario of [31]: 12 end
 // stations, 4 optional switches and the complete connection set minus
 // direct ES-ES links — 12×4 + C(4,2) = 54 optional links (§VI-B).
-func ADS() *Scenario {
+func ADS() (*Scenario, error) {
 	gc := graph.New()
 	names := []string{
 		"lidar-front", "lidar-rear", "camera-front", "camera-rear",
@@ -161,18 +174,18 @@ func ADS() *Scenario {
 	for es := 0; es < 12; es++ {
 		for _, s := range sw {
 			if err := gc.AddEdge(es, s, 1); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("ads: end station %d: %w", es, err)
 			}
 		}
 	}
 	for i := 0; i < 4; i++ {
 		for j := i + 1; j < 4; j++ {
 			if err := gc.AddEdge(sw[i], sw[j], 1); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("ads: backbone: %w", err)
 			}
 		}
 	}
-	return &Scenario{Name: "ads", Connections: gc, Net: evalNetwork()}
+	return &Scenario{Name: "ads", Connections: gc, Net: evalNetwork()}, nil
 }
 
 // ADSFlows generates the 12 flows of the ADS sensitivity test: two flows

@@ -7,8 +7,26 @@ import (
 	"repro/internal/nbf"
 )
 
+func mustORION(t testing.TB) *Scenario {
+	t.Helper()
+	s, err := ORION()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustADS(t testing.TB) *Scenario {
+	t.Helper()
+	s, err := ADS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestORIONCounts(t *testing.T) {
-	s := ORION()
+	s := mustORION(t)
 	es := s.Connections.VerticesOfKind(graph.KindEndStation)
 	sw := s.Connections.VerticesOfKind(graph.KindSwitch)
 	if len(es) != 31 {
@@ -28,7 +46,7 @@ func TestORIONCounts(t *testing.T) {
 }
 
 func TestORIONOriginalProperties(t *testing.T) {
-	s := ORION()
+	s := mustORION(t)
 	// Every end station is single-homed (degree exactly 1) in the original
 	// design — the property that forces ASIL-D everywhere (§VI-A).
 	for _, es := range s.Original.VerticesOfKind(graph.KindEndStation) {
@@ -63,7 +81,7 @@ func TestORIONOriginalProperties(t *testing.T) {
 }
 
 func TestORIONConnectionsRespectHopRule(t *testing.T) {
-	s := ORION()
+	s := mustORION(t)
 	// Every optional link connects vertices within 3 hops of the original
 	// topology and never two end stations.
 	for _, e := range s.Connections.Edges() {
@@ -78,7 +96,7 @@ func TestORIONConnectionsRespectHopRule(t *testing.T) {
 }
 
 func TestADSCounts(t *testing.T) {
-	s := ADS()
+	s := mustADS(t)
 	es := s.Connections.VerticesOfKind(graph.KindEndStation)
 	sw := s.Connections.VerticesOfKind(graph.KindSwitch)
 	if len(es) != 12 {
@@ -98,7 +116,7 @@ func TestADSFlows(t *testing.T) {
 	if len(fs) != 12 {
 		t.Fatalf("flows = %d, want 12 (7 apps × 2 − 2)", len(fs))
 	}
-	s := ADS()
+	s := mustADS(t)
 	if err := fs.Validate(s.Net.BasePeriod); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +145,7 @@ func TestADSFlows(t *testing.T) {
 }
 
 func TestRandomFlowsValidAndSeeded(t *testing.T) {
-	s := ORION()
+	s := mustORION(t)
 	fs := s.RandomFlows(50, 7)
 	if len(fs) != 50 {
 		t.Fatalf("flows = %d", len(fs))
@@ -152,15 +170,30 @@ func TestRandomFlowsValidAndSeeded(t *testing.T) {
 }
 
 func TestScenarioProblemsValidate(t *testing.T) {
-	for _, s := range []*Scenario{ORION(), ADS()} {
+	for _, s := range []*Scenario{mustORION(t), mustADS(t)} {
 		flows := s.RandomFlows(5, 1)
 		prob := s.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 		if err := prob.Validate(); err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}
 	}
-	prob := ADS().Problem(ADSFlows(3), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
+	prob := mustADS(t).Problem(ADSFlows(3), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
 	if err := prob.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"orion", "ads"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, s.Name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown scenario accepted")
 	}
 }

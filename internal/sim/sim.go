@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -78,6 +79,16 @@ type Result struct {
 	TotalReleased  int
 	TotalDelivered int
 	TotalLost      int
+	// SteadyStateLost counts frames lost although they were released at or
+	// after the last recovery took effect — i.e. under the final
+	// configuration, outside any detection/reconfiguration gap. A recovered
+	// network must have zero steady-state losses; a nonzero count means the
+	// final configuration still routes frames through failed components,
+	// which is exactly the NBF bug class the certification audit hunts.
+	SteadyStateLost int
+	// NBFCalls counts recovery simulations performed (the initial
+	// configuration plus one per failure event).
+	NBFCalls int
 }
 
 // DeliveryRate returns delivered/released (1.0 for an idle network).
@@ -108,6 +119,14 @@ type segment struct {
 // (sorted by slot internally). It returns an error only for invalid
 // inputs; failures and unrecoverable pairs are reported in the Result.
 func (s *Simulator) Run(events []Event) (*Result, error) {
+	return s.RunContext(context.Background(), events)
+}
+
+// RunContext is Run with cancellation: the context is checked before every
+// recovery simulation (the expensive step) and periodically during release
+// playback, so long fault-injection campaigns stop promptly when the caller
+// is cancelled. On cancellation it returns ctx.Err().
+func (s *Simulator) RunContext(ctx context.Context, events []Event) (*Result, error) {
 	if s.Topo == nil || s.NBF == nil {
 		return nil, fmt.Errorf("sim: nil topology or NBF")
 	}
@@ -139,10 +158,14 @@ func (s *Simulator) Run(events []Event) (*Result, error) {
 	}
 
 	// Initial configuration FI0.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	fi0, er0, err := s.NBF.Recover(s.Topo, nbf.Failure{}, s.Net, s.Flows)
 	if err != nil {
 		return nil, fmt.Errorf("sim: initial configuration: %w", err)
 	}
+	res.NBFCalls++
 	_ = er0 // pairs in ER0 simply have no plan and count as lost
 
 	// Build the timeline segments: each failure event triggers a
@@ -169,10 +192,14 @@ func (s *Simulator) Run(events []Event) (*Result, error) {
 				edgeFailedAt[ce] = e.Slot
 			}
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		newState, er, err := s.NBF.Recover(s.Topo, cumulative.Clone(), s.Net, s.Flows)
 		if err != nil {
 			return nil, fmt.Errorf("sim: recovery after event %d: %w", i, err)
 		}
+		res.NBFCalls++
 		effective := e.Slot + s.Cfg.DetectionSlots + s.Cfg.ReconfigSlots
 		segments = append(segments, segment{from: effective, state: newState})
 		res.Recoveries = append(res.Recoveries, Recovery{
@@ -185,7 +212,11 @@ func (s *Simulator) Run(events []Event) (*Result, error) {
 
 	// Play the releases.
 	horizon := s.Cfg.HorizonBasePeriods * s.Net.SlotsPerBase
+	finalFrom := segments[len(segments)-1].from
 	for _, f := range s.Flows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		periodSlots := s.Net.PeriodSlots(f.Period)
 		for _, dst := range f.Dsts {
 			pair := tsn.Pair{Src: f.Src, Dst: dst}
@@ -199,6 +230,9 @@ func (s *Simulator) Run(events []Event) (*Result, error) {
 					stats.Lost++
 					res.TotalLost++
 					s.chargeGap(res, evs, release)
+					if release >= finalFrom {
+						res.SteadyStateLost++
+					}
 					continue
 				}
 				if s.frameSurvives(plan, release, nodeFailedAt, edgeFailedAt) {
@@ -209,6 +243,9 @@ func (s *Simulator) Run(events []Event) (*Result, error) {
 				stats.Lost++
 				res.TotalLost++
 				s.chargeGap(res, evs, release)
+				if release >= finalFrom {
+					res.SteadyStateLost++
+				}
 			}
 		}
 	}

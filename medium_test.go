@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/nbf"
-	"repro/internal/scenarios"
 )
 
 // TestMediumBudgetTrend reruns fixed ORION 10-flow cases at increasing
@@ -20,7 +19,7 @@ func TestMediumBudgetTrend(t *testing.T) {
 	if os.Getenv("NPTSN_MEDIUM") == "" {
 		t.Skip("set NPTSN_MEDIUM=1 to run the budget-trend experiment (~25 min)")
 	}
-	scen := scenarios.ORION()
+	scen := mustORION(t)
 	budgets := []struct {
 		name   string
 		epochs int

@@ -1,0 +1,27 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+// mustADS / mustORION build the named scenario or abort the test; the
+// builders only fail on programming errors in the scenario definitions.
+func mustADS(tb testing.TB) *scenarios.Scenario {
+	tb.Helper()
+	s, err := scenarios.ADS()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func mustORION(tb testing.TB) *scenarios.Scenario {
+	tb.Helper()
+	s, err := scenarios.ORION()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
