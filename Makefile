@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-quick eval-micro eval-small examples coverage loc clean certify fuzz
+.PHONY: all build test test-short race race-analyzer vet bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz
 
 all: build vet test
 
@@ -23,12 +23,28 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
+# Full (non-short) race pass over the failure-analysis engine and the
+# planner that shares its verdict cache across workers.
+race-analyzer:
+	$(GO) test -race ./internal/failure/... ./internal/core/...
+
 # One iteration of every table/figure/ablation benchmark.
 bench-quick:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Machine-readable run of the analyzer + scheduler benchmarks. Writes
+# BENCH_<n>.json with the next free index so successive runs are kept
+# side by side for before/after comparison.
+bench-json:
+	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	out=BENCH_$$n.json; \
+	$(GO) test -run xxx -json \
+		-bench 'BenchmarkFailureAnalysisORION|BenchmarkFailureAnalysisORIONEngine|BenchmarkScheduler' \
+		-benchmem . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	echo "wrote $$out"
 
 # Regenerate the evaluation figures at interactive scale.
 eval-micro:

@@ -1,0 +1,122 @@
+package repro_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/scenarios"
+	"repro/internal/tsn"
+)
+
+// randomConstructionState builds a randomized partial TSSDN over a real
+// scenario's connection graph: most switches upgraded to a random ASIL,
+// a random subset of the candidate edges added (degree violations are
+// skipped, like the SOAG mask would). The result ranges from disconnected
+// fragments to near-complete dual-homed networks, so both early-Failure
+// and deep-enumeration analyzer paths are exercised.
+func randomConstructionState(tb testing.TB, prob *core.Problem, rng *rand.Rand) *core.TSSDN {
+	tb.Helper()
+	state := core.NewTSSDN(prob)
+	for _, sw := range prob.Switches() {
+		if rng.Float64() < 0.15 {
+			continue
+		}
+		for up := 1 + rng.Intn(4); up > 0; up-- {
+			if err := state.UpgradeSwitch(sw); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	for _, e := range prob.Connections.Edges() {
+		if rng.Float64() < 0.25 {
+			continue
+		}
+		// AddPath rejects paths through unadded switches and degree
+		// violations; both are legitimate random outcomes here.
+		_ = state.AddPath(graph.Path{e.U, e.V})
+	}
+	return state
+}
+
+// stripVolatile zeroes the observability fields of a Result that
+// legitimately depend on scheduling and cache warmth. Everything else —
+// OK, Failure, ER, MaxOrder, ScenariosConsidered — must be bit-identical
+// between the sequential analyzer and the concurrent, memoized engine.
+func stripVolatile(r failure.Result) failure.Result {
+	r.NBFCalls = 0
+	r.CacheHits = 0
+	r.CacheMisses = 0
+	r.Duration = 0
+	r.Occupancy = 0
+	return r
+}
+
+// TestAnalysisEngineDifferentialADSORION is the end-to-end determinism
+// check on the real scenarios: for randomized ADS and ORION construction
+// states and every registry recovery mechanism, the parallel analyzer with
+// a shared verdict cache must return results identical to the sequential,
+// uncached reference — on both the cold and the warm round.
+func TestAnalysisEngineDifferentialADSORION(t *testing.T) {
+	reg := nbf.NewRegistry()
+	states := 3
+	if testing.Short() {
+		states = 1
+	}
+	for _, sc := range []struct {
+		name  string
+		scen  *scenarios.Scenario
+		flows tsn.FlowSet
+	}{
+		{"ads", mustADS(t), scenarios.ADSFlows(7)},
+		{"orion", mustORION(t), nil},
+	} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			flows := sc.flows
+			if flows == nil {
+				flows = sc.scen.RandomFlows(15, 7)
+			}
+			prob := sc.scen.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
+			if err := prob.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < states; i++ {
+				state := randomConstructionState(t, prob, rng)
+				for _, name := range reg.Names() {
+					mech, err := reg.New(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					base := failure.Analyzer{
+						Lib: prob.Library, NBF: mech, Net: prob.Net, R: 1e-6,
+						FlowLevelRedundancy: name == "flow-redundant-greedy",
+					}
+					seq := base
+					ref, err := seq.Analyze(state.Topo, state.Assign, flows)
+					if err != nil {
+						t.Fatalf("state %d %s: sequential: %v", i, name, err)
+					}
+					eng := base
+					eng.Workers = 4
+					eng.Cache = failure.NewCache(1 << 14)
+					for round := 0; round < 2; round++ {
+						got, err := eng.Analyze(state.Topo, state.Assign, flows)
+						if err != nil {
+							t.Fatalf("state %d %s round %d: %v", i, name, round, err)
+						}
+						if !reflect.DeepEqual(stripVolatile(got), stripVolatile(ref)) {
+							t.Fatalf("state %d %s round %d: engine diverged:\n%+v\nvs sequential\n%+v",
+								i, name, round, stripVolatile(got), stripVolatile(ref))
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -495,9 +495,11 @@ func BenchmarkScheduler(b *testing.B) {
 	}
 }
 
-// BenchmarkFailureAnalysisORION measures one full Algorithm 3 run on an
-// ORION-scale dual-homed topology — the dominant cost of training (§IV-C).
-func BenchmarkFailureAnalysisORION(b *testing.B) {
+// orionAnalysisState builds the ORION-scale dual-homed topology the
+// failure-analysis benchmarks analyze: all switches upgraded, backbone
+// rung, every ES dual-homed on its least-loaded candidate switches.
+func orionAnalysisState(b *testing.B) (*core.TSSDN, *core.Problem, tsn.FlowSet) {
+	b.Helper()
 	scen := mustORION(b)
 	flows := scen.RandomFlows(20, 1)
 	prob := scen.Problem(flows, &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
@@ -544,6 +546,13 @@ func BenchmarkFailureAnalysisORION(b *testing.B) {
 			}
 		}
 	}
+	return state, prob, flows
+}
+
+// BenchmarkFailureAnalysisORION measures one full Algorithm 3 run on an
+// ORION-scale dual-homed topology — the dominant cost of training (§IV-C).
+func BenchmarkFailureAnalysisORION(b *testing.B) {
+	state, prob, flows := orionAnalysisState(b)
 	an := &failure.Analyzer{Lib: prob.Library, NBF: prob.NBF, Net: prob.Net, R: 1e-6}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -552,6 +561,55 @@ func BenchmarkFailureAnalysisORION(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.NBFCalls), "nbf_calls")
+	}
+}
+
+// BenchmarkFailureAnalysisORIONEngine measures the concurrent, memoized
+// analysis engine on the same ORION state: worker-pool fan-out on a cold
+// cache, and the warm-cache path that answers every scenario without
+// touching the NBF (the regime a planner hits when re-analyzing states
+// reached repeatedly across exploration steps).
+func BenchmarkFailureAnalysisORIONEngine(b *testing.B) {
+	state, prob, flows := orionAnalysisState(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+		warm    bool
+	}{
+		{"workers-1-cold", 1, false},
+		{"workers-4-cold", 4, false},
+		{"workers-1-warm", 1, true},
+		{"workers-4-warm", 4, true},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			an := &failure.Analyzer{
+				Lib: prob.Library, NBF: prob.NBF, Net: prob.Net, R: 1e-6,
+				Workers: bc.workers,
+			}
+			if bc.warm {
+				an.Cache = failure.NewCache(1 << 15)
+				if _, err := an.Analyze(state.Topo, state.Assign, flows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !bc.warm {
+					// Cold: fresh cache per iteration so every scenario
+					// pays for its simulation.
+					b.StopTimer()
+					an.Cache = failure.NewCache(1 << 15)
+					b.StartTimer()
+				}
+				res, err := an.Analyze(state.Topo, state.Assign, flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.NBFCalls), "nbf_calls")
+				b.ReportMetric(res.Occupancy, "occupancy")
+			}
+		})
 	}
 }
 

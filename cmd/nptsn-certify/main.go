@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string, out io.Writer) (bool, error) {
 		horizon      = fs.Int("horizon", 16, "simulated base periods per injection trial")
 		bruteMax     = fs.Int("brute-max", 14, "component cap for the exhaustive brute-force cross-check")
 		splitMax     = fs.Int("split-max", 3, "most events a sampled scenario is split into")
+		anWorkers    = fs.Int("analyzer-workers", 1, "failure-analysis worker goroutines per Analyze call (1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return false, err
@@ -85,6 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) (bool, error) {
 			HorizonBasePeriods: *horizon,
 			MaxBruteComponents: *bruteMax,
 			MaxSplitEvents:     *splitMax,
+			AnalyzerWorkers:    *anWorkers,
 		},
 	}
 	cert, err := c.Certify(ctx)

@@ -64,15 +64,17 @@ func scaleConfig(scale string, seed int64) (core.Config, error) {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nptsn-eval", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 5a, 5b, 5c or all")
-		scale    = fs.String("scale", "micro", "training budget: micro, small or paper")
-		cases    = fs.Int("cases", 3, "test cases per flow count (paper: 10)")
-		flowsCSV = fs.String("flows", "10,20,30", "comma-separated flow counts (paper: 10,20,30,40,50)")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		verbose  = fs.Bool("v", false, "per-case progress output")
-		csvDir   = fs.String("csv-dir", "", "also write fig4.csv / fig5<x>.csv into this directory")
-		doCert   = fs.Bool("certify", false, "independently certify every produced solution and report PASS rates")
-		certSamp = fs.Int("certify-samples", 64, "Monte Carlo trials per certification audit (with -certify)")
+		fig       = fs.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 5a, 5b, 5c or all")
+		scale     = fs.String("scale", "micro", "training budget: micro, small or paper")
+		cases     = fs.Int("cases", 3, "test cases per flow count (paper: 10)")
+		flowsCSV  = fs.String("flows", "10,20,30", "comma-separated flow counts (paper: 10,20,30,40,50)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		verbose   = fs.Bool("v", false, "per-case progress output")
+		csvDir    = fs.String("csv-dir", "", "also write fig4.csv / fig5<x>.csv into this directory")
+		doCert    = fs.Bool("certify", false, "independently certify every produced solution and report PASS rates")
+		certSamp  = fs.Int("certify-samples", 64, "Monte Carlo trials per certification audit (with -certify)")
+		anWorkers = fs.Int("analyzer-workers", 1, "failure-analysis worker goroutines per Analyze call (1 = sequential)")
+		anCache   = fs.Int("analyzer-cache", 32768, "failure-analysis verdict cache entries per run (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +83,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg.AnalyzerWorkers = *anWorkers
+	cfg.AnalyzerCacheSize = *anCache
 	flowCounts, err := parseInts(*flowsCSV)
 	if err != nil {
 		return err

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/certify"
 	"repro/internal/core"
@@ -60,6 +61,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		gcnLayers    = fs.Int("gcn", 2, "number of GCN layers")
 		mlpHidden    = fs.Int("mlp", 256, "actor/critic hidden layer width (two layers)")
 		workers      = fs.Int("workers", 1, "parallel exploration workers")
+		anWorkers    = fs.Int("analyzer-workers", 1, "failure-analysis worker goroutines per Analyze call (1 = sequential)")
+		anCache      = fs.Int("analyzer-cache", 32768, "failure-analysis verdict cache entries shared across workers (0 = disabled)")
 		r            = fs.Float64("r", 1e-6, "reliability goal R")
 		recovery     = fs.String("nbf", "stateless-greedy", "recovery mechanism (see internal/nbf registry)")
 		solutionOut  = fs.String("out", "", "write the solution as JSON to this file")
@@ -107,6 +110,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cfg.MaxEpoch = *epochs
 	cfg.MaxStep = *steps
 	cfg.Workers = *workers
+	cfg.AnalyzerWorkers = *anWorkers
+	cfg.AnalyzerCacheSize = *anCache
 	cfg.Seed = *seed
 	if *ckptPath != "" {
 		cfg.CheckpointEvery = *ckptEvery
@@ -155,6 +160,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	var anTime time.Duration
+	var anHits, anMisses int
+	for _, e := range report.Epochs {
+		anTime += e.AnalysisTime
+		anHits += e.AnalysisCacheHits
+		anMisses += e.AnalysisCacheMisses
+	}
+	if lookups := anHits + anMisses; lookups > 0 {
+		fmt.Fprintf(out, "failure analysis: %v wall-clock, verdict cache %.1f%% hits (%d of %d lookups)\n",
+			anTime.Round(time.Millisecond), 100*float64(anHits)/float64(lookups), anHits, lookups)
+	} else if anTime > 0 {
+		fmt.Fprintf(out, "failure analysis: %v wall-clock\n", anTime.Round(time.Millisecond))
+	}
+
 	if report.Interrupted {
 		fmt.Fprintf(out, "interrupted after %d completed epoch(s)", len(report.Epochs))
 		if *ckptPath != "" && len(report.Epochs) > 0 {
@@ -176,7 +195,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		c := &certify.Certifier{
 			Prob: prob,
 			Sol:  report.Best,
-			Opt:  certify.Options{Samples: *certSamples, Seed: *seed},
+			Opt:  certify.Options{Samples: *certSamples, Seed: *seed, AnalyzerWorkers: *anWorkers},
 		}
 		cert, err := c.Certify(ctx)
 		if err != nil {

@@ -32,6 +32,9 @@ type Result struct {
 type Original struct {
 	// Topology is the manual design; it must span the problem's vertex set.
 	Topology *graph.Graph
+	// AnalyzerWorkers bounds the verification analyzer's worker pool
+	// (<= 1 keeps it sequential).
+	AnalyzerWorkers int
 }
 
 // Plan assigns ASIL-D everywhere and verifies the reliability goal.
@@ -61,7 +64,7 @@ func (o *Original) Plan(prob *core.Problem) (*Result, error) {
 	}
 	sol := &core.Solution{Topology: o.Topology.Clone(), Assignment: assign, Cost: cost}
 
-	an := &failure.Analyzer{Lib: prob.Library, NBF: prob.NBF, Net: prob.Net, R: prob.ReliabilityGoal}
+	an := &failure.Analyzer{Lib: prob.Library, NBF: prob.NBF, Net: prob.Net, R: prob.ReliabilityGoal, Workers: o.AnalyzerWorkers}
 	res, err := an.Analyze(o.Topology, assign, prob.Flows)
 	if err != nil {
 		return nil, fmt.Errorf("original: %w", err)

@@ -49,6 +49,9 @@ type Options struct {
 	// MaxSplitEvents is the most events a sampled scenario is split into,
 	// exercising cumulative recovery (default 3).
 	MaxSplitEvents int
+	// AnalyzerWorkers bounds the audited analyzer's scenario worker pool
+	// (<= 1 keeps it sequential). Ignored when Checker is set explicitly.
+	AnalyzerWorkers int
 }
 
 func (o *Options) defaults() {
@@ -177,6 +180,7 @@ func (c *Certifier) checker() ReliabilityChecker {
 		R:                   c.Prob.ReliabilityGoal,
 		FlowLevelRedundancy: c.Prob.FlowLevelRedundancy,
 		ESLevel:             c.Prob.ESLevel,
+		Workers:             c.Opt.AnalyzerWorkers,
 	}
 }
 

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTrainingInvariantUnderAnalyzerEngine: turning on the concurrent,
+// memoized failure analyzer must not change the training trajectory — the
+// analyzer verdicts feed the reward, so any divergence there would change
+// the learned weights. Stripped EpochStats and FinalWeights must match the
+// sequential, uncached reference exactly.
+func TestTrainingInvariantUnderAnalyzerEngine(t *testing.T) {
+	prob := tinyProblem(t)
+
+	cfg := tinyConfig()
+	cfg.MaxEpoch = 3
+	cfg.Workers = 2
+	ref := train(t, prob, cfg)
+
+	cfg.AnalyzerWorkers = 4
+	cfg.AnalyzerCacheSize = 1 << 12
+	got := train(t, prob, cfg)
+
+	if !reflect.DeepEqual(stripDurations(got.Epochs), stripDurations(ref.Epochs)) {
+		t.Fatalf("engine-backed training diverged:\n%+v\nvs\n%+v",
+			stripDurations(got.Epochs), stripDurations(ref.Epochs))
+	}
+	if !reflect.DeepEqual(got.FinalWeights, ref.FinalWeights) {
+		t.Fatal("final weights differ with the analyzer engine enabled")
+	}
+
+	// The observability wiring must actually be connected: with a cache
+	// configured, epochs report analysis wall-clock and cache traffic.
+	var analysis, lookups int64
+	for _, es := range got.Epochs {
+		analysis += int64(es.AnalysisTime)
+		lookups += int64(es.AnalysisCacheHits + es.AnalysisCacheMisses)
+	}
+	if analysis <= 0 {
+		t.Fatal("no analysis wall-clock reported in EpochStats")
+	}
+	if lookups <= 0 {
+		t.Fatal("no cache lookups reported in EpochStats despite a configured cache")
+	}
+}
+
+func train(t *testing.T, prob *Problem, cfg Config) *Report {
+	t.Helper()
+	pl, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/asil"
 	"repro/internal/failure"
@@ -59,11 +60,33 @@ type Env struct {
 	Solutions int
 	DeadEnds  int
 	NBFCalls  int
+	// analysis observability (accumulated across AnalyzeContext calls)
+	analysisTime   time.Duration
+	analysisHits   int
+	analysisMisses int
+}
+
+// AnalysisStats reports the accumulated failure-analysis wall-clock and
+// verdict-cache hit/miss counts of this environment.
+func (e *Env) AnalysisStats() (d time.Duration, hits, misses int) {
+	return e.analysisTime, e.analysisHits, e.analysisMisses
 }
 
 // NewEnv builds an environment. The seed drives both the SOAG's random
 // pair selection and nothing else (action sampling uses the agent's RNG).
+// When cfg.AnalyzerCacheSize > 0 the environment gets a private verdict
+// cache; use NewEnvWithCache to share one cache across environments.
 func NewEnv(prob *Problem, cfg Config, seed int64) (*Env, error) {
+	var cache *failure.Cache
+	if cfg.AnalyzerCacheSize > 0 {
+		cache = failure.NewCache(cfg.AnalyzerCacheSize)
+	}
+	return NewEnvWithCache(prob, cfg, seed, cache)
+}
+
+// NewEnvWithCache is NewEnv with an explicit (possibly shared, possibly
+// nil) failure-analysis verdict cache.
+func NewEnvWithCache(prob *Problem, cfg Config, seed int64, cache *failure.Cache) (*Env, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,6 +107,8 @@ func NewEnv(prob *Problem, cfg Config, seed int64) (*Env, error) {
 			R:                   prob.ReliabilityGoal,
 			FlowLevelRedundancy: prob.FlowLevelRedundancy,
 			ESLevel:             prob.ESLevel,
+			Workers:             cfg.AnalyzerWorkers,
+			Cache:               cache,
 		},
 		enc:    NewEncoderWithOptions(prob, cfg.K, cfg.PerFlowEncoding),
 		scaler: cfg.RewardScale,
@@ -106,6 +131,9 @@ func (e *Env) analyzeAndGenerate(ctx context.Context) error {
 		return fmt.Errorf("env: %w", err)
 	}
 	e.NBFCalls += res.NBFCalls
+	e.analysisTime += res.Duration
+	e.analysisHits += res.CacheHits
+	e.analysisMisses += res.CacheMisses
 	e.lastGf = res.Failure
 	e.lastER = res.ER
 	e.lastOK = res.OK

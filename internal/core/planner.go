@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/failure"
 	"repro/internal/nn"
 	"repro/internal/rl"
 	"repro/internal/rng"
@@ -41,6 +42,13 @@ type EpochStats struct {
 	// update); the paper reports ~39 s/epoch for ORION and ~10 s for ADS
 	// on its Python stack.
 	Duration time.Duration
+	// AnalysisTime is the failure-analysis wall-clock summed across the
+	// epoch's workers — the Algorithm 3 share of the epoch cost.
+	AnalysisTime time.Duration `json:",omitempty"`
+	// AnalysisCacheHits / AnalysisCacheMisses count verdict-cache lookups
+	// during the epoch (zero when no cache is configured).
+	AnalysisCacheHits   int `json:",omitempty"`
+	AnalysisCacheMisses int `json:",omitempty"`
 }
 
 // Report is the full training outcome.
@@ -100,12 +108,37 @@ type worker struct {
 	rng  *rand.Rand
 	buf  *rl.Buffer
 
+	// maskArena backs the per-step action-mask copies stored in buf. The
+	// buffer retains every mask until the epoch's PPO update consumes it,
+	// so the copies are carved out of one chunk instead of one allocation
+	// per step; maskOff resets when the buffer is replaced.
+	maskArena []bool
+	maskOff   int
+
 	trajectories int
 	solutions    int
 	deadEnds     int
 	err          error
 	panicMsg     string
 	interrupted  bool
+}
+
+// copyMask stores a stable copy of src in the worker's mask arena. A full
+// arena is replaced by a fresh chunk — slices carved earlier stay valid in
+// the buffer.
+func (w *worker) copyMask(src []bool) []bool {
+	if len(w.maskArena)-w.maskOff < len(src) {
+		n := 256 * len(src)
+		if n < 4096 {
+			n = 4096
+		}
+		w.maskArena = make([]bool, n)
+		w.maskOff = 0
+	}
+	dst := w.maskArena[w.maskOff : w.maskOff+len(src) : w.maskOff+len(src)]
+	w.maskOff += len(src)
+	copy(dst, src)
+	return dst
 }
 
 // explore gathers `steps` environment steps into the worker's buffer
@@ -119,7 +152,7 @@ func (w *worker) explore(ctx context.Context, steps int) {
 			return
 		}
 		obs := w.env.Observation()
-		mask := append([]bool(nil), w.env.Mask()...)
+		mask := w.copyMask(w.env.Mask())
 		if allFalse(mask) {
 			// The empty start state offers no actions at all — the problem
 			// is unsolvable by construction; stop this worker's epoch.
@@ -208,10 +241,17 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 
+	// One verdict cache shared by all exploration workers, so a scenario
+	// simulated by any worker is a hit for every other one.
+	var cache *failure.Cache
+	if p.cfg.AnalyzerCacheSize > 0 {
+		cache = failure.NewCache(p.cfg.AnalyzerCacheSize)
+	}
+
 	workers := make([]*worker, p.cfg.Workers)
 	for i := range workers {
 		src := rng.New(p.cfg.Seed + int64(i)*7919 + 1)
-		env, err := NewEnv(p.prob, p.cfg, p.cfg.Seed+int64(i)*104729+2)
+		env, err := NewEnvWithCache(p.prob, p.cfg, p.cfg.Seed+int64(i)*104729+2, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -247,15 +287,29 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 	var lastCkpt *Checkpoint
 	lastWritten := 0
 
+	// sumAnalysis totals the per-worker analysis counters; per-epoch deltas
+	// go into EpochStats.
+	sumAnalysis := func() (d time.Duration, hits, misses int) {
+		for _, w := range workers {
+			wd, wh, wm := w.env.AnalysisStats()
+			d += wd
+			hits += wh
+			misses += wm
+		}
+		return d, hits, misses
+	}
+
 	for epoch := startEpoch; epoch <= p.cfg.MaxEpoch; epoch++ {
 		if ctx.Err() != nil {
 			report.Interrupted = true
 			break
 		}
 		epochStart := time.Now()
+		d0, h0, m0 := sumAnalysis()
 		var wg sync.WaitGroup
 		for i, w := range workers {
 			w.buf = rl.NewBuffer(p.cfg.Discount, p.cfg.GAELambda)
+			w.maskOff = 0 // the previous epoch's buffer is gone; reuse the arena
 			w.trajectories, w.solutions, w.deadEnds = 0, 0, 0
 			w.err, w.panicMsg, w.interrupted = nil, "", false
 			wg.Add(1)
@@ -342,6 +396,10 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 			}
 			es.BestCost = report.Best.Cost
 		}
+		d1, h1, m1 := sumAnalysis()
+		es.AnalysisTime = d1 - d0
+		es.AnalysisCacheHits = h1 - h0
+		es.AnalysisCacheMisses = m1 - m0
 		es.Duration = time.Since(epochStart)
 		report.Epochs = append(report.Epochs, es)
 

@@ -10,12 +10,16 @@ import (
 	"repro/internal/asil"
 )
 
-// stripDurations zeroes the wall-clock field so epoch stats can be compared
-// across runs.
+// stripDurations zeroes the wall-clock and cache-warmth fields so epoch
+// stats can be compared across runs (a resumed run starts with a cold
+// verdict cache, so hit/miss counts legitimately differ).
 func stripDurations(es []EpochStats) []EpochStats {
 	out := append([]EpochStats(nil), es...)
 	for i := range out {
 		out[i].Duration = 0
+		out[i].AnalysisTime = 0
+		out[i].AnalysisCacheHits = 0
+		out[i].AnalysisCacheMisses = 0
 	}
 	return out
 }

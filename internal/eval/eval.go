@@ -73,7 +73,7 @@ func RunCase(prob *core.Problem, original *graph.Graph, nptsnCfg, neuroPlanCfg c
 			if original == nil {
 				continue
 			}
-			res, err := (&baselines.Original{Topology: original}).Plan(prob)
+			res, err := (&baselines.Original{Topology: original, AnalyzerWorkers: nptsnCfg.AnalyzerWorkers}).Plan(prob)
 			if err != nil {
 				return nil, fmt.Errorf("original: %w", err)
 			}

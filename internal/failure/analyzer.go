@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/asil"
 	"repro/internal/graph"
@@ -39,6 +40,16 @@ type Analyzer struct {
 	// FlowLevelRedundancy is enabled (end stations otherwise never fail;
 	// §II-C treats their failures as safe faults). Defaults to ASIL-D.
 	ESLevel asil.Level
+
+	// Workers bounds the scenario-simulation worker pool. Values <= 1 run
+	// every simulation inline on the calling goroutine (the sequential
+	// path). Results are bit-identical either way; see the determinism
+	// argument on the engine type.
+	Workers int
+	// Cache, when non-nil, memoizes per-scenario recovery verdicts across
+	// Analyze calls. Share one Cache across all environments of a run; nil
+	// disables memoization.
+	Cache *Cache
 }
 
 // Result is the outcome of a reliability analysis.
@@ -52,10 +63,23 @@ type Result struct {
 	// MaxOrder is the highest failure order that had to be considered.
 	MaxOrder int
 	// NBFCalls counts recovery simulations performed (the expensive part).
+	// With Workers > 1 the count may include a few speculative simulations
+	// completed before an earlier counterexample was known; it is exact on
+	// the sequential path.
 	NBFCalls int
 	// ScenariosConsidered counts candidate subsets enumerated, including
-	// those skipped by probability or superset pruning.
+	// those skipped by probability or superset pruning. Deterministic in
+	// all modes.
 	ScenariosConsidered int
+	// CacheHits / CacheMisses count verdict-cache lookups of this call
+	// (zero when no cache is configured).
+	CacheHits   int
+	CacheMisses int
+	// Duration is the analysis wall-clock time.
+	Duration time.Duration
+	// Occupancy is the fraction of Workers x Duration spent inside recovery
+	// simulations — 1.0 means the pool never starved.
+	Occupancy float64
 }
 
 func (a *Analyzer) validate() error {
@@ -144,70 +168,36 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, gt *graph.Graph, assign *
 	if err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
 	res := Result{MaxOrder: maxOrder(ids, prob, a.R)}
-
-	var checked [][]int // sorted node sets already verified recoverable
-	isSubsetOfChecked := func(set []int) bool {
-		if a.DisableSupersetPruning {
-			return false
+	eng := newEngine(ctx, a, gt, assign, fs, ids, prob)
+	defer eng.close()
+	finish := func() {
+		res.NBFCalls = int(eng.nbfCalls.Load())
+		res.CacheHits = eng.hits
+		res.CacheMisses = eng.misses
+		res.Duration = time.Since(start)
+		if busy := time.Duration(eng.busy.Load()); res.Duration > 0 {
+			res.Occupancy = float64(busy) / (float64(res.Duration) * float64(eng.workers))
 		}
-		for _, c := range checked {
-			if subsetOfSorted(set, c) {
-				return true
-			}
-		}
-		return false
 	}
 
 	// Highest order first so the superset cache prunes the most work
 	// (line 3 of Algorithm 3 iterates {maxord, ..., 1, 0}).
 	for order := res.MaxOrder; order >= 0; order-- {
-		var found *nbf.Failure
-		var foundER []tsn.Pair
-		var loopErr error
-		graph.Combinations(ids, order, func(subset []int) bool {
-			if err := ctx.Err(); err != nil {
-				loopErr = err
-				return false
-			}
-			res.ScenariosConsidered++
-			set := append([]int(nil), subset...)
-			sort.Ints(set)
-			p := 1.0
-			for _, v := range set {
-				p *= prob[v]
-			}
-			if p < a.R {
-				return true // safe fault
-			}
-			if isSubsetOfChecked(set) {
-				return true
-			}
-			gf := nbf.Failure{Nodes: set}
-			res.NBFCalls++
-			_, er, err := a.NBF.Recover(gt, gf, a.Net, fs)
-			if err != nil {
-				loopErr = err
-				return false
-			}
-			if len(er) != 0 {
-				found = &gf
-				foundER = er
-				return false
-			}
-			checked = append(checked, set)
-			return true
-		})
-		if loopErr != nil {
-			return Result{}, fmt.Errorf("analyze order %d: %w", order, loopErr)
+		found, er, err := eng.runOrder(order, &res)
+		if err != nil {
+			return Result{}, fmt.Errorf("analyze order %d: %w", order, err)
 		}
 		if found != nil {
 			res.Failure = *found
-			res.ER = foundER
+			res.ER = er
+			finish()
 			return res, nil
 		}
 	}
 	res.OK = true
+	finish()
 	return res, nil
 }
 

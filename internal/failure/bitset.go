@@ -1,0 +1,46 @@
+package failure
+
+// Checked-set pruning works on bitsets over candidate positions: candidate
+// i of the enumeration order maps to bit i. A scenario is prunable when its
+// bitset is a subset of any already-verified recoverable set, which is a
+// handful of word operations instead of the former O(n) sorted-merge walk
+// per checked entry — and the flat arena below removes the per-scenario
+// copy+sort allocations entirely.
+
+// subsetWords reports whether the set bits of a are all set in b. Both
+// slices must have the same length.
+func subsetWords(a, b []uint64) bool {
+	for i, w := range a {
+		if w&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkedArena stores verified-recoverable scenario bitsets back to back in
+// one flat slice, `words` words per set. Offsets index the arena, so slice
+// growth never invalidates previously stored sets.
+type checkedArena struct {
+	words int
+	data  []uint64
+}
+
+func newCheckedArena(words int) *checkedArena {
+	return &checkedArena{words: words}
+}
+
+// add appends one bitset (copied).
+func (c *checkedArena) add(set []uint64) {
+	c.data = append(c.data, set...)
+}
+
+// covers reports whether any stored set is a superset of `set`.
+func (c *checkedArena) covers(set []uint64) bool {
+	for off := 0; off < len(c.data); off += c.words {
+		if subsetWords(set, c.data[off:off+c.words]) {
+			return true
+		}
+	}
+	return false
+}

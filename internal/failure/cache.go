@@ -1,0 +1,129 @@
+package failure
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tsn"
+)
+
+// cacheShards is the number of independently locked cache segments. 16
+// keeps lock contention negligible for the worker counts that make sense
+// on vehicle-planning workloads while the per-shard maps stay dense.
+const cacheShards = 16
+
+// Cache memoizes per-scenario recovery verdicts across Analyze calls. The
+// key is a canonical 128-bit fingerprint of (recovery mechanism, timing
+// configuration, flow set, topology edges, switch ASIL assignment, failure
+// set), so a hit replays exactly the verdict the NBF simulation would
+// recompute — training revisits near-identical TSSDN states across Env
+// resets, planner workers and epochs, and every hit skips the TT scheduler
+// entirely.
+//
+// A Cache is safe for concurrent use and is meant to be shared: the
+// planner hands one instance to all of a run's environments. Capacity is
+// bounded; a full shard evicts an arbitrary entry per insert (random
+// replacement), which is cheap and adequate for the heavy-tailed revisit
+// distribution of RL exploration.
+type Cache struct {
+	perShard int
+	shards   [cacheShards]cacheShard
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[fingerprint]cacheEntry
+}
+
+type cacheEntry struct {
+	ok bool
+	er []tsn.Pair // NBF error message of a failing scenario (nil when ok)
+}
+
+// NewCache returns a verdict cache bounded to roughly `entries` verdicts.
+// entries <= 0 selects a default of 64k.
+func NewCache(entries int) *Cache {
+	if entries <= 0 {
+		entries = 1 << 16
+	}
+	per := entries / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[fingerprint]cacheEntry)
+	}
+	return c
+}
+
+func (c *Cache) shard(fp fingerprint) *cacheShard {
+	return &c.shards[fp.lo%cacheShards]
+}
+
+// lookup returns the memoized verdict for fp. The returned ER slice is a
+// copy; callers may retain it.
+func (c *Cache) lookup(fp fingerprint) (ok bool, er []tsn.Pair, hit bool) {
+	s := c.shard(fp)
+	s.mu.Lock()
+	e, found := s.m[fp]
+	s.mu.Unlock()
+	if !found {
+		c.misses.Add(1)
+		return false, nil, false
+	}
+	c.hits.Add(1)
+	if len(e.er) > 0 {
+		er = append([]tsn.Pair(nil), e.er...)
+	}
+	return e.ok, er, true
+}
+
+// store memoizes one verdict, evicting an arbitrary entry when the shard
+// is full.
+func (c *Cache) store(fp fingerprint, ok bool, er []tsn.Pair) {
+	var e cacheEntry
+	e.ok = ok
+	if len(er) > 0 {
+		e.er = append([]tsn.Pair(nil), er...)
+	}
+	s := c.shard(fp)
+	s.mu.Lock()
+	if _, exists := s.m[fp]; !exists && len(s.m) >= c.perShard {
+		for k := range s.m {
+			delete(s.m, k)
+			break
+		}
+	}
+	s.m[fp] = e
+	s.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the lifetime hit/miss counters and current entry count.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		st.Entries += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return st
+}

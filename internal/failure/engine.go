@@ -1,0 +1,317 @@
+package failure
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// engine executes one Analyze call: it enumerates failure scenarios per
+// order, prunes them against the probability threshold, the bitset checked
+// arena and the verdict cache, and fans the surviving recovery simulations
+// out across a bounded worker pool.
+//
+// Determinism argument: a scenario's verdict is a pure function of
+// (NBF, topology, timing, flows, failure set) — NBF implementations are
+// deterministic by contract. Enumeration order is fixed, orders run as
+// batches from maxord down to 0, and the reported counterexample is the
+// verdict-failing scenario with the lowest enumeration index of the
+// highest failing order. Pruning only ever skips scenarios that are
+// recoverable (subsets of verified-recoverable sets), cache hits replay
+// pure verdicts, and within one order no set can prune another (equal
+// cardinality), so the parallel and memoized paths return OK / Failure /
+// ER / MaxOrder bit-identical to the sequential analyzer. Only the
+// NBFCalls / CacheHits / CacheMisses / Duration / Occupancy observability
+// counters depend on scheduling and cache warmth.
+type engine struct {
+	a      *Analyzer
+	ctx    context.Context
+	gt     *graph.Graph
+	assign *asil.Assignment
+	fs     tsn.FlowSet
+	ids    []int
+
+	probByPos []float64 // failure probability per candidate position
+	posByNode []int32   // candidate position per node ID
+	words     int       // bitset words per scenario
+
+	checked *checkedArena
+	setBuf  []int    // scratch: current subset's node IDs, ascending
+	bitBuf  []uint64 // scratch: current subset as a position bitset
+
+	cache        *Cache
+	topoFP       fpHash
+	hits, misses int
+
+	workers  int
+	jobsCh   chan *analysisJob // nil when sequential
+	workerWG sync.WaitGroup
+	seqNBF   nbf.NBF // mechanism for inline (sequential) execution
+
+	nbfCalls atomic.Int64
+	busy     atomic.Int64 // summed nanoseconds inside Recover across workers
+	failSeq  atomic.Int64 // lowest failing enumeration index of the order
+}
+
+// analysisJob is one scenario whose verdict was not available at
+// enumeration time (or, when cached=true, a failing cached verdict that
+// terminated the order's enumeration).
+type analysisJob struct {
+	seq   int
+	nodes []int
+	fp    fingerprint
+	hasFP bool
+	owg   *sync.WaitGroup
+
+	er      []tsn.Pair
+	failed  bool
+	cached  bool
+	skipped bool
+	err     error
+}
+
+func newEngine(ctx context.Context, a *Analyzer, gt *graph.Graph, assign *asil.Assignment, fs tsn.FlowSet, ids []int, prob map[int]float64) *engine {
+	words := (len(ids) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	e := &engine{
+		a: a, ctx: ctx, gt: gt, assign: assign, fs: fs, ids: ids,
+		words:   words,
+		checked: newCheckedArena(words),
+		bitBuf:  make([]uint64, words),
+		setBuf:  make([]int, 0, 8),
+	}
+	e.probByPos = make([]float64, len(ids))
+	e.posByNode = make([]int32, gt.NumVertices())
+	for i, v := range ids {
+		e.probByPos[i] = prob[v]
+		e.posByNode[v] = int32(i)
+	}
+	if a.Cache != nil {
+		e.cache = a.Cache
+		e.topoFP = topologyFingerprint(a.contextFingerprint(fs), gt, assign)
+	}
+	e.failSeq.Store(math.MaxInt64)
+	if a.Workers > 1 {
+		e.workers = a.Workers
+		e.jobsCh = make(chan *analysisJob, a.Workers*2)
+		for i := 0; i < a.Workers; i++ {
+			e.workerWG.Add(1)
+			go e.workerLoop()
+		}
+	} else {
+		e.workers = 1
+		e.seqNBF = a.NBF
+	}
+	return e
+}
+
+// close drains the worker pool. Safe to call exactly once.
+func (e *engine) close() {
+	if e.jobsCh != nil {
+		close(e.jobsCh)
+		e.workerWG.Wait()
+	}
+}
+
+// workerLoop is one pool goroutine. Each worker gets its own NBF instance
+// per the nbf concurrency contract (stateless mechanisms are shared,
+// stateful ones cloned).
+func (e *engine) workerLoop() {
+	defer e.workerWG.Done()
+	mech := nbf.ForWorker(e.a.NBF)
+	for jb := range e.jobsCh {
+		e.simulate(mech, jb)
+		jb.owg.Done()
+	}
+}
+
+// simulate runs one recovery simulation and records the verdict. Jobs past
+// an already-known failing index are skipped: they can never become the
+// reported counterexample (the reduction takes the lowest failing index)
+// and skipping them frees the pool on failure-heavy construction states.
+func (e *engine) simulate(mech nbf.NBF, jb *analysisJob) {
+	if err := e.ctx.Err(); err != nil {
+		jb.err = err
+		return
+	}
+	if int64(jb.seq) > e.failSeq.Load() {
+		jb.skipped = true
+		return
+	}
+	start := time.Now()
+	_, er, err := mech.Recover(e.gt, nbf.Failure{Nodes: jb.nodes}, e.a.Net, e.fs)
+	e.busy.Add(int64(time.Since(start)))
+	e.nbfCalls.Add(1)
+	if err != nil {
+		jb.err = err
+		return
+	}
+	jb.er = er
+	if len(er) != 0 {
+		jb.failed = true
+		for {
+			cur := e.failSeq.Load()
+			if int64(jb.seq) >= cur || e.failSeq.CompareAndSwap(cur, int64(jb.seq)) {
+				break
+			}
+		}
+	}
+}
+
+// buildSet loads the subset given by candidate positions idx into the
+// scratch buffers: bitBuf as a position bitset and setBuf as ascending
+// node IDs (insertion sort — subsets are maxord-sized, typically <= 3).
+func (e *engine) buildSet(idx []int) {
+	for i := range e.bitBuf {
+		e.bitBuf[i] = 0
+	}
+	e.setBuf = e.setBuf[:0]
+	for _, j := range idx {
+		e.bitBuf[j>>6] |= 1 << (uint(j) & 63)
+		v := e.ids[j]
+		k := len(e.setBuf)
+		e.setBuf = append(e.setBuf, v)
+		for k > 0 && e.setBuf[k-1] > v {
+			e.setBuf[k] = e.setBuf[k-1]
+			k--
+		}
+		e.setBuf[k] = v
+	}
+}
+
+// copySet returns a stable copy of setBuf for a scenario that escapes the
+// enumeration loop (dispatched to a worker or reported as a failure).
+func (e *engine) copySet() []int {
+	return append([]int(nil), e.setBuf...)
+}
+
+// addCheckedNodes registers a verified-recoverable node set in the checked
+// arena (parallel path: after the order barrier, when bitBuf is free).
+func (e *engine) addCheckedNodes(nodes []int) {
+	for i := range e.bitBuf {
+		e.bitBuf[i] = 0
+	}
+	for _, v := range nodes {
+		j := e.posByNode[v]
+		e.bitBuf[j>>6] |= 1 << (uint(j) & 63)
+	}
+	e.checked.add(e.bitBuf)
+}
+
+// runOrder enumerates and resolves all order-sized scenarios. It returns
+// the counterexample with the lowest enumeration index, or nil when every
+// non-safe scenario of the order is recoverable.
+func (e *engine) runOrder(order int, res *Result) (*nbf.Failure, []tsn.Pair, error) {
+	e.failSeq.Store(math.MaxInt64)
+	var jobs []*analysisJob
+	var owg sync.WaitGroup
+	var enumErr error
+	seq := 0
+	graph.IndexCombinations(len(e.ids), order, func(idx []int) bool {
+		if err := e.ctx.Err(); err != nil {
+			enumErr = err
+			return false
+		}
+		res.ScenariosConsidered++
+		seq++
+		e.buildSet(idx)
+		p := 1.0
+		for _, j := range idx {
+			p *= e.probByPos[j]
+		}
+		if p < e.a.R {
+			return true // safe fault
+		}
+		if !e.a.DisableSupersetPruning && e.checked.covers(e.bitBuf) {
+			return true
+		}
+		var fp fingerprint
+		hasFP := e.cache != nil
+		if hasFP {
+			fp = scenarioFingerprint(e.topoFP, e.setBuf)
+			if ok, er, hit := e.cache.lookup(fp); hit {
+				e.hits++
+				if ok {
+					// Recoverable hit: prunes like a simulated pass. Within
+					// an order no equal-sized set can be pruned by it, so
+					// adding immediately matches sequential semantics.
+					e.checked.add(e.bitBuf)
+					return true
+				}
+				jobs = append(jobs, &analysisJob{seq: seq, nodes: e.copySet(), er: er, failed: true, cached: true})
+				return false // a known-failing scenario ends the enumeration
+			}
+			e.misses++
+		}
+		jb := &analysisJob{seq: seq, nodes: e.copySet(), fp: fp, hasFP: hasFP}
+		jobs = append(jobs, jb)
+		if e.jobsCh != nil {
+			jb.owg = &owg
+			owg.Add(1)
+			e.jobsCh <- jb
+			return true
+		}
+		// Sequential path: resolve inline, exactly like the pre-engine
+		// analyzer (first failing scenario stops the order).
+		e.simulate(e.seqNBF, jb)
+		if jb.err != nil {
+			enumErr = jb.err
+			return false
+		}
+		if jb.failed {
+			return false
+		}
+		e.checked.add(e.bitBuf)
+		if hasFP {
+			e.cache.store(fp, true, nil)
+		}
+		return true
+	})
+	owg.Wait() // order barrier: all dispatched verdicts are in
+	if enumErr != nil {
+		return nil, nil, enumErr
+	}
+	for i, jb := range jobs {
+		if jb.err != nil {
+			return nil, nil, jb.err
+		}
+		if jb.skipped {
+			continue // provably past the first failing index
+		}
+		if jb.failed {
+			// The sequential analyzer stops enumerating at the failing
+			// scenario; rebase the counter to that point so
+			// ScenariosConsidered is bit-identical in every mode.
+			res.ScenariosConsidered -= seq - jb.seq
+			if jb.hasFP && !jb.cached {
+				e.cache.store(jb.fp, false, jb.er)
+			}
+			// Bank the other completed verdicts of the batch — the
+			// simulations are paid for and nearby states will re-ask.
+			for _, later := range jobs[i+1:] {
+				if later.hasFP && !later.cached && !later.skipped && later.err == nil {
+					e.cache.store(later.fp, len(later.er) == 0, later.er)
+				}
+			}
+			return &nbf.Failure{Nodes: jb.nodes}, jb.er, nil
+		}
+		if e.jobsCh != nil {
+			// Parallel recoverables join the checked set after the barrier;
+			// sequential ones were added inline above.
+			e.addCheckedNodes(jb.nodes)
+			if jb.hasFP && !jb.cached {
+				e.cache.store(jb.fp, true, nil)
+			}
+		}
+	}
+	return nil, nil, nil
+}

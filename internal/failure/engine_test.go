@@ -1,0 +1,248 @@
+package failure
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// comparable projects the deterministic part of a Result: OK, Failure, ER,
+// MaxOrder and ScenariosConsidered are bit-identical across the sequential,
+// parallel and memoized paths; NBFCalls and the timing fields are not.
+func comparable(r Result) Result {
+	r.NBFCalls = 0
+	r.CacheHits = 0
+	r.CacheMisses = 0
+	r.Duration = 0
+	r.Occupancy = 0
+	return r
+}
+
+// registryMechanisms instantiates every built-in recovery mechanism, paired
+// with whether it targets the flow-level-redundancy analyzer mode.
+func registryMechanisms(t *testing.T) []struct {
+	mech      nbf.NBF
+	flowLevel bool
+} {
+	t.Helper()
+	reg := nbf.NewRegistry()
+	var out []struct {
+		mech      nbf.NBF
+		flowLevel bool
+	}
+	for _, name := range reg.Names() {
+		m, err := reg.New(name)
+		if err != nil {
+			t.Fatalf("registry: %v", err)
+		}
+		out = append(out, struct {
+			mech      nbf.NBF
+			flowLevel bool
+		}{m, name == "flow-redundant-greedy"})
+	}
+	return out
+}
+
+// TestEngineMatchesSequentialOnRandomTopologies is the differential
+// determinism property of the analysis engine: across randomized
+// topologies and every registry NBF, the parallel and/or memoized analyzer
+// must return a Result identical to the sequential, uncached one — both on
+// a cold cache and when re-analyzing with a warm cache.
+func TestEngineMatchesSequentialOnRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lib := asil.DefaultLibrary()
+	net := tsn.DefaultNetwork()
+	goals := []float64{1e-6, 1e-2}
+
+	cases := 10
+	if testing.Short() {
+		cases = 4
+	}
+	for i := 0; i < cases; i++ {
+		rc := randomTopology(t, rng)
+		for _, m := range registryMechanisms(t) {
+			for _, r := range goals {
+				base := Analyzer{Lib: lib, NBF: m.mech, Net: net, R: r, FlowLevelRedundancy: m.flowLevel}
+				seq := base
+				ref, err := seq.Analyze(rc.topo, rc.assign, rc.flows)
+				if err != nil {
+					t.Fatalf("case %d %s R=%g: sequential: %v", i, m.mech.Name(), r, err)
+				}
+				cache := NewCache(1 << 12)
+				for _, workers := range []int{1, 2, 4, 8} {
+					for round := 0; round < 2; round++ { // round 1 hits the warm cache
+						a := base
+						a.Workers = workers
+						a.Cache = cache
+						got, err := a.Analyze(rc.topo, rc.assign, rc.flows)
+						if err != nil {
+							t.Fatalf("case %d %s R=%g workers=%d: %v", i, m.mech.Name(), r, workers, err)
+						}
+						if !reflect.DeepEqual(comparable(got), comparable(ref)) {
+							t.Errorf("case %d %s R=%g workers=%d round=%d: engine diverged:\n%+v\nvs sequential\n%+v",
+								i, m.mech.Name(), r, workers, round, comparable(got), comparable(ref))
+						}
+					}
+				}
+				// Parallel without a cache must also match.
+				a := base
+				a.Workers = 4
+				got, err := a.Analyze(rc.topo, rc.assign, rc.flows)
+				if err != nil {
+					t.Fatalf("case %d %s R=%g uncached parallel: %v", i, m.mech.Name(), r, err)
+				}
+				if !reflect.DeepEqual(comparable(got), comparable(ref)) {
+					t.Errorf("case %d %s R=%g: uncached parallel diverged:\n%+v\nvs\n%+v",
+						i, m.mech.Name(), r, comparable(got), comparable(ref))
+				}
+			}
+		}
+	}
+}
+
+// TestWarmCacheSkipsAllSimulations: re-analyzing an identical state with a
+// warm shared cache must answer every scenario from the cache — zero NBF
+// calls, zero misses — and still return the identical Result.
+func TestWarmCacheSkipsAllSimulations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rc := randomTopology(t, rng)
+	a := &Analyzer{
+		Lib:   asil.DefaultLibrary(),
+		NBF:   &nbf.StatelessRecovery{MaxAlternatives: 3},
+		Net:   tsn.DefaultNetwork(),
+		R:     1e-6,
+		Cache: NewCache(1 << 12),
+	}
+	cold, err := a.Analyze(rc.topo, rc.assign, rc.flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold run reported %d cache hits", cold.CacheHits)
+	}
+	warm, err := a.Analyze(rc.topo, rc.assign, rc.flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.NBFCalls != 0 || warm.CacheMisses != 0 {
+		t.Fatalf("warm run still simulated: NBFCalls=%d misses=%d", warm.NBFCalls, warm.CacheMisses)
+	}
+	if warm.CacheHits == 0 {
+		t.Fatal("warm run reported no cache hits")
+	}
+	if !reflect.DeepEqual(comparable(warm), comparable(cold)) {
+		t.Fatalf("warm result diverged:\n%+v\nvs\n%+v", comparable(warm), comparable(cold))
+	}
+}
+
+// TestCacheKeyDistinguishesContext: verdicts must not leak between
+// analyzers with different mechanisms or reliability goals.
+func TestCacheKeyDistinguishesContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rc := randomTopology(t, rng)
+	lib := asil.DefaultLibrary()
+	net := tsn.DefaultNetwork()
+	cache := NewCache(1 << 12)
+
+	a1 := &Analyzer{Lib: lib, NBF: &nbf.StatelessRecovery{MaxAlternatives: 3}, Net: net, R: 1e-6, Cache: cache}
+	if _, err := a1.Analyze(rc.topo, rc.assign, rc.flows); err != nil {
+		t.Fatal(err)
+	}
+	// Different mechanism, same cache: everything must miss.
+	a2 := &Analyzer{Lib: lib, NBF: &nbf.LoadBalancedRecovery{MaxAlternatives: 4}, Net: net, R: 1e-6, Cache: cache}
+	res2, err := a2.Analyze(rc.topo, rc.assign, rc.flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHits != 0 {
+		t.Fatalf("different NBF got %d cache hits", res2.CacheHits)
+	}
+	// Different goal, same mechanism: must also miss.
+	a3 := &Analyzer{Lib: lib, NBF: &nbf.StatelessRecovery{MaxAlternatives: 3}, Net: net, R: 1e-2, Cache: cache}
+	res3, err := a3.Analyze(rc.topo, rc.assign, rc.flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.CacheHits != 0 {
+		t.Fatalf("different R got %d cache hits", res3.CacheHits)
+	}
+}
+
+// TestCacheBounded: the cache must not grow past its configured capacity.
+func TestCacheBounded(t *testing.T) {
+	c := NewCache(32)
+	for i := 0; i < 10000; i++ {
+		c.store(fingerprint{hi: uint64(i) * 0x9e3779b97f4a7c15, lo: uint64(i)}, i%2 == 0, nil)
+	}
+	if st := c.Stats(); st.Entries > 32 {
+		t.Fatalf("cache grew to %d entries (cap 32)", st.Entries)
+	}
+	// Overwriting an existing key must not evict.
+	c2 := NewCache(cacheShards)
+	fp := fingerprint{hi: 1, lo: 1}
+	c2.store(fp, true, nil)
+	c2.store(fp, true, nil)
+	ok, _, hit := c2.lookup(fp)
+	if !hit || !ok {
+		t.Fatal("overwritten entry lost")
+	}
+}
+
+// TestEngineSharedCacheConcurrentAnalyzers exercises the pool and the
+// shared cache under the race detector: several analyzers, each with its
+// own worker pool, analyze random states concurrently against one cache —
+// the planner's worker topology.
+func TestEngineSharedCacheConcurrentAnalyzers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	lib := asil.DefaultLibrary()
+	net := tsn.DefaultNetwork()
+	cache := NewCache(1 << 10)
+
+	const goroutines = 4
+	cases := make([]randomCase, goroutines)
+	refs := make([]Result, goroutines)
+	for i := range cases {
+		cases[i] = randomTopology(t, rng)
+		seq := &Analyzer{Lib: lib, NBF: &nbf.StatelessRecovery{MaxAlternatives: 3}, Net: net, R: 1e-6}
+		ref, err := seq.Analyze(cases[i].topo, cases[i].assign, cases[i].flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a := &Analyzer{
+				Lib: lib, NBF: &nbf.StatelessRecovery{MaxAlternatives: 3}, Net: net, R: 1e-6,
+				Workers: 4, Cache: cache,
+			}
+			for round := 0; round < 3; round++ {
+				got, err := a.Analyze(cases[g].topo, cases[g].assign, cases[g].flows)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !reflect.DeepEqual(comparable(got), comparable(refs[g])) {
+					t.Errorf("goroutine %d round %d diverged from sequential", g, round)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package failure
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+	"repro/internal/tsn"
+)
+
+// fingerprint is a 128-bit canonical digest. Two independent 64-bit lanes
+// make accidental collisions across the verdict cache astronomically
+// unlikely (~2^-128 per pair), so the cache can key on the digest alone
+// without storing the full (topology, assignment, scenario) tuple.
+type fingerprint struct{ hi, lo uint64 }
+
+// fpHash accumulates words into both lanes with distinct mixers.
+type fpHash struct{ hi, lo uint64 }
+
+func newFPHash() fpHash {
+	return fpHash{hi: 0x9e3779b97f4a7c15, lo: 0xc2b2ae3d27d4eb4f}
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit permutation.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (h *fpHash) word(w uint64) {
+	h.lo = mix64(h.lo ^ w)
+	h.hi = mix64(h.hi ^ bits.RotateLeft64(w, 32) ^ 0xff51afd7ed558ccd)
+}
+
+func (h *fpHash) int(v int)       { h.word(uint64(v)) }
+func (h *fpHash) float(f float64) { h.word(math.Float64bits(f)) }
+func (h *fpHash) bool(b bool) {
+	if b {
+		h.word(1)
+	} else {
+		h.word(2)
+	}
+}
+func (h *fpHash) str(s string) {
+	h.int(len(s))
+	var w uint64
+	n := 0
+	for i := 0; i < len(s); i++ {
+		w = w<<8 | uint64(s[i])
+		if n++; n == 8 {
+			h.word(w)
+			w, n = 0, 0
+		}
+	}
+	if n > 0 {
+		h.word(w)
+	}
+}
+
+func (h *fpHash) sum() fingerprint { return fingerprint{hi: mix64(h.hi), lo: mix64(h.lo)} }
+
+// contextFingerprint digests everything that determines a recovery verdict
+// besides the topology and the failure set: the recovery mechanism, the
+// analyzer mode, the TAS timing configuration and the full flow
+// specification. It is computed once per Analyze call.
+func (a *Analyzer) contextFingerprint(fs tsn.FlowSet) fpHash {
+	h := newFPHash()
+	h.str(a.NBF.Name())
+	h.float(a.R)
+	h.bool(a.FlowLevelRedundancy)
+	h.int(int(a.ESLevel))
+	h.int(int(a.Net.BasePeriod))
+	h.int(a.Net.SlotsPerBase)
+	h.int(len(fs))
+	for _, f := range fs {
+		h.int(f.ID)
+		h.int(f.Src)
+		h.int(len(f.Dsts))
+		for _, d := range f.Dsts {
+			h.int(d)
+		}
+		h.int(int(f.Period))
+		h.int(int(f.Deadline))
+		h.int(f.FrameSize)
+	}
+	return h
+}
+
+// topologyFingerprint extends a context digest with the canonical edge list
+// of gt and the switch ASIL assignment — the per-state part of the cache
+// key. Link ASILs are omitted: they follow from the min-endpoint rule and
+// never influence either the enumeration or the recovery simulation.
+func topologyFingerprint(base fpHash, gt *graph.Graph, assign *asil.Assignment) fpHash {
+	h := base
+	h.int(gt.NumVertices())
+	edges := gt.Edges() // canonical (U < V), sorted
+	h.int(len(edges))
+	for _, e := range edges {
+		h.int(e.U)
+		h.int(e.V)
+		h.float(e.Length)
+	}
+	sws := make([]int, 0, len(assign.Switches))
+	for sw := range assign.Switches {
+		sws = append(sws, sw)
+	}
+	sort.Ints(sws)
+	h.int(len(sws))
+	for _, sw := range sws {
+		h.int(sw)
+		h.int(int(assign.Switches[sw]))
+	}
+	return h
+}
+
+// scenarioFingerprint finalizes a topology digest with one failure set
+// (ascending node IDs), yielding the cache key of a single verdict.
+func scenarioFingerprint(topo fpHash, nodes []int) fingerprint {
+	h := topo
+	h.int(len(nodes))
+	for _, v := range nodes {
+		h.int(v)
+	}
+	return h.sum()
+}

@@ -1,12 +1,10 @@
 package graph
 
-// Combinations enumerates all k-element subsets of items in deterministic
-// lexicographic index order, calling fn with a reused buffer for each subset.
-// The buffer must not be retained across calls; copy it if needed. fn may
-// return false to stop enumeration early. It is the subset generator behind
-// Algorithm 3's combinations(V^t_sw, i).
-func Combinations(items []int, k int, fn func(subset []int) bool) {
-	n := len(items)
+// IndexCombinations enumerates all k-element index subsets of {0..n-1} in
+// deterministic lexicographic order, calling fn with a reused ascending
+// buffer for each subset. The buffer must not be retained across calls;
+// copy it if needed. fn may return false to stop enumeration early.
+func IndexCombinations(n, k int, fn func(idx []int) bool) {
 	if k < 0 || k > n {
 		return
 	}
@@ -18,12 +16,8 @@ func Combinations(items []int, k int, fn func(subset []int) bool) {
 	for i := range idx {
 		idx[i] = i
 	}
-	buf := make([]int, k)
 	for {
-		for i, j := range idx {
-			buf[i] = items[j]
-		}
-		if !fn(buf) {
+		if !fn(idx) {
 			return
 		}
 		// Advance the index vector.
@@ -39,6 +33,28 @@ func Combinations(items []int, k int, fn func(subset []int) bool) {
 			idx[j] = idx[j-1] + 1
 		}
 	}
+}
+
+// Combinations enumerates all k-element subsets of items in deterministic
+// lexicographic index order, calling fn with a reused buffer for each subset.
+// The buffer must not be retained across calls; copy it if needed. fn may
+// return false to stop enumeration early. It is the subset generator behind
+// Algorithm 3's combinations(V^t_sw, i).
+func Combinations(items []int, k int, fn func(subset []int) bool) {
+	if k < 0 || k > len(items) {
+		return
+	}
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	buf := make([]int, k)
+	IndexCombinations(len(items), k, func(idx []int) bool {
+		for i, j := range idx {
+			buf[i] = items[j]
+		}
+		return fn(buf)
+	})
 }
 
 // CountCombinations returns C(n, k), saturating at a large bound to avoid

@@ -1,0 +1,64 @@
+package nbf
+
+// Concurrency contract for NBF implementations
+//
+// The failure analyzer may fan recovery simulations of one Analyze call out
+// across a pool of goroutines, each calling Recover concurrently on the
+// same topology. Implementations therefore fall into two classes:
+//
+//   - Stateless mechanisms (no mutable receiver or package state touched by
+//     Recover) are shared as-is between workers. This is the default: an
+//     NBF that does not implement Cloner asserts that concurrent Recover
+//     calls are safe.
+//
+//   - Stateful mechanisms — anything that caches, accumulates, or mutates
+//     receiver fields inside Recover — must implement Cloner. Each analysis
+//     worker then operates on its own clone, so per-call scratch state never
+//     races. CloneForWorker must return an instance that yields verdicts
+//     identical to the original's (the determinism of Algorithm 3 depends
+//     on it); cloning configuration by value and resetting scratch state is
+//     the usual shape.
+//
+// Adapters that wrap an inner NBF (FlowRedundant, Rebased) propagate the
+// contract: their clone clones the inner mechanism via ForWorker.
+
+// Cloner is implemented by recovery mechanisms that carry per-instance
+// mutable state and therefore cannot be shared between analysis workers.
+type Cloner interface {
+	NBF
+	// CloneForWorker returns an independent instance for one worker
+	// goroutine. The clone must be verdict-equivalent to the receiver.
+	CloneForWorker() NBF
+}
+
+// StatefulCloner is the Cloner analogue for StatefulNBF implementations,
+// used by adapters (Rebased) to clone their inner mechanism.
+type StatefulCloner interface {
+	StatefulNBF
+	CloneForWorkerStateful() StatefulNBF
+}
+
+// ForWorker returns the instance an analysis worker should use: a clone
+// when n opts into per-worker state via Cloner, n itself otherwise.
+func ForWorker(n NBF) NBF {
+	if c, ok := n.(Cloner); ok {
+		return c.CloneForWorker()
+	}
+	return n
+}
+
+// CloneForWorker implements Cloner: the wrapper is stateless, but the
+// wrapped mechanism may not be, so the clone wraps a per-worker inner.
+func (f *FlowRedundant) CloneForWorker() NBF {
+	return &FlowRedundant{Inner: ForWorker(f.Inner)}
+}
+
+// CloneForWorker implements Cloner by cloning the inner stateful mechanism
+// when it opts in (configuration-only stateful NBFs like IncrementalRecovery
+// are shared unchanged).
+func (r *Rebased) CloneForWorker() NBF {
+	if c, ok := r.inner.(StatefulCloner); ok {
+		return &Rebased{inner: c.CloneForWorkerStateful()}
+	}
+	return r
+}

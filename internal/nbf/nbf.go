@@ -42,7 +42,10 @@ func (f Failure) String() string {
 }
 
 // NBF is a stateless network behaviour function. Implementations must be
-// deterministic in their inputs.
+// deterministic in their inputs. The failure analyzer may call Recover from
+// several goroutines at once: implementations that mutate receiver state
+// inside Recover must implement Cloner (see the concurrency contract in
+// concurrency.go); all others assert concurrent use is safe.
 type NBF interface {
 	// Name identifies the recovery mechanism.
 	Name() string

@@ -3,6 +3,7 @@ package tsn
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -73,6 +74,33 @@ func newSlotTable(hyper int) *slotTable {
 	return &slotTable{hyper: hyper, occ: make(map[DirLink][]bool)}
 }
 
+// slotTablePool recycles slot tables across Schedule calls: every NBF
+// recovery simulation builds a schedule, so without the pool each
+// simulation allocates a fresh map plus one row per touched link.
+var slotTablePool = sync.Pool{New: func() any { return newSlotTable(0) }}
+
+// acquireSlotTable returns a cleared slot table for the given hyperperiod.
+// Rows of a matching length are zeroed in place and reused; rows sized for
+// a different hyperperiod are dropped.
+func acquireSlotTable(hyper int) *slotTable {
+	st := slotTablePool.Get().(*slotTable)
+	st.hyper = hyper
+	for l, row := range st.occ {
+		if len(row) != hyper {
+			delete(st.occ, l)
+			continue
+		}
+		for i := range row {
+			row[i] = false
+		}
+	}
+	return st
+}
+
+// releaseSlotTable returns a table to the pool. The caller must not touch
+// it afterwards.
+func releaseSlotTable(st *slotTable) { slotTablePool.Put(st) }
+
 // conflictFree reports whether transmitting at relative slot `slot` with
 // the given period (in slots) is free on link l for every repetition within
 // the hyperperiod.
@@ -142,7 +170,8 @@ func (sc Scheduler) Schedule(topo *graph.Graph, net Network, fs FlowSet) (*State
 		alts = 1
 	}
 	hyper := net.Hyperperiod(fs)
-	table := newSlotTable(hyper)
+	table := acquireSlotTable(hyper)
+	defer releaseSlotTable(table)
 	state := &State{Net: net}
 	var failed []Pair
 
@@ -247,7 +276,8 @@ func (sc Scheduler) SchedulePinnedPaths(topo *graph.Graph, net Network, pinned [
 		return nil, nil, err
 	}
 	hyper := net.Hyperperiod(fs)
-	table := newSlotTable(hyper)
+	table := acquireSlotTable(hyper)
+	defer releaseSlotTable(table)
 	state := &State{Net: net}
 	var failed []Pair
 	for _, p := range pinned {
@@ -297,7 +327,8 @@ func (sc Scheduler) SchedulePinnedAround(topo *graph.Graph, net Network, fs Flow
 		flowsByID[f.ID] = f
 	}
 	hyper := net.Hyperperiod(fs)
-	table := newSlotTable(hyper)
+	table := acquireSlotTable(hyper)
+	defer releaseSlotTable(table)
 	out := &State{Net: net}
 	if pinnedState != nil {
 		for _, p := range pinnedState.Plans {
@@ -345,7 +376,8 @@ func (sc Scheduler) ScheduleAround(topo *graph.Graph, net Network, fs FlowSet, p
 		flowsByID[f.ID] = f
 	}
 	hyper := net.Hyperperiod(fs)
-	table := newSlotTable(hyper)
+	table := acquireSlotTable(hyper)
+	defer releaseSlotTable(table)
 	state := &State{Net: net}
 
 	// Pin existing reservations.
@@ -402,7 +434,8 @@ func VerifyState(topo *graph.Graph, net Network, fs FlowSet, st *State) error {
 		flowsByID[f.ID] = f
 	}
 	hyper := net.Hyperperiod(fs)
-	occ := newSlotTable(hyper)
+	occ := acquireSlotTable(hyper)
+	defer releaseSlotTable(occ)
 	for _, p := range st.Plans {
 		f, ok := flowsByID[p.FlowID]
 		if !ok {
