@@ -2,15 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-analyzer vet bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz
+.PHONY: all build test test-short race race-analyzer vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always; staticcheck when it is on PATH (CI installs
+# it, local setups may not have it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/certify"
 	"repro/internal/nbf"
+	"repro/internal/obsv"
 	"repro/internal/serialize"
 )
 
@@ -52,9 +53,20 @@ func run(ctx context.Context, args []string, out io.Writer) (bool, error) {
 		bruteMax     = fs.Int("brute-max", 14, "component cap for the exhaustive brute-force cross-check")
 		splitMax     = fs.Int("split-max", 3, "most events a sampled scenario is split into")
 		anWorkers    = fs.Int("analyzer-workers", 1, "failure-analysis worker goroutines per Analyze call (1 = sequential)")
+		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus /metrics, /healthz and /debug/pprof on this address while the audit runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return false, err
+	}
+	if *metricsAddr != "" {
+		// Long brute-force or Monte Carlo audits benefit from live pprof;
+		// the registry is served for uniformity with the other binaries.
+		srv, err := obsv.StartServer(*metricsAddr, obsv.NewRegistry())
+		if err != nil {
+			return false, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
 	}
 	if *problemPath == "" || *solutionPath == "" {
 		return false, fmt.Errorf("both -problem and -solution are required")

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/nbf"
+	"repro/internal/obsv"
 	"repro/internal/scenarios"
 	"repro/internal/serialize"
 )
@@ -75,9 +76,26 @@ func run(args []string, out io.Writer) error {
 		certSamp  = fs.Int("certify-samples", 64, "Monte Carlo trials per certification audit (with -certify)")
 		anWorkers = fs.Int("analyzer-workers", 1, "failure-analysis worker goroutines per Analyze call (1 = sequential)")
 		anCache   = fs.Int("analyzer-cache", 32768, "failure-analysis verdict cache entries per run (0 = disabled)")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090)")
+		eventsPath  = fs.String("events", "", "summarize this training event log (from nptsn -events) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *eventsPath != "" {
+		// Read-back mode: no training, just a convergence summary of a
+		// previously recorded run.
+		events, err := obsv.ReadLog(*eventsPath)
+		if err != nil {
+			return err
+		}
+		summary, err := eval.SummarizeEvents(events)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *eventsPath, err)
+		}
+		fmt.Fprint(out, summary.Render())
+		return nil
 	}
 	cfg, err := scaleConfig(*scale, *seed)
 	if err != nil {
@@ -85,6 +103,18 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.AnalyzerWorkers = *anWorkers
 	cfg.AnalyzerCacheSize = *anCache
+	if *metricsAddr != "" {
+		reg := obsv.NewRegistry()
+		srv, err := obsv.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		// One shared registry: every run of the harness accumulates into
+		// the same series (registration is idempotent).
+		cfg.Metrics = reg
+		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 	flowCounts, err := parseInts(*flowsCSV)
 	if err != nil {
 		return err

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obsv"
 )
 
 func TestScaleConfig(t *testing.T) {
@@ -84,5 +86,46 @@ func TestRunWritesCSVDir(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "epoch,K-8,K-16,K-32") {
 		t.Fatalf("csv:\n%s", data)
+	}
+}
+
+// TestRunEventsSummaryMode: -events switches the binary into log read-back
+// mode, printing a convergence summary without training anything.
+func TestRunEventsSummaryMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.events")
+	lg, err := obsv.OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 1; epoch <= 4; epoch++ {
+		err := lg.Emit(obsv.Event{Type: obsv.EventEpoch, Epoch: epoch, V: map[string]float64{
+			"reward": float64(epoch) - 4, "trajectories": 2, "solutions": 1,
+			"env_steps": 96, "duration_seconds": 0.5, "best_cost": 150,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Emit(obsv.Event{Type: obsv.EventRunEnd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-events", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"convergence summary: 4 epoch(s)", "best 0.0000 @ epoch 4", "cost 150.0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+
+	var bad bytes.Buffer
+	if err := run([]string{"-events", filepath.Join(t.TempDir(), "missing.events")}, &bad); err == nil {
+		t.Fatal("missing event log accepted")
 	}
 }

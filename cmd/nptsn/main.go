@@ -34,6 +34,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/graph"
 	"repro/internal/nbf"
+	"repro/internal/obsv"
 	"repro/internal/scenarios"
 	"repro/internal/serialize"
 	"repro/internal/tsn"
@@ -72,6 +73,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckptPath     = fs.String("checkpoint", "", "write training checkpoints to this file (atomic temp+rename)")
 		ckptEvery    = fs.Int("checkpoint-every", 8, "epochs between checkpoint writes (with -checkpoint)")
 		resumePath   = fs.String("resume", "", "resume training from this checkpoint file")
+		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090)")
+		eventsPath   = fs.String("events", "", "append structured training telemetry as JSON lines to this file")
 		doCertify    = fs.Bool("certify", false, "run the independent certification audit and refuse uncertified solutions")
 		certOut      = fs.String("certificate", "", "write the certification result as JSON to this file (implies -certify)")
 		certSamples  = fs.Int("certify-samples", 256, "Monte Carlo fault-injection trials (with -certify)")
@@ -118,6 +121,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.CheckpointFunc = func(ck *core.Checkpoint) error {
 			return serialize.SaveCheckpoint(*ckptPath, ck)
 		}
+	}
+	if *metricsAddr != "" {
+		reg := obsv.NewRegistry()
+		srv, err := obsv.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		cfg.Metrics = reg
+		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
+	if *eventsPath != "" {
+		lg, err := obsv.OpenLog(*eventsPath)
+		if err != nil {
+			return err
+		}
+		defer lg.Close()
+		cfg.Events = lg
+		fmt.Fprintf(out, "telemetry events: %s\n", *eventsPath)
 	}
 	if *resumePath != "" {
 		ck, err := serialize.LoadCheckpoint(*resumePath, prob.Connections)

@@ -3,10 +3,19 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/obsv"
 )
 
 func TestRunADSMicro(t *testing.T) {
@@ -153,4 +162,142 @@ func TestRunDotAndCSVOutputs(t *testing.T) {
 			t.Fatalf("csv output:\n%s", csvData)
 		}
 	}
+}
+
+// syncWriter is a goroutine-safe output buffer: the metrics test reads the
+// CLI's output while run() is still writing to it.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestRunMetricsAndEvents drives a real training run with the observability
+// stack on: it scrapes /metrics until the epoch counter advances, checks
+// /healthz and /debug/pprof/, then interrupts the run and verifies the
+// event log parses into a convergence summary.
+func TestRunMetricsAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "run.events")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncWriter
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-scenario", "ads", "-epochs", "256", "-steps", "48",
+			"-k", "4", "-mlp", "16", "-seed", "2",
+			"-metrics-addr", "127.0.0.1:0",
+			"-events", eventsPath,
+		}, &out)
+	}()
+
+	base := waitForMetricsBanner(t, &out, done)
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	// Scrape until the epoch counter has advanced past zero.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, body := get("/metrics")
+		if metricValue(body, "nptsn_epochs_total") >= 1 &&
+			metricValue(body, "nptsn_env_steps_total") >= 48 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never advanced:\n%s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	// Post-training verification of a found solution may fail with the
+	// canceled context; only unexpected errors are fatal.
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "interrupted after") {
+		t.Fatalf("run did not report interruption:\n%s", out.String())
+	}
+
+	events, err := obsv.ReadLog(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := eval.SummarizeEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Epochs < 1 || summary.EnvSteps < 48 {
+		t.Fatalf("summary too small: %+v", summary)
+	}
+	if !summary.HasRunOutcome || !summary.Interrupted {
+		t.Fatalf("run_end/interrupted missing from log: %+v", summary)
+	}
+}
+
+// waitForMetricsBanner polls the CLI output for the metrics URL banner.
+func waitForMetricsBanner(t *testing.T, out *syncWriter, done <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "metrics: ") {
+				url := strings.Fields(strings.TrimPrefix(line, "metrics: "))[0]
+				return strings.TrimSuffix(url, "/metrics")
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before serving metrics: %v\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no metrics banner:\n%s", out.String())
+		}
+	}
+}
+
+// metricValue extracts a sample value from Prometheus text exposition;
+// -1 when the series is absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+	}
+	return -1
 }

@@ -251,9 +251,14 @@ func (n *NeuroPlan) Plan(prob *core.Problem) (*Result, *core.Report, error) {
 				buf.FinishPath(0)
 			}
 		}
-		es.Trajectories++
+		// A non-empty trailing partial path counts as a trajectory; an
+		// epoch that ended exactly on a path boundary adds nothing.
+		before := buf.Paths()
 		buf.FinishPath(nets.ForwardValue(env.observation()))
-		es.Reward = buf.EpochReward(es.Trajectories)
+		if buf.Paths() > before {
+			es.Trajectories++
+		}
+		es.Reward = buf.EpochReward()
 
 		stats, err := ppo.Update(nets, buf)
 		if err != nil {

@@ -60,6 +60,9 @@ type Env struct {
 	Solutions int
 	DeadEnds  int
 	NBFCalls  int
+	// Resets counts construction-state resets (after a recorded solution,
+	// a dead end, or a planner re-arm) — telemetry only, not checkpointed.
+	Resets int
 	// analysis observability (accumulated across AnalyzeContext calls)
 	analysisTime   time.Duration
 	analysisHits   int
@@ -165,6 +168,7 @@ func (e *Env) Solved() bool { return e.lastOK }
 func (e *Env) reset(ctx context.Context) error {
 	e.state.Reset()
 	e.cost = 0
+	e.Resets++
 	return e.analyzeAndGenerate(ctx)
 }
 

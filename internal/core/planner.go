@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/failure"
 	"repro/internal/nn"
+	"repro/internal/obsv"
 	"repro/internal/rl"
 	"repro/internal/rng"
 )
@@ -31,6 +32,25 @@ type EpochStats struct {
 	PolicyLoss float64
 	ValueLoss  float64
 	ApproxKL   float64
+	// Entropy and ClipFraction summarize the policy distribution's health
+	// during the update; PolicyIters counts the gradient iterations
+	// actually run and EarlyStopped records whether the KL bound cut them
+	// short (SpinningUp's early-stopping convention).
+	Entropy      float64 `json:",omitempty"`
+	ClipFraction float64 `json:",omitempty"`
+	PolicyIters  int     `json:",omitempty"`
+	EarlyStopped bool    `json:",omitempty"`
+	// AdamSteps is the lifetime actor+critic optimizer update count after
+	// this epoch.
+	AdamSteps int `json:",omitempty"`
+	// EnvSteps is the number of environment steps trained on this epoch
+	// (the merged batch size); EnvResets counts construction resets
+	// (solutions + dead ends + re-arms) across all workers this epoch.
+	EnvSteps  int `json:",omitempty"`
+	EnvResets int `json:",omitempty"`
+	// NBFCalls counts the recovery simulations the failure analyzer ran
+	// this epoch (Algorithm 3 scenario throughput; cache hits excluded).
+	NBFCalls int `json:",omitempty"`
 	// Panics lists the recovered panics of quarantined workers this epoch
 	// (empty in a healthy epoch); their step quota was rebalanced across
 	// the surviving workers.
@@ -190,9 +210,16 @@ func (w *worker) explore(ctx context.Context, steps int) {
 			w.buf.FinishPath(0)
 		}
 	}
-	// Bootstrap the value of a cut-off trajectory.
-	w.trajectories++ // the trailing partial path counts for reward averaging
+	// Bootstrap the value of a cut-off trajectory. A non-empty trailing
+	// partial path counts for reward averaging; when the epoch boundary
+	// coincided with a path end, FinishPath records nothing and neither
+	// does the counter (a phantom trajectory would deflate the epoch
+	// reward).
+	before := w.buf.Paths()
 	w.buf.FinishPath(w.nets.ForwardValue(w.env.Observation()))
+	if w.buf.Paths() > before {
+		w.trajectories++
+	}
 }
 
 func allFalse(mask []bool) bool {
@@ -263,10 +290,32 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		workers[i] = &worker{env: env, nets: nets, src: src, rng: rand.New(src)}
 	}
 
+	var pm *plannerMetrics
+	if p.cfg.Metrics != nil {
+		pm = newPlannerMetrics(p.cfg.Metrics)
+	}
+	emit := func(e obsv.Event) error {
+		if p.cfg.Events == nil {
+			return nil
+		}
+		if err := p.cfg.Events.Emit(e); err != nil {
+			return fmt.Errorf("planner: event sink: %w", err)
+		}
+		return nil
+	}
+
 	report := &Report{}
 	startEpoch := 1
 	if p.cfg.Resume != nil {
+		restoreStart := time.Now()
 		if err := p.restore(p.cfg.Resume, global, ppo, workers, report); err != nil {
+			return nil, err
+		}
+		restoreDur := time.Since(restoreStart)
+		if pm != nil {
+			pm.ckptLoad.Observe(restoreDur.Seconds())
+		}
+		if err := emit(durationEvent(obsv.EventCheckpointLoad, p.cfg.Resume.Epoch, restoreDur)); err != nil {
 			return nil, err
 		}
 		startEpoch = p.cfg.Resume.Epoch + 1
@@ -287,6 +336,19 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 	var lastCkpt *Checkpoint
 	lastWritten := 0
 
+	// writeCkpt runs CheckpointFunc under the checkpoint-save telemetry.
+	writeCkpt := func(ck *Checkpoint) error {
+		saveStart := time.Now()
+		if err := p.cfg.CheckpointFunc(ck); err != nil {
+			return err
+		}
+		saveDur := time.Since(saveStart)
+		if pm != nil {
+			pm.ckptSave.Observe(saveDur.Seconds())
+		}
+		return emit(durationEvent(obsv.EventCheckpointSave, ck.Epoch, saveDur))
+	}
+
 	// sumAnalysis totals the per-worker analysis counters; per-epoch deltas
 	// go into EpochStats.
 	sumAnalysis := func() (d time.Duration, hits, misses int) {
@@ -298,6 +360,25 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		}
 		return d, hits, misses
 	}
+	// sumEnv totals the per-worker environment reset and NBF-call
+	// counters; per-epoch deltas go into EpochStats.
+	sumEnv := func() (resets, nbfCalls int) {
+		for _, w := range workers {
+			resets += w.env.Resets
+			nbfCalls += w.env.NBFCalls
+		}
+		return resets, nbfCalls
+	}
+
+	if err := emit(obsv.Event{Type: obsv.EventRunStart, V: map[string]float64{
+		"epochs":      float64(p.cfg.MaxEpoch),
+		"steps":       float64(p.cfg.MaxStep),
+		"workers":     float64(p.cfg.Workers),
+		"seed":        float64(p.cfg.Seed),
+		"start_epoch": float64(startEpoch),
+	}}); err != nil {
+		return nil, err
+	}
 
 	for epoch := startEpoch; epoch <= p.cfg.MaxEpoch; epoch++ {
 		if ctx.Err() != nil {
@@ -306,6 +387,7 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		}
 		epochStart := time.Now()
 		d0, h0, m0 := sumAnalysis()
+		r0, n0 := sumEnv()
 		var wg sync.WaitGroup
 		for i, w := range workers {
 			w.buf = rl.NewBuffer(p.cfg.Discount, p.cfg.GAELambda)
@@ -364,7 +446,8 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 			return nil, fmt.Errorf("planner: epoch %d: no exploration data survived (%d workers panicked)",
 				epoch, len(es.Panics))
 		}
-		es.Reward = merged.EpochReward(es.Trajectories)
+		es.Reward = merged.EpochReward()
+		es.EnvSteps = merged.Len()
 
 		// Gradient update on the merged batch (equivalent to averaging the
 		// per-worker gradient estimators, §IV-C) under the divergence
@@ -375,6 +458,19 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		}
 		es.Divergences = recovery.Rollbacks
 		es.PolicyLoss, es.ValueLoss, es.ApproxKL = stats.PolicyLoss, stats.ValueLoss, stats.ApproxKL
+		es.Entropy, es.ClipFraction = stats.Entropy, stats.ClipFraction
+		es.PolicyIters, es.EarlyStopped = stats.PiIters, stats.EarlyStopped
+		actorSteps, criticSteps := ppo.AdamSteps()
+		es.AdamSteps = actorSteps + criticSteps
+		if recovery.Rollbacks > 0 {
+			if err := emit(obsv.Event{Type: obsv.EventWatchdogRollback, Epoch: epoch, V: map[string]float64{
+				"rollbacks": float64(recovery.Rollbacks),
+				"actor_lr":  recovery.ActorLR,
+				"critic_lr": recovery.CriticLR,
+			}}); err != nil {
+				return nil, err
+			}
+		}
 		for _, w := range workers {
 			w.nets.SyncFrom(global)
 		}
@@ -400,13 +496,26 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		es.AnalysisTime = d1 - d0
 		es.AnalysisCacheHits = h1 - h0
 		es.AnalysisCacheMisses = m1 - m0
+		r1, n1 := sumEnv()
+		es.EnvResets = r1 - r0
+		es.NBFCalls = n1 - n0
 		es.Duration = time.Since(epochStart)
 		report.Epochs = append(report.Epochs, es)
+
+		pm.recordEpoch(es, cache)
+		for _, msg := range es.Panics {
+			if err := emit(obsv.Event{Type: obsv.EventQuarantine, Epoch: epoch, Msg: msg}); err != nil {
+				return nil, err
+			}
+		}
+		if err := emit(epochEvent(es)); err != nil {
+			return nil, err
+		}
 
 		if p.cfg.CheckpointFunc != nil {
 			lastCkpt = p.capture(epoch, global, ppo, workers, report)
 			if epoch%p.cfg.CheckpointEvery == 0 {
-				if err := p.cfg.CheckpointFunc(lastCkpt); err != nil {
+				if err := writeCkpt(lastCkpt); err != nil {
 					return nil, fmt.Errorf("planner: checkpoint at epoch %d: %w", epoch, err)
 				}
 				lastWritten = epoch
@@ -420,7 +529,7 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 	// Shutdown checkpoint: persist the last completed epoch if the
 	// periodic schedule has not already written it.
 	if p.cfg.CheckpointFunc != nil && lastCkpt != nil && lastWritten != lastCkpt.Epoch {
-		if err := p.cfg.CheckpointFunc(lastCkpt); err != nil {
+		if err := writeCkpt(lastCkpt); err != nil {
 			return nil, fmt.Errorf("planner: shutdown checkpoint: %w", err)
 		}
 	}
@@ -429,6 +538,21 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		report.TotalNBFCalls += w.env.NBFCalls
 	}
 	report.FinalWeights = global.ExportWeights()
+
+	endV := map[string]float64{
+		"epochs":      float64(len(report.Epochs)),
+		"interrupted": 0,
+		"nbf_calls":   float64(report.TotalNBFCalls),
+	}
+	if report.Interrupted {
+		endV["interrupted"] = 1
+	}
+	if report.Best != nil {
+		endV["best_cost"] = report.Best.Cost
+	}
+	if err := emit(obsv.Event{Type: obsv.EventRunEnd, V: endV}); err != nil {
+		return nil, err
+	}
 	return report, nil
 }
 

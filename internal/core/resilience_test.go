@@ -20,6 +20,9 @@ func stripDurations(es []EpochStats) []EpochStats {
 		out[i].AnalysisTime = 0
 		out[i].AnalysisCacheHits = 0
 		out[i].AnalysisCacheMisses = 0
+		// NBF-call counts depend on the analyzer configuration (the
+		// verdict cache elides recovery simulations), not the trajectory.
+		out[i].NBFCalls = 0
 	}
 	return out
 }

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// EventSummary condenses a structured training event log (written by
+// `nptsn -events FILE`) into the quantities one checks to judge whether a
+// run converged: reward trend, solution yield, stability incidents and
+// where the wall-clock went.
+type EventSummary struct {
+	Epochs int
+
+	FirstReward     float64
+	FinalReward     float64
+	BestReward      float64
+	BestRewardEpoch int
+	TailMeanReward  float64 // mean reward over the last quarter of epochs
+	RewardSlope     float64 // least-squares reward change per epoch
+
+	Trajectories int
+	Solutions    int
+	DeadEnds     int
+	EnvSteps     int
+
+	BestCost      float64 // last reported best solution cost (0 if none)
+	BestCostEpoch int
+
+	Divergences int // watchdog rollbacks
+	Quarantines int // worker panics
+	EarlyStops  int // PPO updates stopped by the KL bound
+
+	WallClock     time.Duration
+	AnalysisTime  time.Duration
+	CacheHitRate  float64
+	Interrupted   bool
+	HasRunOutcome bool // a run_end event was present
+}
+
+// SummarizeEvents builds an EventSummary from a decoded event log. Epoch
+// events are processed in epoch order regardless of file order (resumed
+// runs append a second pass over early epochs; the later record wins).
+func SummarizeEvents(events []obsv.Event) (*EventSummary, error) {
+	byEpoch := map[int]map[string]float64{}
+	s := &EventSummary{}
+	for _, e := range events {
+		switch e.Type {
+		case obsv.EventEpoch:
+			if e.Epoch <= 0 {
+				return nil, fmt.Errorf("eval: epoch event without a positive epoch number")
+			}
+			byEpoch[e.Epoch] = e.V
+		case obsv.EventRunEnd:
+			s.HasRunOutcome = true
+			if e.V["interrupted"] != 0 {
+				s.Interrupted = true
+			}
+		}
+	}
+	if len(byEpoch) == 0 {
+		return nil, fmt.Errorf("eval: event log contains no epoch events")
+	}
+	epochs := make([]int, 0, len(byEpoch))
+	for ep := range byEpoch {
+		epochs = append(epochs, ep)
+	}
+	sort.Ints(epochs)
+	s.Epochs = len(epochs)
+
+	var hits, misses float64
+	rewards := make([]float64, 0, len(epochs))
+	for i, ep := range epochs {
+		v := byEpoch[ep]
+		r := v["reward"]
+		rewards = append(rewards, r)
+		if i == 0 {
+			s.FirstReward, s.BestReward, s.BestRewardEpoch = r, r, ep
+		}
+		if r > s.BestReward {
+			s.BestReward, s.BestRewardEpoch = r, ep
+		}
+		s.FinalReward = r
+		s.Trajectories += int(v["trajectories"])
+		s.Solutions += int(v["solutions"])
+		s.DeadEnds += int(v["dead_ends"])
+		s.EnvSteps += int(v["env_steps"])
+		s.Divergences += int(v["divergences"])
+		s.Quarantines += int(v["panics"])
+		s.EarlyStops += int(v["early_stopped"])
+		s.WallClock += time.Duration(v["duration_seconds"] * float64(time.Second))
+		s.AnalysisTime += time.Duration(v["analysis_seconds"] * float64(time.Second))
+		hits += v["cache_hits"]
+		misses += v["cache_misses"]
+		if bc := v["best_cost"]; bc > 0 && (s.BestCost == 0 || bc < s.BestCost) {
+			s.BestCost, s.BestCostEpoch = bc, ep
+		}
+	}
+	if hits+misses > 0 {
+		s.CacheHitRate = hits / (hits + misses)
+	}
+
+	tail := len(rewards) / 4
+	if tail < 1 {
+		tail = 1
+	}
+	var sum float64
+	for _, r := range rewards[len(rewards)-tail:] {
+		sum += r
+	}
+	s.TailMeanReward = sum / float64(tail)
+	s.RewardSlope = slope(epochs, rewards)
+	return s, nil
+}
+
+// slope is the least-squares regression slope of reward on epoch number;
+// zero for a single epoch.
+func slope(xs []int, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		fx := float64(x)
+		sx += fx
+		sy += ys[i]
+		sxx += fx * fx
+		sxy += fx * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Render formats the summary as a human-readable convergence report.
+func (s *EventSummary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "convergence summary: %d epoch(s)", s.Epochs)
+	if s.Interrupted {
+		b.WriteString(" (interrupted)")
+	} else if !s.HasRunOutcome {
+		b.WriteString(" (no run_end event: log may be from a live or killed run)")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  reward: first %.4f, final %.4f, best %.4f @ epoch %d\n",
+		s.FirstReward, s.FinalReward, s.BestReward, s.BestRewardEpoch)
+	fmt.Fprintf(&b, "  trend:  tail mean %.4f, slope %+.5f per epoch\n", s.TailMeanReward, s.RewardSlope)
+	fmt.Fprintf(&b, "  search: %d trajectories, %d solutions, %d dead ends over %d env steps\n",
+		s.Trajectories, s.Solutions, s.DeadEnds, s.EnvSteps)
+	if s.BestCost > 0 {
+		fmt.Fprintf(&b, "  best solution: cost %.1f (epoch %d)\n", s.BestCost, s.BestCostEpoch)
+	} else {
+		b.WriteString("  best solution: none found\n")
+	}
+	fmt.Fprintf(&b, "  stability: %d divergence rollback(s), %d worker quarantine(s), %d KL early stop(s)\n",
+		s.Divergences, s.Quarantines, s.EarlyStops)
+	share := 0.0
+	if s.WallClock > 0 {
+		share = 100 * float64(s.AnalysisTime) / float64(s.WallClock)
+	}
+	fmt.Fprintf(&b, "  time: %v wall-clock, %v (%.0f%%) in failure analysis, verdict cache %.1f%% hits\n",
+		s.WallClock.Round(time.Millisecond), s.AnalysisTime.Round(time.Millisecond), share, 100*s.CacheHitRate)
+	return b.String()
+}

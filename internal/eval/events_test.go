@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+func epochEv(epoch int, v map[string]float64) obsv.Event {
+	return obsv.Event{Type: obsv.EventEpoch, Epoch: epoch, V: v}
+}
+
+func TestSummarizeEvents(t *testing.T) {
+	events := []obsv.Event{
+		{Type: obsv.EventRunStart, V: map[string]float64{"epochs": 4}},
+		epochEv(1, map[string]float64{
+			"reward": -4, "trajectories": 3, "solutions": 0, "dead_ends": 3,
+			"env_steps": 100, "duration_seconds": 1, "analysis_seconds": 0.5,
+			"cache_hits": 10, "cache_misses": 90,
+		}),
+		epochEv(2, map[string]float64{
+			"reward": -2, "trajectories": 3, "solutions": 1, "dead_ends": 2,
+			"env_steps": 100, "duration_seconds": 1, "analysis_seconds": 0.25,
+			"cache_hits": 60, "cache_misses": 40, "best_cost": 120,
+			"early_stopped": 1, "divergences": 1,
+		}),
+		epochEv(4, map[string]float64{
+			"reward": -1, "trajectories": 4, "solutions": 2, "dead_ends": 1,
+			"env_steps": 100, "duration_seconds": 1, "analysis_seconds": 0.25,
+			"cache_hits": 80, "cache_misses": 20, "best_cost": 100, "panics": 1,
+		}),
+		// Out-of-order epoch (a resumed run re-emitting): later record wins.
+		epochEv(3, map[string]float64{
+			"reward": -3, "env_steps": 100, "duration_seconds": 1, "best_cost": 120,
+		}),
+		{Type: obsv.EventRunEnd, V: map[string]float64{"interrupted": 1}},
+	}
+	s, err := SummarizeEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epochs != 4 {
+		t.Fatalf("Epochs = %d, want 4", s.Epochs)
+	}
+	if s.FirstReward != -4 || s.FinalReward != -1 || s.BestReward != -1 || s.BestRewardEpoch != 4 {
+		t.Fatalf("reward fields wrong: %+v", s)
+	}
+	if s.TailMeanReward != -1 { // tail = last quarter = 1 epoch
+		t.Fatalf("TailMeanReward = %v, want -1", s.TailMeanReward)
+	}
+	// Rewards -4,-2,-3,-1 over epochs 1..4: least-squares slope is +0.8.
+	if math.Abs(s.RewardSlope-0.8) > 1e-12 {
+		t.Fatalf("RewardSlope = %v, want 0.8", s.RewardSlope)
+	}
+	if s.Solutions != 3 || s.DeadEnds != 6 || s.Trajectories != 10 || s.EnvSteps != 400 {
+		t.Fatalf("search totals wrong: %+v", s)
+	}
+	if s.BestCost != 100 || s.BestCostEpoch != 4 {
+		t.Fatalf("best cost wrong: %+v", s)
+	}
+	if s.Divergences != 1 || s.Quarantines != 1 || s.EarlyStops != 1 {
+		t.Fatalf("stability counts wrong: %+v", s)
+	}
+	if s.WallClock != 4*time.Second || s.AnalysisTime != time.Second {
+		t.Fatalf("time totals wrong: %+v", s)
+	}
+	if math.Abs(s.CacheHitRate-0.5) > 1e-12 {
+		t.Fatalf("CacheHitRate = %v, want 0.5", s.CacheHitRate)
+	}
+	if !s.Interrupted || !s.HasRunOutcome {
+		t.Fatalf("run outcome wrong: %+v", s)
+	}
+
+	r := s.Render()
+	for _, want := range []string{"4 epoch(s)", "(interrupted)", "cost 100.0", "1 divergence rollback(s)"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("Render missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestSummarizeEventsErrors(t *testing.T) {
+	if _, err := SummarizeEvents(nil); err == nil {
+		t.Error("empty log accepted")
+	}
+	if _, err := SummarizeEvents([]obsv.Event{{Type: obsv.EventRunStart}}); err == nil {
+		t.Error("log without epoch events accepted")
+	}
+	if _, err := SummarizeEvents([]obsv.Event{{Type: obsv.EventEpoch}}); err == nil {
+		t.Error("epoch event without epoch number accepted")
+	}
+}

@@ -26,10 +26,11 @@ const cacheShards = 16
 // replacement), which is cheap and adequate for the heavy-tailed revisit
 // distribution of RL exploration.
 type Cache struct {
-	perShard int
-	shards   [cacheShards]cacheShard
-	hits     atomic.Int64
-	misses   atomic.Int64
+	perShard  int
+	shards    [cacheShards]cacheShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheShard struct {
@@ -94,6 +95,7 @@ func (c *Cache) store(fp fingerprint, ok bool, er []tsn.Pair) {
 	if _, exists := s.m[fp]; !exists && len(s.m) >= c.perShard {
 		for k := range s.m {
 			delete(s.m, k)
+			c.evictions.Add(1)
 			break
 		}
 	}
@@ -106,6 +108,10 @@ type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Entries int
+	// Evictions counts entries dropped to make room since the cache was
+	// created; a high rate relative to Misses means the capacity is too
+	// small for the run's working set.
+	Evictions int64
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -119,7 +125,7 @@ func (s CacheStats) HitRate() float64 {
 
 // Stats snapshots the lifetime hit/miss counters and current entry count.
 func (c *Cache) Stats() CacheStats {
-	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
 		st.Entries += len(c.shards[i].m)

@@ -246,3 +246,29 @@ func TestEngineSharedCacheConcurrentAnalyzers(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheEvictionCounter: Stats().Evictions must count exactly the
+// entries dropped to make room — overwrites and in-capacity stores are
+// not evictions.
+func TestCacheEvictionCounter(t *testing.T) {
+	c := NewCache(cacheShards) // capacity one entry per shard
+	fp := func(i int) fingerprint {
+		// lo picks the shard; keep everything in shard 0.
+		return fingerprint{hi: uint64(i), lo: uint64(i) * cacheShards}
+	}
+	c.store(fp(1), true, nil)
+	c.store(fp(1), false, nil) // overwrite: no eviction
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("Evictions after in-capacity stores = %d, want 0", st.Evictions)
+	}
+	for i := 2; i <= 4; i++ {
+		c.store(fp(i), true, nil) // each displaces the shard's only entry
+	}
+	st := c.Stats()
+	if st.Evictions != 3 {
+		t.Fatalf("Evictions = %d, want 3", st.Evictions)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("Entries = %d, want 1", st.Entries)
+	}
+}

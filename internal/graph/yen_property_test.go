@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// allLooplessPaths enumerates every loopless s→d path by exhaustive DFS —
+// the brute-force oracle for Yen's algorithm on small graphs.
+func allLooplessPaths(g *Graph, s, d int) []Path {
+	var paths []Path
+	visited := make(map[int]bool)
+	var walk func(p Path)
+	walk = func(p Path) {
+		at := p[len(p)-1]
+		if at == d {
+			paths = append(paths, p.Clone())
+			return
+		}
+		for _, n := range g.Neighbors(at) {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			walk(append(p, n))
+			visited[n] = false
+		}
+	}
+	visited[s] = true
+	walk(Path{s})
+	return paths
+}
+
+// randomTestGraph builds a connected-ish random graph with deliberately
+// tied edge lengths (small integers) to stress tie-breaking.
+func randomTestGraph(rng *rand.Rand) *Graph {
+	g := New()
+	n := 4 + rng.Intn(5) // 4..8 vertices
+	for i := 0; i < n; i++ {
+		g.AddVertex("", KindSwitch)
+	}
+	// A random spanning chain keeps most graphs connected, then extra
+	// random edges add alternative routes.
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(i-1, i, float64(1+rng.Intn(3))); err != nil {
+			panic(err)
+		}
+	}
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v, float64(1+rng.Intn(3))); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// TestKShortestPathsAgainstBruteForce checks Yen's algorithm against
+// exhaustive loopless path enumeration on random graphs: the returned
+// paths must be exactly min(k, total) valid loopless duplicates-free
+// paths whose length sequence matches the k shortest lengths overall,
+// in non-decreasing order, and the result must be deterministic.
+func TestKShortestPathsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g := randomTestGraph(rng)
+		n := g.NumVertices()
+		s, d := 0, n-1
+
+		oracle := allLooplessPaths(g, s, d)
+		sort.Slice(oracle, func(a, b int) bool {
+			la, lb := oracle[a].Length(g), oracle[b].Length(g)
+			if la != lb {
+				return la < lb
+			}
+			return lexLess(oracle[a], oracle[b])
+		})
+
+		for _, k := range []int{1, 2, 4, 16, len(oracle) + 3} {
+			got, err := g.KShortestPaths(s, d, k)
+			if err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			want := k
+			if len(oracle) < k {
+				want = len(oracle)
+			}
+			if len(got) != want {
+				t.Fatalf("trial %d k=%d: got %d paths, brute force says %d available",
+					trial, k, len(got), len(oracle))
+			}
+			seen := make(map[string]bool)
+			prev := 0.0
+			for i, p := range got {
+				if p.Source() != s || p.Dest() != d {
+					t.Fatalf("trial %d: path %v does not connect %d→%d", trial, p, s, d)
+				}
+				if !p.Loopless() {
+					t.Fatalf("trial %d: path %v has a loop", trial, p)
+				}
+				for j := 1; j < len(p); j++ {
+					if !g.HasEdge(p[j-1], p[j]) {
+						t.Fatalf("trial %d: path %v uses missing edge %d-%d", trial, p, p[j-1], p[j])
+					}
+				}
+				key := pathKey(p)
+				if seen[key] {
+					t.Fatalf("trial %d: duplicate path %v", trial, p)
+				}
+				seen[key] = true
+				l := p.Length(g)
+				if l < prev {
+					t.Fatalf("trial %d: lengths not non-decreasing at %d: %v", trial, i, got)
+				}
+				prev = l
+				if want := oracle[i].Length(g); l != want {
+					t.Fatalf("trial %d k=%d: path %d has length %v, brute force says %v",
+						trial, k, i, l, want)
+				}
+			}
+
+			again, err := g.KShortestPaths(s, d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if !got[i].Equal(again[i]) {
+					t.Fatalf("trial %d k=%d: nondeterministic result at %d: %v vs %v",
+						trial, k, i, got[i], again[i])
+				}
+			}
+		}
+	}
+}
+
+func pathKey(p Path) string {
+	key := make([]byte, 0, 2*len(p))
+	for _, v := range p {
+		key = append(key, byte(v), ',')
+	}
+	return string(key)
+}

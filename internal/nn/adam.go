@@ -25,7 +25,12 @@ func NewAdam(lr float64) *Adam {
 }
 
 // Step applies one Adam update using the accumulated gradients of ps. The
-// parameter list must be the same (same order and shapes) on every call.
+// parameter list must be the same (same order and shapes) on every call:
+// the moment estimates are indexed positionally, so a silently reordered
+// or reshaped list would pair each parameter with another parameter's
+// momenta and corrupt the update. Step panics with a clear message when
+// the list changes shape between calls (the same guard Import applies to
+// restored state).
 func (a *Adam) Step(ps []Param) {
 	if a.m == nil {
 		a.m = make([]*Matrix, len(ps))
@@ -33,6 +38,16 @@ func (a *Adam) Step(ps []Param) {
 		for i, p := range ps {
 			a.m[i] = NewMatrix(p.Value.Rows, p.Value.Cols)
 			a.v[i] = NewMatrix(p.Value.Rows, p.Value.Cols)
+		}
+	} else {
+		if len(ps) != len(a.m) {
+			panic(fmt.Sprintf("nn: adam stepped with %d params, first call had %d", len(ps), len(a.m)))
+		}
+		for i, p := range ps {
+			if p.Value.Rows != a.m[i].Rows || p.Value.Cols != a.m[i].Cols {
+				panic(fmt.Sprintf("nn: adam param %d is %dx%d, first call had %dx%d",
+					i, p.Value.Rows, p.Value.Cols, a.m[i].Rows, a.m[i].Cols))
+			}
 		}
 	}
 	a.step++

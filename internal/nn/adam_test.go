@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+func adamParams(shapes ...[2]int) []Param {
+	ps := make([]Param, len(shapes))
+	for i, s := range shapes {
+		ps[i] = Param{Value: NewMatrix(s[0], s[1]), Grad: NewMatrix(s[0], s[1])}
+	}
+	return ps
+}
+
+func TestAdamStepUpdatesParams(t *testing.T) {
+	ps := adamParams([2]int{2, 2})
+	for j := range ps[0].Grad.Data {
+		ps[0].Grad.Data[j] = 1
+	}
+	a := NewAdam(0.1)
+	a.Step(ps)
+	if a.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1", a.Steps())
+	}
+	for j, v := range ps[0].Value.Data {
+		if v >= 0 {
+			t.Fatalf("param[%d] = %v, want negative after positive-gradient step", j, v)
+		}
+	}
+}
+
+// Regression: Step used to index the moment tensors positionally with no
+// validation, so a parameter list that changed length or shape between
+// calls silently paired parameters with foreign momenta (and could write
+// out of bounds). It must fail loudly instead.
+func TestAdamStepPanicsOnParamCountChange(t *testing.T) {
+	a := NewAdam(0.01)
+	a.Step(adamParams([2]int{1, 2}, [2]int{2, 2}))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shrunk parameter list did not panic")
+		}
+		if !strings.Contains(r.(string), "adam stepped with 1 params") {
+			t.Fatalf("unhelpful panic: %v", r)
+		}
+	}()
+	a.Step(adamParams([2]int{1, 2}))
+}
+
+func TestAdamStepPanicsOnParamShapeChange(t *testing.T) {
+	a := NewAdam(0.01)
+	a.Step(adamParams([2]int{1, 2}, [2]int{2, 2}))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reshaped parameter did not panic")
+		}
+		if !strings.Contains(r.(string), "adam param 1 is 3x2") {
+			t.Fatalf("unhelpful panic: %v", r)
+		}
+	}()
+	a.Step(adamParams([2]int{1, 2}, [2]int{3, 2}))
+}

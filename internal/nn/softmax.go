@@ -121,7 +121,16 @@ func Entropy(probs []float64) float64 {
 // LogSoftmaxGrad returns the gradient of logProbs[action] with respect to
 // the (masked) logits: e_a − softmax(logits). Masked entries get zero
 // gradient, so fully disabled actions never receive updates.
+//
+// action must index a non-masked (finite) logit: log p(action) is -inf
+// there, and the e_a term would otherwise leave a +1 gradient on the
+// masked entry, pushing probability mass onto a disabled action. That
+// only happens when a caller stores an action inconsistent with its mask,
+// so it panics loudly instead of corrupting the policy.
 func LogSoftmaxGrad(logits []float64, action int) []float64 {
+	if math.IsInf(logits[action], -1) {
+		panic(fmt.Sprintf("nn: log-softmax gradient of masked action %d (logit is -inf)", action))
+	}
 	probs := Softmax(logits)
 	g := make([]float64, len(logits))
 	for i, p := range probs {

@@ -165,3 +165,16 @@ func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: LogSoftmaxGrad on an action whose logit is -inf used to zero
+// the masked entry and then increment it, leaving a +1 gradient that
+// pushed probability mass onto a disabled action. It must panic instead.
+func TestLogSoftmaxGradMaskedActionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gradient of a masked action did not panic")
+		}
+	}()
+	logits := MaskLogits([]float64{1, 2, 3}, []bool{true, false, true})
+	LogSoftmaxGrad(logits, 1)
+}

@@ -1,0 +1,166 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the training/analysis path. The set is small and
+// stable on purpose: run comparison tooling switches on Type.
+const (
+	// EventRunStart opens a run; V carries the budget (epochs, steps,
+	// workers, seed).
+	EventRunStart = "run_start"
+	// EventEpoch is one completed training epoch with the full EpochStats
+	// payload flattened into V.
+	EventEpoch = "epoch"
+	// EventCheckpointSave / EventCheckpointLoad record checkpoint I/O with
+	// duration_seconds in V.
+	EventCheckpointSave = "checkpoint_save"
+	EventCheckpointLoad = "checkpoint_load"
+	// EventWatchdogRollback records NaN-watchdog rollbacks of one PPO
+	// update (rollbacks, actor_lr, critic_lr in V).
+	EventWatchdogRollback = "watchdog_rollback"
+	// EventQuarantine records a worker panic quarantined by the planner;
+	// Msg holds the recovered panic message.
+	EventQuarantine = "quarantine"
+	// EventRunEnd closes a run; V carries totals (epochs, best_cost,
+	// interrupted as 0/1).
+	EventRunEnd = "run_end"
+)
+
+// Event is one structured telemetry record. Numeric payloads live in V so
+// the schema never changes shape across event types; Msg carries the rare
+// free-text payload (panic messages). Events marshal to exactly one
+// JSON line.
+type Event struct {
+	// Time is the emission timestamp (UTC).
+	Time time.Time `json:"time"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Epoch is the 1-based training epoch the event belongs to (0 for
+	// run-level events).
+	Epoch int `json:"epoch,omitempty"`
+	// Msg is an optional human-readable payload.
+	Msg string `json:"msg,omitempty"`
+	// V holds the numeric fields of the event.
+	V map[string]float64 `json:"v,omitempty"`
+}
+
+// Sink receives telemetry events. *Log persists them as JSON lines; tests
+// use MemorySink to capture them in-process.
+type Sink interface {
+	Emit(Event) error
+}
+
+// Log appends events to a file as JSON lines. Each event is marshaled to
+// one line and written with a single O_APPEND write under a mutex, so
+// concurrent emitters never interleave partial lines and an external
+// `tail -f` always sees whole records.
+type Log struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenLog opens (creating if needed) an append-only event log at path.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: open event log: %w", err)
+	}
+	return &Log{f: f}, nil
+}
+
+// Emit appends one event. A zero Time is stamped with the current UTC
+// time.
+func (l *Log) Emit(e Event) error {
+	if e.Time.IsZero() {
+		e.Time = time.Now().UTC()
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("obsv: marshal event: %w", err)
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("obsv: append event: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// MemorySink collects events in memory (testing aid). Safe for concurrent
+// use.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit records the event.
+func (m *MemorySink) Emit(e Event) error {
+	if e.Time.IsZero() {
+		e.Time = time.Now().UTC()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, e)
+	return nil
+}
+
+// Events returns a copy of the captured events.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// ReadLog parses a JSON-lines event log written by Log. Blank lines are
+// skipped. A malformed line fails with its line number — except a
+// malformed final line, which is tolerated as the torn tail of a run that
+// was killed mid-write; the events before it are returned.
+func ReadLog(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: open event log: %w", err)
+	}
+	defer f.Close()
+
+	var events []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if pendingErr != nil {
+			// The malformed line was not the last one: fail.
+			return nil, pendingErr
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr = fmt.Errorf("obsv: %s:%d: %w", path, lineNo, err)
+			continue
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obsv: read event log: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,289 @@
+// Package obsv is the dependency-free observability layer of the NPTSN
+// reproduction: a metrics registry (counters, gauges, histograms with
+// lock-free atomic implementations safe under the planner's worker pool),
+// a Prometheus text-format exposition writer, a small HTTP server that
+// serves /metrics, /healthz and net/http/pprof, and a structured
+// JSON-lines event log for machine-comparable training runs.
+//
+// The package deliberately has no third-party dependencies: the metric
+// types implement only what the training/analysis path needs, and the
+// exposition format is the stable subset of the Prometheus text format
+// (untyped labels are not supported — metric names carry the full
+// identity, which is adequate for a single-process planner).
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern, so concurrent Add calls from the planner's exploration workers
+// never lose increments and never require a lock.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) set(v float64)  { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) value() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// stripes is the number of independently updated cells a sharded float is
+// split across. 16 matches the failure cache's shard count: enough to keep
+// CAS contention negligible at realistic worker counts.
+const stripes = 16
+
+// shardedFloat spreads Add contention across padded stripes; Value sums
+// them. Used for histogram sums, the hottest write path under the worker
+// pool.
+type shardedFloat struct {
+	next  atomic.Uint64
+	cells [stripes]struct {
+		f atomicFloat
+		_ [7]uint64 // pad to a cache line to avoid false sharing
+	}
+}
+
+func (s *shardedFloat) add(v float64) {
+	i := s.next.Add(1) % stripes
+	s.cells[i].f.add(v)
+}
+
+func (s *shardedFloat) value() float64 {
+	var sum float64
+	for i := range s.cells {
+		sum += s.cells[i].f.value()
+	}
+	return sum
+}
+
+// Counter is a monotonically non-decreasing metric.
+type Counter struct {
+	f atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.f.add(1) }
+
+// Add increases the counter by v. Negative v panics: a decreasing counter
+// silently corrupts every rate() computed from it.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("obsv: counter decreased by %v", v))
+	}
+	c.f.add(v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.f.value() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	f atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.f.set(v) }
+
+// Add increases (or, with negative v, decreases) the gauge.
+func (g *Gauge) Add(v float64) { g.f.add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.f.value() }
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+// Observations and bucket increments are atomic; the running sum is
+// sharded so parallel workers do not serialize on one cache line.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds (le), +Inf implicit
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    shardedFloat
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.total.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// DurationBuckets are the default histogram bounds for wall-clock
+// metrics, in seconds: 1ms .. ~17min in powers of four.
+var DurationBuckets = []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384, 65.536, 262.144, 1048.576}
+
+// metric is a registered metric with its exposition metadata.
+type metric struct {
+	name string
+	help string
+	kind string // "counter", "gauge", "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// format. Registration is idempotent: asking for an existing name returns
+// the existing metric, so independent planner runs in one process (e.g.
+// the eval harness's cases) accumulate into shared series. Asking for an
+// existing name with a different type panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name, kind string) *metric {
+	m, ok := r.metrics[name]
+	if !ok {
+		return nil
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("obsv: metric %q registered as %s, requested as %s", name, m.kind, kind))
+	}
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. help is recorded on creation only.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "counter"); m != nil {
+		return m.c
+	}
+	m := &metric{name: name, help: help, kind: "counter", c: &Counter{}}
+	r.metrics[name] = m
+	return m.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "gauge"); m != nil {
+		return m.g
+	}
+	m := &metric{name: name, help: help, kind: "gauge", g: &Gauge{}}
+	r.metrics[name] = m
+	return m.g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. bounds must be strictly
+// increasing; the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "histogram"); m != nil {
+		return m.h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obsv: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+	m := &metric{name: name, help: help, kind: "histogram", h: h}
+	r.metrics[name] = m
+	return m.h
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, sorted by name for stable scrapes and diffs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.RUnlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		switch m.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.c.Value())); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.g.Value())); err != nil {
+				return err
+			}
+		case "histogram":
+			var cum uint64
+			for i, b := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatValue(b), cum); err != nil {
+					return err
+				}
+			}
+			total := m.h.Count()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, total); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.name, formatValue(m.h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", m.name, total); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value the way Prometheus expects
+// (shortest round-trip representation, Inf spelled +Inf/-Inf).
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

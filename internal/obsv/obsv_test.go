@@ -1,0 +1,151 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	// Idempotent registration returns the same instance.
+	if r.Counter("c_total", "ignored") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter Add did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "latencies", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+		"# TYPE h_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A value exactly on a bucket bound lands in that bucket (le is
+// inclusive, the Prometheus convention).
+func TestHistogramBoundInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hb", "", []float64{1, 2})
+	h.Observe(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `hb_bucket{le="1"} 1`) {
+		t.Fatalf("bound not inclusive:\n%s", b.String())
+	}
+}
+
+func TestPrometheusExpositionSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz", "last").Set(1)
+	r.Counter("aa_total", "first").Add(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz") {
+		t.Fatalf("metrics not sorted by name:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP aa_total first") || !strings.Contains(out, "# TYPE aa_total counter") {
+		t.Fatalf("missing HELP/TYPE lines:\n%s", out)
+	}
+}
+
+// Concurrent updates from many goroutines must never lose increments
+// (run under -race in CI).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_hist", "", DurationBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+				// Interleave reads with writes, as a live scrape would.
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter lost increments: %v != %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge lost adds: %v != %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram lost observations: %d != %d", got, workers*per)
+	}
+	if got, want := h.Sum(), float64(workers*per)*0.01; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,77 @@
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a registry over HTTP:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       "ok" while the process is up
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// It is started by StartServer and stopped with Close. The zero port
+// (":0") binds an ephemeral port; Addr reports the bound address, which
+// tests use to scrape a live training run.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr and serves the registry in a background
+// goroutine. It returns once the listener is bound, so a scrape of
+// Addr() immediately after StartServer succeeds.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obsv: nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The response is already partially written; nothing to do
+			// beyond dropping the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// net/http/pprof registers on http.DefaultServeMux as a side effect of
+	// its import; wire its handlers into our private mux explicitly so the
+	// metrics server works without touching the global mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		reg: reg,
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path; any
+		// other serve error leaves the planner running without metrics,
+		// which is strictly better than aborting a multi-hour run.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

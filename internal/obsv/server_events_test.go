@@ -1,0 +1,188 @@
+package obsv
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "demo").Add(7)
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := scrape(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := scrape(t, base+"/metrics"); code != http.StatusOK || !strings.Contains(body, "up_total 7") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := scrape(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d %q", code, body)
+	}
+
+	// A scrape after more increments sees the counter advance.
+	reg.Counter("up_total", "").Add(3)
+	if _, body := scrape(t, base+"/metrics"); !strings.Contains(body, "up_total 10") {
+		t.Fatalf("counter did not advance: %q", body)
+	}
+}
+
+func TestEventLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.events")
+	log, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Type: EventRunStart, V: map[string]float64{"epochs": 4}},
+		{Type: EventEpoch, Epoch: 1, V: map[string]float64{"reward": -0.5, "solutions": 0}},
+		{Type: EventQuarantine, Epoch: 2, Msg: "worker 1: boom"},
+		{Type: EventRunEnd, V: map[string]float64{"interrupted": 0}},
+	}
+	for _, e := range want {
+		if err := log.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].Epoch != want[i].Epoch || got[i].Msg != want[i].Msg {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Time.IsZero() {
+			t.Errorf("event %d has no timestamp", i)
+		}
+		for k, v := range want[i].V {
+			if v != 0 && got[i].V[k] != v {
+				t.Errorf("event %d: V[%q] = %v, want %v", i, k, got[i].V[k], v)
+			}
+		}
+	}
+
+	// Appending to an existing log keeps the earlier events.
+	log2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Emit(Event{Type: EventRunStart}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)+1 {
+		t.Fatalf("after append: %d events, want %d", len(got), len(want)+1)
+	}
+}
+
+func TestEventLogConcurrentEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.events")
+	log, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := log.Emit(Event{Type: EventEpoch, Epoch: w*per + i + 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*per {
+		t.Fatalf("read %d events, want %d (torn or lost lines)", len(events), workers*per)
+	}
+}
+
+func TestReadLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.events")
+	content := `{"time":"2026-08-05T00:00:00Z","type":"epoch","epoch":1}
+{"time":"2026-08-05T00:00:01Z","type":"epoch","ep`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Epoch != 1 {
+		t.Fatalf("torn tail: got %+v, want the one whole event", events)
+	}
+}
+
+func TestReadLogMidFileCorruptionFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.events")
+	content := "{not json}\n" + `{"time":"2026-08-05T00:00:00Z","type":"epoch","epoch":1}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); err == nil {
+		t.Fatal("mid-file corruption not reported")
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	var s MemorySink
+	for i := 0; i < 3; i++ {
+		if err := s.Emit(Event{Type: EventEpoch, Epoch: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Events(); len(got) != 3 || got[2].Epoch != 3 {
+		t.Fatalf("memory sink captured %+v", got)
+	}
+}

@@ -40,6 +40,7 @@ type Buffer struct {
 	adv       []float64
 	ret       []float64
 	pathStart int
+	paths     int
 }
 
 // NewBuffer creates a buffer with the given discount factor γ and GAE λ.
@@ -79,10 +80,15 @@ func (b *Buffer) FinishPath(lastValue float64) {
 		b.ret[b.pathStart+i] = run
 	}
 	b.pathStart = len(b.steps)
+	b.paths++
 }
 
 // Len returns the number of stored steps.
 func (b *Buffer) Len() int { return len(b.steps) }
+
+// Paths returns the number of finished (non-empty) trajectories recorded
+// by FinishPath since the last Reset, including those merged in.
+func (b *Buffer) Paths() int { return b.paths }
 
 // Reset clears the buffer for the next epoch.
 func (b *Buffer) Reset() {
@@ -90,6 +96,7 @@ func (b *Buffer) Reset() {
 	b.adv = b.adv[:0]
 	b.ret = b.ret[:0]
 	b.pathStart = 0
+	b.paths = 0
 }
 
 // Merge appends the finished contents of other into b (multi-worker
@@ -103,12 +110,15 @@ func (b *Buffer) Merge(other *Buffer) error {
 	b.adv = append(b.adv, other.adv...)
 	b.ret = append(b.ret, other.ret...)
 	b.pathStart = len(b.steps)
+	b.paths += other.paths
 	return nil
 }
 
 // Batch returns the collected steps with normalized advantages
 // (zero mean, unit variance — the standard PPO trick) and value targets.
-// All paths must be finished.
+// All paths must be finished. All three slices are copies: a caller may
+// retain them across Reset/Store/Merge without seeing them overwritten by
+// the buffer's internal append reuse.
 func (b *Buffer) Batch() ([]Step, []float64, []float64, error) {
 	if b.pathStart != len(b.steps) {
 		return nil, nil, nil, fmt.Errorf("rl: batch requested with an unfinished path")
@@ -135,7 +145,8 @@ func (b *Buffer) Batch() ([]Step, []float64, []float64, error) {
 		adv[i] = (a - mean) / std
 	}
 	ret := append([]float64(nil), b.ret...)
-	return b.steps, adv, ret, nil
+	steps := append([]Step(nil), b.steps...)
+	return steps, adv, ret, nil
 }
 
 // CheckFinite verifies that every stored log-probability, value estimate,
@@ -157,17 +168,17 @@ func (b *Buffer) CheckFinite() error {
 }
 
 // EpochReward returns the mean total reward per finished trajectory, the
-// quantity plotted in the sensitivity figures (Fig. 5). Trajectories are
-// delimited implicitly: with all paths finished, the undiscounted sum of
-// rewards divided by the number of FinishPath calls would require extra
-// bookkeeping, so the buffer records path boundaries.
-func (b *Buffer) EpochReward(paths int) float64 {
-	if paths <= 0 {
+// quantity plotted in the sensitivity figures (Fig. 5): the undiscounted
+// sum of all stored rewards divided by the number of non-empty paths the
+// buffer recorded through FinishPath (and Merge). It returns 0 when no
+// path has finished.
+func (b *Buffer) EpochReward() float64 {
+	if b.paths <= 0 {
 		return 0
 	}
 	var sum float64
 	for _, s := range b.steps {
 		sum += s.Reward
 	}
-	return sum / float64(paths)
+	return sum / float64(b.paths)
 }

@@ -52,11 +52,14 @@ func TestBufferMultiplePaths(t *testing.T) {
 	if b.ret[1] != 5 || b.ret[0] != 1 {
 		t.Fatalf("ret = %v", b.ret)
 	}
-	if r := b.EpochReward(2); r != 3 {
+	if n := b.Paths(); n != 2 {
+		t.Fatalf("Paths = %d, want 2", n)
+	}
+	if r := b.EpochReward(); r != 3 {
 		t.Fatalf("EpochReward = %v, want 3", r)
 	}
-	if r := b.EpochReward(0); r != 0 {
-		t.Fatalf("EpochReward(0 paths) = %v, want 0", r)
+	if r := NewBuffer(1, 1).EpochReward(); r != 0 {
+		t.Fatalf("EpochReward with no finished path = %v, want 0", r)
 	}
 }
 
@@ -136,5 +139,75 @@ func TestFinishPathEmptyIsNoOp(t *testing.T) {
 	b.FinishPath(0)
 	if b.Len() != 0 {
 		t.Fatal("empty FinishPath should not add steps")
+	}
+}
+
+// Regression: Batch used to return the internal steps slice aliased, so a
+// caller that retained the batch across Reset+Store (the watchdog retains
+// batches across retries) saw it silently overwritten by append reuse.
+func TestBatchDetachedFromBufferReuse(t *testing.T) {
+	b := NewBuffer(1, 1)
+	b.Store(Step{Action: 1, Reward: 1})
+	b.FinishPath(0)
+	steps, adv, ret, err := b.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Action != 1 {
+		t.Fatalf("batch step action = %d, want 1", steps[0].Action)
+	}
+
+	b.Reset()
+	b.Store(Step{Action: 99, Reward: -7})
+	b.FinishPath(0)
+
+	if steps[0].Action != 1 || steps[0].Reward != 1 {
+		t.Fatalf("retained batch overwritten by buffer reuse: %+v", steps[0])
+	}
+	if ret[0] != 1 {
+		t.Fatalf("retained returns overwritten: %v", ret)
+	}
+	_ = adv
+
+	// Merge into a fresh buffer must not clobber the retained batch either.
+	m := NewBuffer(1, 1)
+	if err := m.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Action != 1 {
+		t.Fatalf("retained batch overwritten by Merge: %+v", steps[0])
+	}
+}
+
+// Paths counts only non-empty trajectories, across FinishPath, Merge and
+// Reset.
+func TestBufferPathAccounting(t *testing.T) {
+	b := NewBuffer(1, 1)
+	b.FinishPath(0) // empty: no path recorded
+	if b.Paths() != 0 {
+		t.Fatalf("Paths after empty FinishPath = %d, want 0", b.Paths())
+	}
+	b.Store(Step{Reward: 2})
+	b.FinishPath(0)
+	b.FinishPath(0) // boundary coincides with path end: still 1 path
+	if b.Paths() != 1 {
+		t.Fatalf("Paths = %d, want 1", b.Paths())
+	}
+
+	o := NewBuffer(1, 1)
+	o.Store(Step{Reward: 4})
+	o.FinishPath(0)
+	if err := b.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if b.Paths() != 2 {
+		t.Fatalf("Paths after merge = %d, want 2", b.Paths())
+	}
+	if r := b.EpochReward(); r != 3 {
+		t.Fatalf("EpochReward = %v, want 3", r)
+	}
+	b.Reset()
+	if b.Paths() != 0 {
+		t.Fatalf("Paths after Reset = %d, want 0", b.Paths())
 	}
 }

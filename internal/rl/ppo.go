@@ -107,6 +107,12 @@ func NewPPO(cfg PPOConfig) (*PPO, error) {
 	}, nil
 }
 
+// AdamSteps reports how many optimizer updates the actor and critic Adam
+// instances have applied over the lifetime of this PPO (telemetry).
+func (p *PPO) AdamSteps() (actor, critic int) {
+	return p.actorOpt.Steps(), p.criticOpt.Steps()
+}
+
 // Update performs one epoch's gradient updates from the buffered data:
 // gradient ascent on the PPO-clip objective for GCN+actor, gradient descent
 // on the value MSE for GCN+critic.
@@ -114,6 +120,18 @@ func (p *PPO) Update(ac ActorCritic, buf *Buffer) (UpdateStats, error) {
 	steps, adv, ret, err := buf.Batch()
 	if err != nil {
 		return UpdateStats{}, err
+	}
+	// A stored action its own mask disables is poisoned data: its behavior
+	// log-probability is -inf and the policy gradient would push mass onto
+	// a disabled action. No retry can fix the batch, so reject it up front
+	// rather than let the numerics corrupt the policy.
+	for i, s := range steps {
+		if s.Mask == nil {
+			continue
+		}
+		if s.Action < 0 || s.Action >= len(s.Mask) || !s.Mask[s.Action] {
+			return UpdateStats{}, fmt.Errorf("rl: step %d stores action %d that its mask disables", i, s.Action)
+		}
 	}
 	n := float64(len(steps))
 	var stats UpdateStats

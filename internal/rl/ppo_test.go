@@ -3,6 +3,7 @@ package rl
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/nn"
@@ -233,5 +234,33 @@ func TestPPOClipBoundsRatioInfluence(t *testing.T) {
 	}
 	if stats.ClipFraction == 0 {
 		t.Fatalf("expected clipping with off-policy data: %+v", stats)
+	}
+}
+
+// Regression: a Step whose stored Mask disables its own Action means the
+// exploration data is corrupt (the masked logit is -inf, and its gradient
+// would push probability onto a forbidden action). Update must reject the
+// batch instead of training on it.
+func TestPPOUpdateRejectsMaskedStoredAction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ac := newTestAC(rng, 1, 2)
+	ppo, err := NewPPO(PPOConfig{
+		ClipRatio: 0.2, ActorLR: 1e-3, CriticLR: 1e-3,
+		TrainPiIters: 1, TrainVIters: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := nn.FromSlice(1, 1, []float64{1})
+	buf := NewBuffer(0.99, 0.97)
+	buf.Store(Step{Obs: obs, Action: 0, Mask: []bool{true, true}, LogP: -0.7, Reward: 1})
+	buf.FinishPath(0)
+	// Corrupt step: mask forbids the very action it claims was taken.
+	buf.Store(Step{Obs: obs, Action: 1, Mask: []bool{true, false}, LogP: -0.7, Reward: 1})
+	buf.FinishPath(0)
+	if _, err := ppo.Update(ac, buf); err == nil {
+		t.Fatal("Update accepted a stored action that its own mask disables")
+	} else if !strings.Contains(err.Error(), "mask disables") {
+		t.Fatalf("unhelpful error: %v", err)
 	}
 }
