@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-analyzer vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz
+.PHONY: all build test test-short race race-analyzer race-service vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz serve-smoke
 
 all: build lint test
 
@@ -36,6 +36,15 @@ race:
 # planner that shares its verdict cache across workers.
 race-analyzer:
 	$(GO) test -race ./internal/failure/... ./internal/core/...
+
+# Full race pass over the planning service (worker pool, cache, drain).
+race-service:
+	$(GO) test -race ./internal/service/... ./cmd/nptsn-serve/...
+
+# Black-box smoke test of the nptsn-serve daemon: boot on an ephemeral
+# port, plan the shipped example over HTTP, check /metrics.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # One iteration of every table/figure/ablation benchmark.
 bench-quick:

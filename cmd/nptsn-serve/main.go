@@ -1,0 +1,141 @@
+// Command nptsn-serve runs the NPTSN planner as a long-lived HTTP service:
+// a bounded job queue in front of a pool of independent Planners, with live
+// per-epoch progress, a problem-fingerprint plan cache, optional
+// independent certification of every winning plan, and atomic JSON
+// persistence so finished jobs survive a restart.
+//
+//	nptsn-serve -addr localhost:8080 -workers 2 -data-dir /var/lib/nptsn
+//
+//	curl -s -X POST localhost:8080/v1/jobs?certify=1 -d @job.json
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/v1/jobs/<id>/result
+//
+// SIGINT/SIGTERM drains gracefully: submissions are rejected with 503,
+// queued jobs are cancelled, and running jobs get -drain-timeout to finish
+// (after which they are interrupted and their best-so-far plan persisted).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/serialize"
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nptsn-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nptsn-serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "localhost:8080", "HTTP listen address (use port 0 for an ephemeral port)")
+		addrFile     = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		workers      = fs.Int("workers", 1, "planning jobs executed concurrently")
+		queueSize    = fs.Int("queue", 16, "waiting-queue capacity; submissions beyond it get HTTP 429")
+		dataDir      = fs.String("data-dir", "", "persist finished jobs here and re-serve them after a restart (empty = memory only)")
+		jobTimeout   = fs.Duration("job-timeout", 0, "per-job planning deadline unless the request sets its own (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM before being interrupted")
+		eventsPath   = fs.String("events", "", "append JSON-lines job lifecycle events to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	reg := obsv.NewRegistry()
+	var sink obsv.Sink
+	if *eventsPath != "" {
+		log, err := obsv.OpenLog(*eventsPath)
+		if err != nil {
+			return err
+		}
+		defer log.Close()
+		sink = log
+	}
+
+	mgr, err := service.New(service.Options{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		Dir:            *dataDir,
+		DefaultTimeout: *jobTimeout,
+		Metrics:        reg,
+		Events:         sink,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	srv := &http.Server{Handler: service.NewMux(mgr, reg)}
+	fmt.Fprintf(out, "nptsn-serve: listening on http://%s (workers %d, queue %d)\n", ln.Addr(), *workers, *queueSize)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any shutdown signal
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "nptsn-serve: draining (up to %s)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the job engine; a drain
+	// deadline interrupts still-running jobs, whose best-so-far plans are
+	// persisted like any other finished job.
+	shutdownErr := srv.Shutdown(drainCtx)
+	drainErr := mgr.Shutdown(drainCtx)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	if errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintln(out, "nptsn-serve: drain deadline hit; running jobs were interrupted")
+	} else {
+		fmt.Fprintln(out, "nptsn-serve: drained cleanly")
+	}
+	return nil
+}
+
+// writeAddrFile publishes the bound address atomically so scripts polling
+// for the file never read a partial write.
+func writeAddrFile(path, addr string) error {
+	return serialize.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, addr+"\n")
+		return err
+	})
+}

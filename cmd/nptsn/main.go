@@ -156,6 +156,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "training: %d epochs x %d steps, K=%d, GCN-%d, MLP %dx%d, %d worker(s)\n",
 		cfg.MaxEpoch, cfg.MaxStep, cfg.K, cfg.GCNLayers, *mlpHidden, *mlpHidden, cfg.Workers)
 
+	// Live per-epoch reporting through the planner's progress hook: the
+	// summary line prints for the first epoch and every 8th, plus the final
+	// completed epoch after training returns (its number is unknown while
+	// running). Panics and divergence rollbacks always print.
+	lastPrinted := 0
+	printEpoch := func(e core.EpochStats) {
+		fmt.Fprintf(out, "epoch %3d: reward %8.4f  trajectories %3d  solutions %2d  dead-ends %2d  best %.0f\n",
+			e.Epoch, e.Reward, e.Trajectories, e.Solutions, e.DeadEnds, e.BestCost)
+		lastPrinted = e.Epoch
+	}
+	cfg.Progress = func(e core.EpochStats) {
+		if e.Epoch == 1 || e.Epoch%8 == 0 {
+			printEpoch(e)
+		}
+		for _, p := range e.Panics {
+			fmt.Fprintf(out, "epoch %3d: recovered %s\n", e.Epoch, p)
+		}
+		if e.Divergences > 0 {
+			fmt.Fprintf(out, "epoch %3d: %d divergence rollback(s), learning rates halved\n", e.Epoch, e.Divergences)
+		}
+	}
+
 	planner, err := core.NewPlanner(prob, cfg)
 	if err != nil {
 		return err
@@ -164,22 +186,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	lastEpoch := 0
-	if n := len(report.Epochs); n > 0 {
-		lastEpoch = report.Epochs[n-1].Epoch
-	}
-	for _, e := range report.Epochs {
-		if e.Epoch == 1 || e.Epoch%8 == 0 || e.Epoch == lastEpoch {
-			fmt.Fprintf(out, "epoch %3d: reward %8.4f  trajectories %3d  solutions %2d  dead-ends %2d  best %.0f\n",
-				e.Epoch, e.Reward, e.Trajectories, e.Solutions, e.DeadEnds, e.BestCost)
-		}
-		for _, p := range e.Panics {
-			fmt.Fprintf(out, "epoch %3d: recovered %s\n", e.Epoch, p)
-		}
-		if e.Divergences > 0 {
-			fmt.Fprintf(out, "epoch %3d: %d divergence rollback(s), learning rates halved\n", e.Epoch, e.Divergences)
-		}
+	if n := len(report.Epochs); n > 0 && report.Epochs[n-1].Epoch != lastPrinted {
+		printEpoch(report.Epochs[n-1])
 	}
 
 	var anTime time.Duration

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/tsn"
+)
+
+// tinyProblemVariant is tinyProblem with a different flow set, so two
+// side-by-side planners work on genuinely different problem instances.
+func tinyProblemVariant(t *testing.T) *Problem {
+	t.Helper()
+	prob := buildTinyProblem()
+	net := prob.Net
+	mk := func(id, src, dst int) tsn.Flow {
+		return tsn.Flow{ID: id, Src: src, Dsts: []int{dst}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 128}
+	}
+	prob.Flows = tsn.FlowSet{mk(0, 3, 0), mk(1, 1, 2)}
+	if err := prob.Validate(); err != nil {
+		t.Fatalf("variant problem invalid: %v", err)
+	}
+	return prob
+}
+
+// TestConcurrentIndependentPlanners runs two independent Planner instances
+// side by side in one process — the planning service's steady state — and
+// asserts each run is bit-identical to the same run executed alone. Each
+// planner owns its verdict cache and worker pool; under -race this also
+// proves the instances share no mutable state.
+func TestConcurrentIndependentPlanners(t *testing.T) {
+	cfgA := tinyConfig()
+	cfgA.AnalyzerCacheSize = 1024
+	cfgA.Workers = 2
+	cfgB := tinyConfig()
+	cfgB.Seed = 23
+	cfgB.AnalyzerCacheSize = 1024
+
+	// Sequential baselines.
+	baseA := planOnce(t, tinyProblem(t), cfgA)
+	baseB := planOnce(t, tinyProblemVariant(t), cfgB)
+
+	// The same two runs, concurrently.
+	var wg sync.WaitGroup
+	reports := make([]*Report, 2)
+	errs := make([]error, 2)
+	run := func(i int, prob *Problem, cfg Config) {
+		defer wg.Done()
+		p, err := NewPlanner(prob, cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		reports[i], errs[i] = p.Plan()
+	}
+	wg.Add(2)
+	go run(0, tinyProblem(t), cfgA)
+	go run(1, tinyProblemVariant(t), cfgB)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent planner %d: %v", i, err)
+		}
+	}
+
+	assertSameTrajectory(t, "planner A", baseA, reports[0])
+	assertSameTrajectory(t, "planner B", baseB, reports[1])
+}
+
+func planOnce(t *testing.T, prob *Problem, cfg Config) *Report {
+	t.Helper()
+	p, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// assertSameTrajectory compares the deterministic parts of two reports
+// (rewards, losses, counts, best cost); wall-clock fields are excluded.
+func assertSameTrajectory(t *testing.T, label string, want, got *Report) {
+	t.Helper()
+	type key struct {
+		Reward, PolicyLoss, ValueLoss, BestCost float64
+		Trajectories, Solutions, DeadEnds       int
+	}
+	mk := func(r *Report) []key {
+		out := make([]key, len(r.Epochs))
+		for i, e := range r.Epochs {
+			out[i] = key{e.Reward, e.PolicyLoss, e.ValueLoss, e.BestCost, e.Trajectories, e.Solutions, e.DeadEnds}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(mk(want), mk(got)) {
+		t.Fatalf("%s: concurrent run diverged from sequential baseline:\nseq: %+v\nconc: %+v", label, mk(want), mk(got))
+	}
+	if (want.Best == nil) != (got.Best == nil) {
+		t.Fatalf("%s: best-solution presence diverged", label)
+	}
+	if want.Best != nil && want.Best.Cost != got.Best.Cost {
+		t.Fatalf("%s: best cost diverged: %v vs %v", label, want.Best.Cost, got.Best.Cost)
+	}
+}

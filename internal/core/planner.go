@@ -502,6 +502,9 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		es.Duration = time.Since(epochStart)
 		report.Epochs = append(report.Epochs, es)
 
+		if p.cfg.Progress != nil {
+			p.cfg.Progress(es)
+		}
 		pm.recordEpoch(es, cache)
 		for _, msg := range es.Panics {
 			if err := emit(obsv.Event{Type: obsv.EventQuarantine, Epoch: epoch, Msg: msg}); err != nil {

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProgressHook asserts the Progress callback fires synchronously once
+// per completed epoch, in epoch order, with exactly the statistics that end
+// up in the report — the contract the CLI's live summary and the planning
+// service's per-job progress tracking both rely on.
+func TestProgressHook(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyConfig()
+	cfg.MaxEpoch = 3
+
+	var seen []EpochStats
+	cfg.Progress = func(es EpochStats) { seen = append(seen, es) }
+
+	p, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(report.Epochs) {
+		t.Fatalf("progress fired %d times for %d epochs", len(seen), len(report.Epochs))
+	}
+	for i, es := range seen {
+		if es.Epoch != i+1 {
+			t.Fatalf("progress call %d carries epoch %d", i, es.Epoch)
+		}
+		if !reflect.DeepEqual(es, report.Epochs[i]) {
+			t.Errorf("epoch %d: progress stats diverge from report:\nhook:   %+v\nreport: %+v",
+				es.Epoch, es, report.Epochs[i])
+		}
+	}
+}
+
+// TestProgressHookUnsetIsNoop: a nil hook must not change training at all.
+func TestProgressHookUnsetIsNoop(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyConfig()
+
+	p1, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p1.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := cfg
+	cfg2.Progress = func(EpochStats) {}
+	p2, err := NewPlanner(tinyProblem(t), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p2.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(epochRewards(r1), epochRewards(r2)) {
+		t.Fatalf("progress hook changed the training trajectory:\n%v\n%v", epochRewards(r1), epochRewards(r2))
+	}
+}
+
+func epochRewards(r *Report) []float64 {
+	out := make([]float64, len(r.Epochs))
+	for i, e := range r.Epochs {
+		out[i] = e.Reward
+	}
+	return out
+}

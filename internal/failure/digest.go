@@ -1,0 +1,50 @@
+package failure
+
+import "fmt"
+
+// Digest is the exported face of the analyzer's 128-bit fingerprint hash
+// (fingerprint.go), for callers outside this package that need stable,
+// collision-resistant content keys — the planning service keys its plan
+// cache on a Digest over the canonicalized problem spec and planner
+// configuration. Two independently mixed 64-bit lanes make accidental
+// collisions astronomically unlikely (~2^-128 per pair), so a cache may key
+// on the digest alone without retaining the digested content.
+//
+// The zero Digest is not ready for use; start with NewDigest.
+type Digest struct {
+	h fpHash
+}
+
+// NewDigest returns a fresh digest with the package's fixed seed, so equal
+// write sequences always produce equal sums across processes and runs.
+func NewDigest() *Digest {
+	return &Digest{h: newFPHash()}
+}
+
+// Int folds one integer into the digest.
+func (d *Digest) Int(v int) { d.h.int(v) }
+
+// Int64 folds one 64-bit integer into the digest.
+func (d *Digest) Int64(v int64) { d.h.word(uint64(v)) }
+
+// Float folds one float64 into the digest (by bit pattern; NaNs with
+// different payloads digest differently).
+func (d *Digest) Float(f float64) { d.h.float(f) }
+
+// Bool folds one boolean into the digest.
+func (d *Digest) Bool(b bool) { d.h.bool(b) }
+
+// Str folds a length-prefixed string into the digest, so consecutive
+// strings cannot alias ("ab","c" digests differently from "a","bc").
+func (d *Digest) Str(s string) { d.h.str(s) }
+
+// Bytes folds a length-prefixed byte slice into the digest.
+func (d *Digest) Bytes(b []byte) { d.h.str(string(b)) }
+
+// Sum finalizes a copy of the digest state and returns the 128-bit sum as
+// 32 lowercase hex digits. The digest remains usable: further writes
+// continue from the pre-Sum state.
+func (d *Digest) Sum() string {
+	fp := d.h.sum()
+	return fmt.Sprintf("%016x%016x", fp.hi, fp.lo)
+}

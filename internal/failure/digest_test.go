@@ -1,0 +1,51 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDigestDeterministicAndDistinct(t *testing.T) {
+	mk := func(writes func(*Digest)) string {
+		d := NewDigest()
+		writes(d)
+		return d.Sum()
+	}
+	a := mk(func(d *Digest) { d.Str("problem"); d.Int(42); d.Float(1.5); d.Bool(true) })
+	b := mk(func(d *Digest) { d.Str("problem"); d.Int(42); d.Float(1.5); d.Bool(true) })
+	if a != b {
+		t.Fatalf("equal write sequences digest differently: %s vs %s", a, b)
+	}
+	if len(a) != 32 || strings.ToLower(a) != a {
+		t.Fatalf("sum %q is not 32 lowercase hex digits", a)
+	}
+	c := mk(func(d *Digest) { d.Str("problem"); d.Int(43); d.Float(1.5); d.Bool(true) })
+	if a == c {
+		t.Fatalf("distinct inputs collide: %s", a)
+	}
+}
+
+// TestDigestNoAliasing: length prefixing must keep ("ab","c") and
+// ("a","bc") apart, and Sum must not disturb the running state.
+func TestDigestNoAliasing(t *testing.T) {
+	d1 := NewDigest()
+	d1.Str("ab")
+	d1.Str("c")
+	d2 := NewDigest()
+	d2.Str("a")
+	d2.Str("bc")
+	if d1.Sum() == d2.Sum() {
+		t.Fatal("string boundary aliasing")
+	}
+
+	d := NewDigest()
+	d.Int(1)
+	first := d.Sum()
+	if got := d.Sum(); got != first {
+		t.Fatalf("Sum mutated digest state: %s then %s", first, got)
+	}
+	d.Int(2)
+	if d.Sum() == first {
+		t.Fatal("writes after Sum had no effect")
+	}
+}

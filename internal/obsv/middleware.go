@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// WithRequestLog wraps an HTTP handler with request instrumentation on
+// reg, under a per-route metric family derived from route:
+//
+//	nptsn_http_<route>_requests_total   requests served
+//	nptsn_http_<route>_errors_total     responses with status >= 500
+//	nptsn_http_<route>_in_flight        requests currently being handled
+//	nptsn_http_<route>_request_seconds  latency histogram
+//
+// The registry has no label support by design (metric names carry the full
+// identity), so the route is folded into the name; RouteMetricID documents
+// the folding. Both the metrics server (StartServer) and the planning
+// service's API mux are instrumented through this wrapper, so one scrape
+// shows the latency of every HTTP surface of the process. A nil reg
+// returns h unchanged.
+func WithRequestLog(reg *Registry, route string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	id := RouteMetricID(route)
+	requests := reg.Counter("nptsn_http_"+id+"_requests_total", "Requests served on "+route+".")
+	errors := reg.Counter("nptsn_http_"+id+"_errors_total", "Responses with status >= 500 on "+route+".")
+	inFlight := reg.Gauge("nptsn_http_"+id+"_in_flight", "Requests currently in flight on "+route+".")
+	latency := reg.Histogram("nptsn_http_"+id+"_request_seconds", "Request latency on "+route+".", DurationBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			inFlight.Add(-1)
+			latency.Observe(time.Since(start).Seconds())
+			requests.Inc()
+			if sw.status >= 500 {
+				errors.Inc()
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// RouteMetricID folds a route path into a metric-name segment: lowercase,
+// every run of non-alphanumeric characters becomes one underscore, leading
+// and trailing underscores are trimmed. "/v1/jobs" → "v1_jobs"; an empty
+// result (e.g. "/") becomes "root".
+func RouteMetricID(route string) string {
+	var b strings.Builder
+	pendingSep := false
+	for _, c := range strings.ToLower(route) {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			if pendingSep && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pendingSep = false
+			b.WriteRune(c)
+		default:
+			pendingSep = true
+		}
+	}
+	if b.Len() == 0 {
+		return "root"
+	}
+	return b.String()
+}
+
+// statusWriter records the response status code; an implicit 200 (first
+// Write without WriteHeader) is captured too.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards http.Flusher when the underlying writer supports it, so
+// instrumented handlers can still stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,72 @@
+package obsv
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRouteMetricID(t *testing.T) {
+	cases := map[string]string{
+		"/v1/jobs":             "v1_jobs",
+		"/metrics":             "metrics",
+		"/":                    "root",
+		"":                     "root",
+		"/v1/jobs/{id}/result": "v1_jobs_id_result",
+		"Weird--Path":          "weird_path",
+	}
+	for in, want := range cases {
+		if got := RouteMetricID(in); got != want {
+			t.Errorf("RouteMetricID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWithRequestLog(t *testing.T) {
+	reg := NewRegistry()
+	h := WithRequestLog(reg, "/v1/jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("boom") != "" {
+			http.Error(w, "kaput", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "ok") // implicit 200 via Write
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, url := range []string{srv.URL, srv.URL, srv.URL + "?boom=1"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if got := reg.Counter("nptsn_http_v1_jobs_requests_total", "").Value(); got != 3 {
+		t.Errorf("requests_total = %v, want 3", got)
+	}
+	if got := reg.Counter("nptsn_http_v1_jobs_errors_total", "").Value(); got != 1 {
+		t.Errorf("errors_total = %v, want 1", got)
+	}
+	if got := reg.Gauge("nptsn_http_v1_jobs_in_flight", "").Value(); got != 0 {
+		t.Errorf("in_flight = %v after all requests finished, want 0", got)
+	}
+	if got := reg.Histogram("nptsn_http_v1_jobs_request_seconds", "", DurationBuckets).Count(); got != 3 {
+		t.Errorf("request_seconds count = %v, want 3", got)
+	}
+}
+
+// TestWithRequestLogNilRegistry: a nil registry must pass the handler
+// through untouched instead of panicking.
+func TestWithRequestLogNilRegistry(t *testing.T) {
+	base := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := WithRequestLog(nil, "/x", base); got == nil {
+		t.Fatal("nil handler returned")
+	}
+	rec := httptest.NewRecorder()
+	WithRequestLog(nil, "/x", base).ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+}

@@ -35,18 +35,11 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WritePrometheus(w); err != nil {
-			// The response is already partially written; nothing to do
-			// beyond dropping the connection.
-			return
-		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	// The server's own routes are instrumented through the same
+	// request-log middleware the planning service uses, so scrape and
+	// health-probe latency shows up in the scrape itself.
+	mux.Handle("/metrics", WithRequestLog(reg, "/metrics", MetricsHandler(reg)))
+	mux.Handle("/healthz", WithRequestLog(reg, "/healthz", HealthHandler()))
 	// net/http/pprof registers on http.DefaultServeMux as a side effect of
 	// its import; wire its handlers into our private mux explicitly so the
 	// metrics server works without touching the global mux.
@@ -68,6 +61,29 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 		_ = s.srv.Serve(ln)
 	}()
 	return s, nil
+}
+
+// MetricsHandler returns the Prometheus text-exposition handler for reg,
+// for callers that mount /metrics on their own mux (the planning service
+// daemon serves API and metrics from one listener).
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The response is already partially written; nothing to do
+			// beyond dropping the connection.
+			return
+		}
+	})
+}
+
+// HealthHandler returns the liveness handler ("ok" while the process is
+// up), mountable on any mux.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 }
 
 // Addr returns the bound listen address (host:port).

@@ -1,0 +1,322 @@
+// Package service is the planning-as-a-service layer of the NPTSN
+// reproduction: a job engine that accepts planning problems (the JSON
+// specs the CLIs already exchange), executes them on a bounded in-process
+// worker pool of independent Planners, and serves status, progress and
+// results over an HTTP JSON API (see NewMux and cmd/nptsn-serve).
+//
+// The engine provides submit/get/list/cancel semantics with per-job states
+// (queued → running → done/failed/cancelled), backpressure when the
+// waiting queue is full, per-job deadlines wired into Planner.PlanContext,
+// a problem-fingerprint plan cache so identical re-submissions return the
+// finished plan instantly, atomic JSON persistence of completed jobs so a
+// restarted server re-serves them, graceful drain on shutdown, and full
+// observability (nptsn_service_* metrics plus JSON-lines lifecycle
+// events).
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/nbf"
+	"repro/internal/serialize"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The five job states. Queued and Running are live; the rest are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// PlanParams are the per-job training-budget knobs, mirroring the nptsn
+// CLI flags. Zero values take the CLI defaults; GCNLayers and
+// AnalyzerCache are pointers because 0 is a meaningful setting for both
+// (the GCN-0 ablation and a disabled verdict cache).
+type PlanParams struct {
+	Epochs          int   `json:"epochs,omitempty"`
+	Steps           int   `json:"steps,omitempty"`
+	K               int   `json:"k,omitempty"`
+	GCNLayers       *int  `json:"gcnLayers,omitempty"`
+	MLPWidth        int   `json:"mlpWidth,omitempty"`
+	Workers         int   `json:"workers,omitempty"`
+	AnalyzerWorkers int   `json:"analyzerWorkers,omitempty"`
+	AnalyzerCache   *int  `json:"analyzerCache,omitempty"`
+	Seed            int64 `json:"seed,omitempty"`
+	// TimeoutSec bounds the job's run time (0 = the server's default).
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+}
+
+// normalizedParams is PlanParams with every default applied — the
+// canonical form that both the planner configuration and the cache
+// fingerprint are derived from.
+type normalizedParams struct {
+	Epochs, Steps, K, GCNLayers, MLPWidth   int
+	Workers, AnalyzerWorkers, AnalyzerCache int
+	Seed                                    int64
+	TimeoutSec                              float64
+}
+
+// normalized applies the CLI-default values to every unset knob.
+func (p PlanParams) normalized() normalizedParams {
+	n := normalizedParams{
+		Epochs: p.Epochs, Steps: p.Steps, K: p.K,
+		GCNLayers: 2, MLPWidth: p.MLPWidth,
+		Workers: p.Workers, AnalyzerWorkers: p.AnalyzerWorkers,
+		AnalyzerCache: 32768, Seed: p.Seed, TimeoutSec: p.TimeoutSec,
+	}
+	if p.GCNLayers != nil {
+		n.GCNLayers = *p.GCNLayers
+	}
+	if p.AnalyzerCache != nil {
+		n.AnalyzerCache = *p.AnalyzerCache
+	}
+	if n.Epochs == 0 {
+		n.Epochs = 32
+	}
+	if n.Steps == 0 {
+		n.Steps = 256
+	}
+	if n.K == 0 {
+		n.K = 16
+	}
+	if n.MLPWidth == 0 {
+		n.MLPWidth = 256
+	}
+	if n.Workers == 0 {
+		n.Workers = 1
+	}
+	if n.AnalyzerWorkers == 0 {
+		n.AnalyzerWorkers = 1
+	}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	return n
+}
+
+// config builds the planner configuration for the normalized knobs.
+func (n normalizedParams) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.GCNLayers = n.GCNLayers
+	cfg.MLPHidden = []int{n.MLPWidth, n.MLPWidth}
+	cfg.K = n.K
+	cfg.MaxEpoch = n.Epochs
+	cfg.MaxStep = n.Steps
+	cfg.Workers = n.Workers
+	cfg.AnalyzerWorkers = n.AnalyzerWorkers
+	cfg.AnalyzerCacheSize = n.AnalyzerCache
+	cfg.Seed = n.Seed
+	return cfg
+}
+
+// Request is the body of POST /v1/jobs: a problem spec in the same JSON
+// form the CLIs exchange, planning knobs, and the certification switch.
+type Request struct {
+	Problem serialize.ProblemJSON `json:"problem"`
+	Params  PlanParams            `json:"params,omitempty"`
+	// Certify runs the independent certification audit on the winning
+	// plan before the job is marked done (also settable via ?certify=1).
+	Certify bool `json:"certify,omitempty"`
+	// CertifySamples is the Monte Carlo trial count of the audit
+	// (0 = 256, the certifier default).
+	CertifySamples int `json:"certifySamples,omitempty"`
+}
+
+// Progress is a job's live training progress, fed from the planner's
+// per-epoch Progress callback.
+type Progress struct {
+	// Epoch is the last completed training epoch (0 before the first).
+	Epoch int `json:"epoch"`
+	// TotalEpochs is the job's configured training horizon.
+	TotalEpochs int `json:"totalEpochs"`
+	// BestCost is the best solution cost found so far (0 when none yet).
+	BestCost float64 `json:"bestCost"`
+	// GuaranteeMet reports whether any valid solution has been recorded.
+	GuaranteeMet bool `json:"guaranteeMet"`
+	// Reward is the last epoch's mean trajectory reward.
+	Reward float64 `json:"reward"`
+	// Solutions counts valid solutions recorded so far.
+	Solutions int `json:"solutions"`
+}
+
+// Status is the client-visible snapshot of a job.
+type Status struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+	Progress    Progress   `json:"progress"`
+	// Error explains failed and cancelled states.
+	Error string `json:"error,omitempty"`
+	// CacheHit marks a job answered instantly from the plan cache.
+	CacheHit bool `json:"cacheHit,omitempty"`
+	Certify  bool `json:"certify,omitempty"`
+	// Fingerprint is the cache key over the canonicalized problem spec and
+	// planning configuration.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Result is a finished job's outcome, served by GET /v1/jobs/{id}/result
+// and persisted for restart re-serving.
+type Result struct {
+	JobID        string                  `json:"jobId"`
+	Fingerprint  string                  `json:"fingerprint"`
+	GuaranteeMet bool                    `json:"guaranteeMet"`
+	Cost         float64                 `json:"cost,omitempty"`
+	Epochs       int                     `json:"epochs"`
+	Interrupted  bool                    `json:"interrupted,omitempty"`
+	Solution     *serialize.SolutionJSON `json:"solution,omitempty"`
+	Certificate  *certify.Certificate    `json:"certificate,omitempty"`
+	RunSeconds   float64                 `json:"runSeconds"`
+}
+
+// job is the manager's internal mutable job record.
+type job struct {
+	// Immutable after creation.
+	id          string
+	fingerprint string
+	prob        *core.Problem
+	cfg         core.Config
+	certify     bool
+	certSamples int
+	timeout     time.Duration
+
+	mu              sync.Mutex
+	state           State
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	progress        Progress
+	errMsg          string
+	cacheHit        bool
+	cancel          func() // non-nil while running
+	cancelRequested bool
+	result          *Result
+
+	// terminal is closed exactly once when the job reaches a terminal
+	// state; drain and tests wait on it.
+	terminal chan struct{}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: job id entropy: %v", err)) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:          j.id,
+		State:       j.state,
+		SubmittedAt: j.submitted,
+		Progress:    j.progress,
+		Error:       j.errMsg,
+		CacheHit:    j.cacheHit,
+		Certify:     j.certify,
+		Fingerprint: j.fingerprint,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	return s
+}
+
+// prepared bundles everything Submit derives from a request before the
+// job enters the queue.
+type prepared struct {
+	prob        *core.Problem
+	cfg         core.Config
+	fingerprint string
+	certify     bool
+	certSamples int
+	timeout     time.Duration
+}
+
+// prepare validates and canonicalizes a request: the problem spec is
+// decoded and re-encoded (so field order, flow order artifacts or spec
+// formatting cannot split the cache), the planner configuration is built
+// with defaults applied, a planner construction dry-run surfaces invalid
+// spec/config combinations at submit time, and the plan-cache fingerprint
+// is computed over the canonical form.
+func prepare(req Request) (prepared, error) {
+	prob, err := serialize.DecodeProblem(req.Problem, nbf.NewRegistry())
+	if err != nil {
+		return prepared{}, fmt.Errorf("problem spec: %w", err)
+	}
+	n := req.Params.normalized()
+	cfg := n.config()
+	if _, err := core.NewPlanner(prob, cfg); err != nil {
+		return prepared{}, fmt.Errorf("planner config: %w", err)
+	}
+	canonical, err := json.Marshal(serialize.EncodeProblem(prob, req.Problem.NBF))
+	if err != nil {
+		return prepared{}, fmt.Errorf("canonicalize problem: %w", err)
+	}
+	certSamples := req.CertifySamples
+	if certSamples == 0 {
+		certSamples = 256
+	}
+	return prepared{
+		prob:        prob,
+		cfg:         cfg,
+		fingerprint: jobFingerprint(canonical, n, req.Certify, certSamples),
+		certify:     req.Certify,
+		certSamples: certSamples,
+		timeout:     time.Duration(n.TimeoutSec * float64(time.Second)),
+	}, nil
+}
+
+// jobFingerprint digests the canonical problem encoding plus every
+// outcome-relevant parameter with the failure analyzer's 128-bit content
+// hash. Two requests share a fingerprint exactly when a finished plan for
+// one is a valid answer for the other. TimeoutSec is excluded: it bounds
+// wall clock, not the (deterministic) trajectory, and interrupted results
+// are never cached.
+func jobFingerprint(canonicalProblem []byte, n normalizedParams, doCertify bool, certSamples int) string {
+	d := failure.NewDigest()
+	d.Str("nptsn-service-job-v1")
+	d.Bytes(canonicalProblem)
+	d.Int(n.Epochs)
+	d.Int(n.Steps)
+	d.Int(n.K)
+	d.Int(n.GCNLayers)
+	d.Int(n.MLPWidth)
+	d.Int(n.Workers)
+	d.Int(n.AnalyzerWorkers)
+	d.Int(n.AnalyzerCache)
+	d.Int64(n.Seed)
+	d.Bool(doCertify)
+	if doCertify {
+		d.Int(certSamples)
+	}
+	return d.Sum()
+}

@@ -1,0 +1,570 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/obsv"
+	"repro/internal/serialize"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is returned when the waiting queue is at capacity
+	// (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrDraining is returned once shutdown has begun (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound is returned for unknown job IDs (HTTP 404).
+	ErrNotFound = errors.New("service: no such job")
+	// ErrNotTerminal is returned when a result is requested before the
+	// job finished (HTTP 409).
+	ErrNotTerminal = errors.New("service: job has not finished")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Workers is the number of jobs planned concurrently (default 1).
+	// Each job additionally runs its own exploration goroutines
+	// (PlanParams.Workers), so total parallelism is the product.
+	Workers int
+	// QueueSize bounds the waiting queue (default 16). With w Workers the
+	// service holds at most w running + QueueSize waiting jobs; beyond
+	// that, Submit returns ErrQueueFull.
+	QueueSize int
+	// Dir, when non-empty, persists every terminal job as an atomic JSON
+	// record and re-serves the records (and re-seeds the plan cache) on
+	// restart. Empty keeps everything in memory.
+	Dir string
+	// DefaultTimeout bounds each job's planning run unless the request
+	// carries its own TimeoutSec (0 = unbounded).
+	DefaultTimeout time.Duration
+	// Metrics receives the nptsn_service_* series and, shared with every
+	// job's planner, the nptsn_* training series. Nil disables metrics.
+	Metrics *obsv.Registry
+	// Events receives JSON-lines job lifecycle events (see the Event*
+	// constants). Unlike the planner's sink, an emission error does not
+	// abort anything; it is counted on nptsn_service_event_errors_total.
+	Events obsv.Sink
+}
+
+// Manager is the planning job engine: a bounded queue feeding a fixed
+// worker pool of independent Planners, with a fingerprint plan cache in
+// front and a persistent result store behind.
+type Manager struct {
+	opt Options
+	met *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string           // submission order, for List
+	cache    map[string]*Result // fingerprint → finished result
+	draining bool
+
+	queue chan *job
+	wg    sync.WaitGroup // worker goroutines
+
+	// testBeforeRun, when set by tests, runs after a job transitions to
+	// running and before planning starts — the hook tests use to hold a
+	// job in the running state deterministically.
+	testBeforeRun func(*job)
+}
+
+// New builds a Manager, loads persisted records when Options.Dir is set,
+// and starts the worker pool.
+func New(opt Options) (*Manager, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.QueueSize <= 0 {
+		opt.QueueSize = 16
+	}
+	m := &Manager{
+		opt:   opt,
+		met:   newMetrics(opt.Metrics),
+		jobs:  make(map[string]*job),
+		cache: make(map[string]*Result),
+		queue: make(chan *job, opt.QueueSize),
+	}
+	if opt.Dir != "" {
+		recs, skipped, err := loadRecords(opt.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			j := &job{
+				id:          rec.Status.ID,
+				fingerprint: rec.Status.Fingerprint,
+				certify:     rec.Status.Certify,
+				state:       rec.Status.State,
+				submitted:   rec.Status.SubmittedAt,
+				progress:    rec.Status.Progress,
+				errMsg:      rec.Status.Error,
+				cacheHit:    rec.Status.CacheHit,
+				result:      rec.Result,
+				terminal:    make(chan struct{}),
+			}
+			if rec.Status.StartedAt != nil {
+				j.started = *rec.Status.StartedAt
+			}
+			if rec.Status.FinishedAt != nil {
+				j.finished = *rec.Status.FinishedAt
+			}
+			close(j.terminal)
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+			// Re-seed the plan cache from done, uninterrupted results so a
+			// re-submission after restart is still a hit.
+			if rec.Status.State == StateDone && rec.Result != nil && !rec.Result.Interrupted && !rec.Status.CacheHit {
+				m.cache[rec.Status.Fingerprint] = rec.Result
+			}
+		}
+		if skipped > 0 {
+			m.emit(obsv.Event{Type: "store_skipped", V: map[string]float64{"records": float64(skipped)}})
+		}
+	}
+	for i := 0; i < opt.Workers; i++ {
+		m.wg.Add(1)
+		go m.workerLoop()
+	}
+	return m, nil
+}
+
+// Submit validates a request and either answers it from the plan cache or
+// enqueues a new job. It returns the job's initial status snapshot.
+func (m *Manager) Submit(req Request) (Status, error) {
+	prep, err := prepare(req)
+	if err != nil {
+		return Status{}, err
+	}
+	j := &job{
+		id:          newJobID(),
+		fingerprint: prep.fingerprint,
+		prob:        prep.prob,
+		cfg:         prep.cfg,
+		certify:     prep.certify,
+		certSamples: prep.certSamples,
+		timeout:     prep.timeout,
+		state:       StateQueued,
+		submitted:   time.Now().UTC(),
+		terminal:    make(chan struct{}),
+	}
+	j.progress.TotalEpochs = prep.cfg.MaxEpoch
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Status{}, ErrDraining
+	}
+	if res, ok := m.cache[j.fingerprint]; ok {
+		// Cache hit: the job is born terminal, carrying a copy of the
+		// finished result under its own ID.
+		r := *res
+		r.JobID = j.id
+		j.state = StateDone
+		j.cacheHit = true
+		j.finished = j.submitted
+		j.result = &r
+		j.progress = Progress{
+			Epoch:        r.Epochs,
+			TotalEpochs:  prep.cfg.MaxEpoch,
+			BestCost:     r.Cost,
+			GuaranteeMet: r.GuaranteeMet,
+		}
+		close(j.terminal)
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.mu.Unlock()
+		m.met.incCacheHit()
+		m.met.incDone()
+		m.emit(obsv.Event{Type: EventCacheHit, Msg: j.id})
+		m.persist(j)
+		return j.status(), nil
+	}
+	select {
+	case m.queue <- j:
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		depth := len(m.queue)
+		m.mu.Unlock()
+		m.met.incCacheMiss()
+		m.met.incSubmitted()
+		m.met.addQueueDepth(1)
+		m.emit(obsv.Event{Type: EventSubmitted, Msg: j.id, V: map[string]float64{"queue_depth": float64(depth)}})
+		return j.status(), nil
+	default:
+		m.mu.Unlock()
+		m.met.incRejected()
+		m.emit(obsv.Event{Type: EventRejected, V: map[string]float64{"queue_size": float64(m.opt.QueueSize)}})
+		return Status{}, ErrQueueFull
+	}
+}
+
+// Get returns a job's status snapshot.
+func (m *Manager) Get(id string) (Status, error) {
+	j := m.lookup(id)
+	if j == nil {
+		return Status{}, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// Result returns a finished job's result. ErrNotTerminal is returned
+// while the job is queued or running; a terminal job without a result
+// (failed, cancelled) yields the status error message.
+func (m *Manager) Result(id string) (*Result, error) {
+	j := m.lookup(id)
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, ErrNotTerminal
+	}
+	if j.result == nil {
+		if j.errMsg != "" {
+			return nil, fmt.Errorf("service: job %s %s: %s", id, j.state, j.errMsg)
+		}
+		return nil, fmt.Errorf("service: job %s %s without a result", id, j.state)
+	}
+	return j.result, nil
+}
+
+// List returns every known job's status in submission order (persisted
+// jobs from earlier lives of the server included).
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job turns cancelled immediately,
+// a running job's context is cancelled (the planner stops at the next
+// epoch boundary). Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (Status, error) {
+	j := m.lookup(id)
+	if j == nil {
+		return Status{}, ErrNotFound
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled while queued"
+		j.finished = time.Now().UTC()
+		close(j.terminal)
+		j.mu.Unlock()
+		m.met.incCancelled()
+		m.emit(obsv.Event{Type: EventCancelled, Msg: j.id})
+		m.persist(j)
+	case StateRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	return j.status(), nil
+}
+
+// Delete removes a terminal job and its persisted record; live jobs must
+// be cancelled first. The plan cache keeps the fingerprint entry: deleting
+// a job record does not un-learn the plan.
+func (m *Manager) Delete(id string) error {
+	j := m.lookup(id)
+	if j == nil {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if !terminal {
+		return fmt.Errorf("service: job %s is %s; cancel it first", id, j.status().State)
+	}
+	m.mu.Lock()
+	delete(m.jobs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	if m.opt.Dir != "" {
+		return deleteRecord(m.opt.Dir, id)
+	}
+	return nil
+}
+
+// Shutdown drains the engine: submissions are rejected from the first
+// call, queued jobs are cancelled, and running jobs are given until ctx
+// expires to finish; after that their contexts are cancelled, which makes
+// the planner return its best-so-far report (persisted like any other
+// finished job). Shutdown returns once every worker has stopped; the
+// returned error is ctx.Err() when the deadline forced an early cancel.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.mu.Lock()
+			cancel := j.cancel
+			j.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) lookup(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// workerLoop runs queued jobs until the queue is closed and drained.
+func (m *Manager) workerLoop() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.met.addQueueDepth(-1)
+		m.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (m *Manager) runJob(j *job) {
+	// A job cancelled while queued, or dequeued during drain, never runs.
+	// Checked before taking j.mu: every path locks m.mu → j.mu in that
+	// order (Shutdown's running-job sweep holds m.mu while touching job
+	// locks), so j.mu → m.mu here would be a lock-order inversion.
+	draining := m.isDraining()
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if draining {
+		j.state = StateCancelled
+		j.errMsg = "cancelled by server drain while queued"
+		j.finished = time.Now().UTC()
+		close(j.terminal)
+		j.mu.Unlock()
+		m.met.incCancelled()
+		m.emit(obsv.Event{Type: EventCancelled, Msg: j.id})
+		m.persist(j)
+		return
+	}
+
+	ctx := context.Background()
+	var cancelTimeout context.CancelFunc
+	timeout := j.timeout
+	if timeout == 0 {
+		timeout = m.opt.DefaultTimeout
+	}
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, timeout)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	if cancelTimeout != nil {
+		origCancel := cancel
+		cancel = func() { origCancel(); cancelTimeout() }
+	}
+	defer cancel()
+
+	now := time.Now().UTC()
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	wait := now.Sub(j.submitted)
+	j.mu.Unlock()
+
+	m.met.addRunning(1)
+	defer m.met.addRunning(-1)
+	m.met.observeWait(wait)
+	m.emit(obsv.Event{Type: EventStart, Msg: j.id, V: map[string]float64{"wait_seconds": wait.Seconds()}})
+	if m.testBeforeRun != nil {
+		m.testBeforeRun(j)
+	}
+
+	res, errMsg := m.plan(ctx, j)
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = time.Now().UTC()
+	run := j.finished.Sub(j.started)
+	cancelled := j.cancelRequested
+	switch {
+	case cancelled:
+		j.state = StateCancelled
+		j.errMsg = "cancelled"
+		j.result = res // best-so-far, when the interrupted run had one
+	case errMsg != "":
+		j.state = StateFailed
+		j.errMsg = errMsg
+		j.result = res
+	default:
+		j.state = StateDone
+		j.result = res
+	}
+	state := j.state
+	close(j.terminal)
+	j.mu.Unlock()
+
+	m.met.observeRun(run)
+	ev := obsv.Event{Msg: j.id, V: map[string]float64{"run_seconds": run.Seconds()}}
+	switch state {
+	case StateDone:
+		m.met.incDone()
+		ev.Type = EventDone
+		if res != nil && res.Solution != nil {
+			ev.V["cost"] = res.Cost
+		}
+		// Only deterministic outcomes enter the cache: an interrupted run
+		// (deadline, drain) could complete differently given more time.
+		if res != nil && !res.Interrupted {
+			m.mu.Lock()
+			m.cache[j.fingerprint] = res
+			m.mu.Unlock()
+		}
+	case StateCancelled:
+		m.met.incCancelled()
+		ev.Type = EventCancelled
+	default:
+		m.met.incFailed()
+		ev.Type = EventFailed
+	}
+	m.emit(ev)
+	m.persist(j)
+}
+
+// plan runs the planner (and optionally the certifier) for one job,
+// returning the result and an error message ("" on success).
+func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
+	cfg := j.cfg
+	cfg.Metrics = m.opt.Metrics // training series accumulate across jobs
+	cfg.Progress = func(es core.EpochStats) {
+		j.mu.Lock()
+		j.progress.Epoch = es.Epoch
+		j.progress.Reward = es.Reward
+		j.progress.Solutions += es.Solutions
+		if es.BestCost > 0 {
+			j.progress.BestCost = es.BestCost
+			j.progress.GuaranteeMet = true
+		}
+		j.mu.Unlock()
+	}
+	planner, err := core.NewPlanner(j.prob, cfg)
+	if err != nil {
+		return nil, err.Error() // unreachable: Submit dry-ran the constructor
+	}
+	start := time.Now()
+	report, err := planner.PlanContext(ctx)
+	if err != nil {
+		return nil, err.Error()
+	}
+	res := &Result{
+		JobID:        j.id,
+		Fingerprint:  j.fingerprint,
+		GuaranteeMet: report.GuaranteeMet(),
+		Epochs:       len(report.Epochs),
+		Interrupted:  report.Interrupted,
+		RunSeconds:   time.Since(start).Seconds(),
+	}
+	if report.Best != nil {
+		// Verification runs on a fresh context: the job's deadline bounds
+		// planning, and an interrupted run's best-so-far plan must still be
+		// checked (and served) rather than failed on the expired context.
+		if err := core.VerifySolutionContext(context.Background(), j.prob, report.Best); err != nil {
+			return res, fmt.Sprintf("solution failed verification: %v", err)
+		}
+		sol := serialize.EncodeSolution(report.Best)
+		res.Solution = &sol
+		res.Cost = report.Best.Cost
+	}
+	if j.certify && report.Best != nil && !report.Interrupted {
+		c := &certify.Certifier{
+			Prob: j.prob,
+			Sol:  report.Best,
+			Opt: certify.Options{
+				Samples:         j.certSamples,
+				Seed:            j.cfg.Seed,
+				AnalyzerWorkers: j.cfg.AnalyzerWorkers,
+			},
+		}
+		cert, err := c.Certify(ctx)
+		if err != nil {
+			return res, fmt.Sprintf("certification audit: %v", err)
+		}
+		res.Certificate = cert
+		if !cert.OK() {
+			return res, "solution failed independent certification"
+		}
+	}
+	return res, ""
+}
+
+// persist writes the job's terminal record when persistence is on.
+func (m *Manager) persist(j *job) {
+	if m.opt.Dir == "" {
+		return
+	}
+	j.mu.Lock()
+	rec := record{Version: recordVersion, Result: j.result}
+	j.mu.Unlock()
+	rec.Status = j.status()
+	if err := saveRecord(m.opt.Dir, rec); err != nil {
+		m.met.incEventErr()
+		m.emit(obsv.Event{Type: "store_error", Msg: err.Error()})
+	}
+}
+
+// emit sends one lifecycle event; sink errors are counted, not fatal.
+func (m *Manager) emit(e obsv.Event) {
+	if m.opt.Events == nil {
+		return
+	}
+	if err := m.opt.Events.Emit(e); err != nil {
+		m.met.incEventErr()
+	}
+}

@@ -1,0 +1,551 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// newTestManager builds a Manager with test-friendly defaults and shuts it
+// down at cleanup.
+func newTestManager(t *testing.T, opt Options) *Manager {
+	t.Helper()
+	m, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	return m
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	m := newTestManager(t, Options{})
+	req := tinyRequest(t)
+
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("initial state = %s, want queued", st.State)
+	}
+	if st.Fingerprint == "" || len(st.Fingerprint) != 32 {
+		t.Fatalf("fingerprint = %q, want 32 hex chars", st.Fingerprint)
+	}
+
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("final state = %s (%s), want done", final.State, final.Error)
+	}
+	if final.StartedAt == nil || final.FinishedAt == nil {
+		t.Fatal("terminal status missing StartedAt/FinishedAt")
+	}
+	if final.Progress.Epoch != final.Progress.TotalEpochs {
+		t.Fatalf("progress %d/%d, want completed run", final.Progress.Epoch, final.Progress.TotalEpochs)
+	}
+
+	res, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution == nil || !res.GuaranteeMet {
+		t.Fatalf("result lacks a guaranteed solution: %+v", res)
+	}
+
+	// The service result must match a direct in-process run with the same
+	// seed and configuration: planning is deterministic.
+	want := directReport(t, req)
+	if want.Best == nil {
+		t.Fatal("direct run found no solution")
+	}
+	if res.Cost != want.Best.Cost {
+		t.Fatalf("service cost %v != direct planner cost %v", res.Cost, want.Best.Cost)
+	}
+	if res.Epochs != len(want.Epochs) {
+		t.Fatalf("service epochs %d != direct %d", res.Epochs, len(want.Epochs))
+	}
+}
+
+func TestResultBeforeTerminalAndUnknownID(t *testing.T) {
+	release := make(chan struct{})
+	m := newTestManager(t, Options{})
+	m.testBeforeRun = func(*job) { <-release }
+
+	st, err := m.Submit(tinyRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(st.ID); !errors.Is(err, ErrNotTerminal) {
+		t.Fatalf("Result(live) err = %v, want ErrNotTerminal", err)
+	}
+	if _, err := m.Get("deadbeefdeadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(unknown) err = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Result("deadbeefdeadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Result(unknown) err = %v, want ErrNotFound", err)
+	}
+	close(release)
+	waitTerminal(t, m, st.ID)
+}
+
+func TestCacheHit(t *testing.T) {
+	reg := obsv.NewRegistry()
+	m := newTestManager(t, Options{Metrics: reg})
+	req := tinyRequest(t)
+
+	first, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, first.ID)
+	firstRes, err := m.Result(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("duplicate submission was not a cache hit")
+	}
+	if second.State != StateDone {
+		t.Fatalf("cache-hit state = %s, want done", second.State)
+	}
+	if second.ID == first.ID {
+		t.Fatal("cache hit reused the original job ID")
+	}
+	secondRes, err := m.Result(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondRes.JobID != second.ID {
+		t.Fatalf("cached result JobID = %s, want %s", secondRes.JobID, second.ID)
+	}
+	if secondRes.Cost != firstRes.Cost || secondRes.Fingerprint != firstRes.Fingerprint {
+		t.Fatalf("cached result diverged: %+v vs %+v", secondRes, firstRes)
+	}
+
+	if v := reg.Counter("nptsn_service_cache_hits_total", "").Value(); v != 1 {
+		t.Fatalf("cache_hits_total = %v, want 1", v)
+	}
+	if v := reg.Counter("nptsn_service_cache_misses_total", "").Value(); v != 1 {
+		t.Fatalf("cache_misses_total = %v, want 1", v)
+	}
+	if v := reg.Counter("nptsn_service_jobs_done_total", "").Value(); v != 2 {
+		t.Fatalf("jobs_done_total = %v, want 2", v)
+	}
+
+	// A different seed is a different plan: must miss.
+	req.Params.Seed = 99
+	third, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Fatal("different seed hit the cache")
+	}
+	waitTerminal(t, m, third.ID)
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	reg := obsv.NewRegistry()
+	release := make(chan struct{})
+	started := make(chan string, 4)
+	m := newTestManager(t, Options{Workers: 1, QueueSize: 1, Metrics: reg})
+	m.testBeforeRun = func(j *job) {
+		started <- j.id
+		<-release
+	}
+
+	req := tinyRequest(t)
+	running, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker now holds the running job
+
+	req.Params.Seed = 2 // distinct fingerprints so the cache cannot absorb them
+	queued, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req.Params.Seed = 3
+	if _, err := m.Submit(req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submission err = %v, want ErrQueueFull", err)
+	}
+	if v := reg.Counter("nptsn_service_jobs_rejected_total", "").Value(); v != 1 {
+		t.Fatalf("jobs_rejected_total = %v, want 1", v)
+	}
+	if v := reg.Gauge("nptsn_service_queue_depth", "").Value(); v != 1 {
+		t.Fatalf("queue_depth = %v, want 1", v)
+	}
+
+	close(release)
+	if st := waitTerminal(t, m, running.ID); st.State != StateDone {
+		t.Fatalf("running job ended %s (%s)", st.State, st.Error)
+	}
+	if st := waitTerminal(t, m, queued.ID); st.State != StateDone {
+		t.Fatalf("queued job ended %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 2)
+	m := newTestManager(t, Options{Workers: 1, QueueSize: 2})
+	m.testBeforeRun = func(j *job) {
+		started <- j.id
+		<-release
+	}
+	defer close(release)
+
+	req := tinyRequest(t)
+	running, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	req.Params.Seed = 2
+	queued, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled queued job state = %s", st.State)
+	}
+	if _, err := m.Result(queued.ID); err == nil {
+		t.Fatal("cancelled job served a result")
+	}
+	_ = running
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	cancelled := make(chan struct{})
+	started := make(chan string, 1)
+	m := newTestManager(t, Options{})
+	m.testBeforeRun = func(j *job) {
+		started <- j.id
+		<-cancelled // hold in running until Cancel has fired
+	}
+
+	st, err := m.Submit(tinyRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if got, err := m.Get(st.ID); err != nil || got.State != StateRunning {
+		t.Fatalf("state while held = %s, err %v, want running", got.State, err)
+	}
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(cancelled)
+
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("final state = %s, want cancelled", final.State)
+	}
+	// Cancelling again is a no-op.
+	again, err := m.Cancel(st.ID)
+	if err != nil || again.State != StateCancelled {
+		t.Fatalf("re-cancel: state %s, err %v", again.State, err)
+	}
+}
+
+func TestJobTimeoutInterruptsPlanning(t *testing.T) {
+	m := newTestManager(t, Options{})
+	req := tinyRequest(t)
+	req.Params.Epochs = 512 // far beyond what 30ms of planning can finish
+	req.Params.Steps = 256
+	req.Params.TimeoutSec = 0.03
+
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("timed-out job state = %s (%s), want done (interrupted)", final.State, final.Error)
+	}
+	res, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("timed-out run not marked interrupted")
+	}
+
+	// Interrupted results are non-deterministic and must never be cached.
+	dup, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.CacheHit {
+		t.Fatal("interrupted result was served from the cache")
+	}
+	waitTerminal(t, m, dup.ID)
+}
+
+func TestDrainCancelsQueuedAndRejectsSubmissions(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 1)
+	m, err := New(Options{Workers: 1, QueueSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.testBeforeRun = func(j *job) {
+		started <- j.id
+		<-release
+	}
+
+	req := tinyRequest(t)
+	running, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	req.Params.Seed = 2
+	queued, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- m.Shutdown(ctx)
+	}()
+
+	// Draining starts immediately: new submissions bounce even while the
+	// running job is still going.
+	waitFor(t, m.isDraining, "manager did not enter draining state")
+	req.Params.Seed = 3
+	if _, err := m.Submit(req); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain err = %v, want ErrDraining", err)
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful drain returned %v", err)
+	}
+	if st, _ := m.Get(running.ID); st.State != StateDone {
+		t.Fatalf("running job after drain = %s (%s), want done", st.State, st.Error)
+	}
+	if st, _ := m.Get(queued.ID); st.State != StateCancelled {
+		t.Fatalf("queued job after drain = %s, want cancelled", st.State)
+	}
+}
+
+func TestForcedDrainInterruptsRunningJob(t *testing.T) {
+	m, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tinyRequest(t)
+	req.Params.Epochs = 512
+	req.Params.Steps = 256
+
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		got, err := m.Get(st.ID)
+		return err == nil && got.State == StateRunning
+	}, "job never started running")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain err = %v, want DeadlineExceeded", err)
+	}
+	final, err := m.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("interrupted job state = %s (%s), want done", final.State, final.Error)
+	}
+	res, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("forced-drain result not marked interrupted")
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := tinyRequest(t)
+
+	m1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m1, st.ID)
+	res1, err := m1.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh manager over the same directory re-serves the record…
+	m2 := newTestManager(t, Options{Dir: dir})
+	got, err := m2.Get(st.ID)
+	if err != nil {
+		t.Fatalf("restarted manager lost job %s: %v", st.ID, err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("re-served state = %s, want done", got.State)
+	}
+	res2, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost != res1.Cost || res2.Fingerprint != res1.Fingerprint {
+		t.Fatalf("re-served result diverged: %+v vs %+v", res2, res1)
+	}
+
+	// …and re-seeds the plan cache: the same request is an instant hit.
+	dup, err := m2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.CacheHit {
+		t.Fatal("resubmission after restart missed the re-seeded cache")
+	}
+
+	// Deleting the terminal job removes its record but keeps the plan.
+	if err := m2.Delete(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Get(st.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted job still resolves: %v", err)
+	}
+	dup2, err := m2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup2.CacheHit {
+		t.Fatal("plan cache entry lost after job deletion")
+	}
+}
+
+func TestListIsSubmissionOrdered(t *testing.T) {
+	m := newTestManager(t, Options{QueueSize: 4})
+	req := tinyRequest(t)
+	var ids []string
+	for seed := int64(1); seed <= 3; seed++ {
+		req.Params.Seed = seed
+		st, err := m.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("List returned %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Fatalf("List[%d] = %s, want %s (submission order)", i, st.ID, ids[i])
+		}
+	}
+	for _, id := range ids {
+		waitTerminal(t, m, id)
+	}
+}
+
+func TestSubmitRejectsInvalidProblem(t *testing.T) {
+	m := newTestManager(t, Options{})
+	req := tinyRequest(t)
+	req.Problem.NBF = "no-such-recovery-mechanism"
+	if _, err := m.Submit(req); err == nil {
+		t.Fatal("submit accepted an unknown recovery mechanism")
+	}
+
+	req = tinyRequest(t)
+	req.Problem.Flows[0].Src = 99 // vertex out of range
+	if _, err := m.Submit(req); err == nil {
+		t.Fatal("submit accepted a flow with an out-of-range source")
+	}
+}
+
+func TestCertifiedJob(t *testing.T) {
+	m := newTestManager(t, Options{})
+	req := tinyRequest(t)
+	req.Certify = true
+	req.CertifySamples = 32
+
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Certify {
+		t.Fatal("certify flag lost on submission")
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("certified job state = %s (%s), want done", final.State, final.Error)
+	}
+	res, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate == nil {
+		t.Fatal("certified job carries no certificate")
+	}
+	if !res.Certificate.OK() {
+		t.Fatalf("certificate verdict: %s", res.Certificate.Verdict)
+	}
+
+	// Certification is part of the cache key: the uncertified twin misses.
+	plain := tinyRequest(t)
+	dup, err := m.Submit(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.CacheHit {
+		t.Fatal("uncertified request hit the certified cache entry")
+	}
+	waitTerminal(t, m, dup.ID)
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t testing.TB, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// Service lifecycle event types, emitted to Options.Events as JSON lines.
+// Msg carries the job ID; V carries the numeric payload.
+const (
+	// EventSubmitted records a job entering the queue (queue_depth in V).
+	EventSubmitted = "job_submitted"
+	// EventCacheHit records a submission answered from the plan cache.
+	EventCacheHit = "job_cache_hit"
+	// EventRejected records a submission bounced by backpressure.
+	EventRejected = "job_rejected"
+	// EventStart records a job leaving the queue (wait_seconds in V).
+	EventStart = "job_start"
+	// EventDone / EventFailed / EventCancelled close a job
+	// (run_seconds, and cost when a plan was found, in V).
+	EventDone      = "job_done"
+	EventFailed    = "job_failed"
+	EventCancelled = "job_cancelled"
+)
+
+// metrics bundles the nptsn_service_* instrument handles. A nil *metrics
+// is valid and records nothing, mirroring the planner's convention.
+type metrics struct {
+	submitted  *obsv.Counter
+	done       *obsv.Counter
+	failed     *obsv.Counter
+	cancelled  *obsv.Counter
+	rejected   *obsv.Counter
+	cacheHits  *obsv.Counter
+	cacheMiss  *obsv.Counter
+	eventErrs  *obsv.Counter
+	queueDepth *obsv.Gauge
+	running    *obsv.Gauge
+	waitSecs   *obsv.Histogram
+	runSecs    *obsv.Histogram
+}
+
+func newMetrics(reg *obsv.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		submitted:  reg.Counter("nptsn_service_jobs_submitted_total", "Planning jobs accepted into the queue (cache hits excluded)."),
+		done:       reg.Counter("nptsn_service_jobs_done_total", "Planning jobs finished successfully (cache hits included)."),
+		failed:     reg.Counter("nptsn_service_jobs_failed_total", "Planning jobs that ended in an error."),
+		cancelled:  reg.Counter("nptsn_service_jobs_cancelled_total", "Planning jobs cancelled before completion."),
+		rejected:   reg.Counter("nptsn_service_jobs_rejected_total", "Submissions rejected by queue backpressure."),
+		cacheHits:  reg.Counter("nptsn_service_cache_hits_total", "Submissions answered instantly from the plan cache."),
+		cacheMiss:  reg.Counter("nptsn_service_cache_misses_total", "Submissions that required a fresh planning run."),
+		eventErrs:  reg.Counter("nptsn_service_event_errors_total", "Lifecycle events the sink failed to record."),
+		queueDepth: reg.Gauge("nptsn_service_queue_depth", "Jobs waiting in the queue."),
+		running:    reg.Gauge("nptsn_service_jobs_running", "Jobs currently planning."),
+		waitSecs:   reg.Histogram("nptsn_service_wait_seconds", "Queue wait per job (submit to start).", obsv.DurationBuckets),
+		runSecs:    reg.Histogram("nptsn_service_run_seconds", "Planning wall-clock per job (start to finish).", obsv.DurationBuckets),
+	}
+}
+
+func (m *metrics) observeWait(d time.Duration) {
+	if m != nil {
+		m.waitSecs.Observe(d.Seconds())
+	}
+}
+
+func (m *metrics) observeRun(d time.Duration) {
+	if m != nil {
+		m.runSecs.Observe(d.Seconds())
+	}
+}
+
+func (m *metrics) addQueueDepth(delta float64) {
+	if m != nil {
+		m.queueDepth.Add(delta)
+	}
+}
+
+func (m *metrics) addRunning(delta float64) {
+	if m != nil {
+		m.running.Add(delta)
+	}
+}
+
+func (m *metrics) incSubmitted() { m.safeInc(func() *obsv.Counter { return m.submitted }) }
+func (m *metrics) incDone()      { m.safeInc(func() *obsv.Counter { return m.done }) }
+func (m *metrics) incFailed()    { m.safeInc(func() *obsv.Counter { return m.failed }) }
+func (m *metrics) incCancelled() { m.safeInc(func() *obsv.Counter { return m.cancelled }) }
+func (m *metrics) incRejected()  { m.safeInc(func() *obsv.Counter { return m.rejected }) }
+func (m *metrics) incCacheHit()  { m.safeInc(func() *obsv.Counter { return m.cacheHits }) }
+func (m *metrics) incCacheMiss() { m.safeInc(func() *obsv.Counter { return m.cacheMiss }) }
+func (m *metrics) incEventErr()  { m.safeInc(func() *obsv.Counter { return m.eventErrs }) }
+
+func (m *metrics) safeInc(c func() *obsv.Counter) {
+	if m != nil {
+		c().Inc()
+	}
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/serialize"
+	"repro/internal/tsn"
+)
+
+// tinyProblemJSON is the service tests' problem spec: 4 end stations, 2
+// optional switches, full ES-SW plus SW-SW candidate links, 3 unicast
+// flows — the same fixture shape internal/core trains on in milliseconds.
+func tinyProblemJSON(t testing.TB) serialize.ProblemJSON {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	for es := 0; es < 4; es++ {
+		for sw := 4; sw < 6; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(4, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	net := tsn.DefaultNetwork()
+	mkFlow := func(id, src, dst int) tsn.Flow {
+		return tsn.Flow{ID: id, Src: src, Dsts: []int{dst}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}
+	}
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{mkFlow(0, 0, 1), mkFlow(1, 2, 3), mkFlow(2, 1, 2)},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatalf("tiny problem invalid: %v", err)
+	}
+	return serialize.EncodeProblem(prob, "stateless-greedy")
+}
+
+// tinyRequest is a fast-planning request over the tiny problem.
+func tinyRequest(t testing.TB) Request {
+	intp := func(v int) *int { return &v }
+	return Request{
+		Problem: tinyProblemJSON(t),
+		Params: PlanParams{
+			Epochs: 2, Steps: 24, K: 4, MLPWidth: 16,
+			GCNLayers: intp(1), AnalyzerCache: intp(1024), Seed: 11,
+		},
+	}
+}
+
+// waitTerminal blocks until the job reaches a terminal state (internal
+// channel; tests live in the package).
+func waitTerminal(t testing.TB, m *Manager, id string) Status {
+	t.Helper()
+	j := m.lookup(id)
+	if j == nil {
+		t.Fatalf("job %s unknown", id)
+	}
+	select {
+	case <-j.terminal:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish: %+v", id, j.status())
+	}
+	st, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// directReport plans the request's problem with the request's effective
+// configuration in-process — the reference the service result must match.
+func directReport(t testing.TB, req Request) *core.Report {
+	t.Helper()
+	prob, err := serialize.DecodeProblem(req.Problem, nbf.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlanner(prob, req.Params.normalized().config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"repro/internal/serialize"
+)
+
+// recordVersion is the on-disk job-record format version; loads reject an
+// incompatible version rather than misreading it.
+const recordVersion = 1
+
+// record is the persisted form of a terminal job: its final status plus,
+// for done jobs, the result. Records are written atomically (temp file +
+// rename via serialize.WriteFileAtomic), so a crash mid-write never leaves
+// a truncated record, and a restarted server re-serves every record it
+// finds and re-seeds the plan cache from the done ones.
+type record struct {
+	Version int     `json:"version"`
+	Status  Status  `json:"status"`
+	Result  *Result `json:"result,omitempty"`
+}
+
+// recordFile is the job's file name inside the data directory. Job IDs
+// are 16 hex digits (newJobID), so the name never needs escaping.
+func recordFile(dir, id string) string {
+	return filepath.Join(dir, "job-"+id+".json")
+}
+
+var recordNameRE = regexp.MustCompile(`^job-[0-9a-f]{16}\.json$`)
+
+// saveRecord atomically persists one terminal job.
+func saveRecord(dir string, rec record) error {
+	return serialize.WriteFileAtomic(recordFile(dir, rec.Status.ID), func(w io.Writer) error {
+		return serialize.WriteJSON(w, rec)
+	})
+}
+
+// deleteRecord removes a job's record; a missing file is not an error
+// (memory-only jobs have none).
+func deleteRecord(dir, id string) error {
+	err := os.Remove(recordFile(dir, id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// loadRecords reads every job record in dir, oldest submission first.
+// Records that cannot be parsed (foreign files, future format versions)
+// are skipped and counted rather than failing the boot: one bad file must
+// not take the whole service down with it. A missing directory is created.
+func loadRecords(dir string) (recs []record, skipped int, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("service: data dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: data dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !recordNameRE.MatchString(e.Name()) {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			skipped++
+			continue
+		}
+		var rec record
+		decodeErr := serialize.ReadJSON(f, &rec)
+		f.Close()
+		if decodeErr != nil || rec.Version != recordVersion || rec.Status.ID == "" || !rec.Status.State.Terminal() {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, k int) bool {
+		return recs[i].Status.SubmittedAt.Before(recs[k].Status.SubmittedAt)
+	})
+	return recs, skipped, nil
+}

@@ -1,0 +1,110 @@
+#!/bin/sh
+# serve_smoke.sh — boot nptsn-serve on an ephemeral port, drive one
+# planning job from the shipped example problem through the HTTP API to
+# completion, and verify it lands on the /metrics exposition. Exits 0 on
+# success; any failure exits non-zero. Needs only a Go toolchain and curl.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -TERM "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building nptsn-serve"
+go build -o "$workdir/nptsn-serve" ./cmd/nptsn-serve
+
+"$workdir/nptsn-serve" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$workdir/addr" \
+    -data-dir "$workdir/data" \
+    -events "$workdir/events.jsonl" \
+    >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: server never published an address" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve-smoke: server exited during startup" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+base="http://$(cat "$workdir/addr")"
+echo "serve-smoke: server at $base"
+
+# Submit the shipped example problem with a small training budget.
+{
+    printf '{"problem": '
+    cat testdata/example-problem.json
+    printf ', "params": {"epochs": 2, "steps": 48, "k": 4, "mlpWidth": 16, "gcnLayers": 1, "seed": 2}}'
+} >"$workdir/job.json"
+
+submit=$(curl -sS -X POST --data-binary @"$workdir/job.json" "$base/v1/jobs")
+job_id=$(printf '%s' "$submit" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n 1)
+if [ -z "$job_id" ]; then
+    echo "serve-smoke: submission returned no job id: $submit" >&2
+    exit 1
+fi
+echo "serve-smoke: submitted job $job_id"
+
+# Poll until the job is done (or fails).
+i=0
+state=""
+while :; do
+    status=$(curl -sS "$base/v1/jobs/$job_id")
+    state=$(printf '%s' "$status" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -n 1)
+    case "$state" in
+    done) break ;;
+    failed | cancelled)
+        echo "serve-smoke: job ended $state: $status" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "serve-smoke: job stuck in state '$state'" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "serve-smoke: job done"
+
+# The result must carry a solution.
+result=$(curl -sS "$base/v1/jobs/$job_id/result")
+case "$result" in
+*'"solution"'*) ;;
+*)
+    echo "serve-smoke: result has no solution: $result" >&2
+    exit 1
+    ;;
+esac
+
+# The completed job must be visible on the metrics exposition.
+metrics=$(curl -sS "$base/metrics")
+case "$metrics" in
+*"nptsn_service_jobs_done_total 1"*) ;;
+*)
+    echo "serve-smoke: metrics missing nptsn_service_jobs_done_total 1" >&2
+    printf '%s\n' "$metrics" | grep nptsn_service || true
+    exit 1
+    ;;
+esac
+
+echo "serve-smoke: OK"
