@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obsv"
 	"repro/internal/serialize"
 	"repro/internal/service"
@@ -53,6 +54,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jobTimeout   = fs.Duration("job-timeout", 0, "per-job planning deadline unless the request sets its own (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM before being interrupted")
 		eventsPath   = fs.String("events", "", "append JSON-lines job lifecycle events to this file")
+		httpTimeout  = fs.Duration("http-timeout", time.Minute, "HTTP read timeout per request; a stalled or malicious client cannot hold a connection open past it (0 = none)")
+		stuckTimeout = fs.Duration("stuck-timeout", 0, "fail running jobs whose per-epoch progress heartbeat goes quiet this long (0 = no watchdog)")
+		maxAttempts  = fs.Int("max-attempts", 3, "restarts that may re-queue the same journaled job before it is abandoned")
+		faultSpec    = fs.String("fault", "", "fault-injection schedule for chaos drills, e.g. 'fs.write:enospc:p=0.1;service.plan:panic:calls=2' (empty = off)")
+		faultSeed    = fs.Int64("fault-seed", 1, "seed of the -fault schedule; the same seed replays the same fault decisions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,13 +78,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		sink = log
 	}
 
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		in, err := fault.Parse(*faultSeed, *faultSpec)
+		if err != nil {
+			return err
+		}
+		injector = in
+		fmt.Fprintf(out, "nptsn-serve: %s\n", injector)
+	}
+
 	mgr, err := service.New(service.Options{
 		Workers:        *workers,
 		QueueSize:      *queueSize,
 		Dir:            *dataDir,
 		DefaultTimeout: *jobTimeout,
+		StuckTimeout:   *stuckTimeout,
+		MaxAttempts:    *maxAttempts,
 		Metrics:        reg,
 		Events:         sink,
+		Fault:          injector,
 	})
 	if err != nil {
 		return err
@@ -94,7 +113,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	srv := &http.Server{Handler: service.NewMux(mgr, reg)}
+	// Bound every connection's read phases so a stalled or malicious
+	// client cannot pin a connection forever; responses stay unbounded
+	// (result bodies are large and some clients are slow readers), which
+	// is why there is no WriteTimeout.
+	srv := &http.Server{
+		Handler:           service.NewMux(mgr, reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *httpTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Fprintf(out, "nptsn-serve: listening on http://%s (workers %d, queue %d)\n", ln.Addr(), *workers, *queueSize)
 
 	serveErr := make(chan error, 1)

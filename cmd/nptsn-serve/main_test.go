@@ -197,4 +197,29 @@ func TestServeFlagHandling(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out); err == nil {
 		t.Error("unbindable address accepted")
 	}
+	if err := run(context.Background(), []string{"-fault", "fs.write:nonsense"}, &out); err == nil {
+		t.Error("malformed -fault schedule accepted")
+	} else if !strings.Contains(err.Error(), "nonsense") {
+		t.Errorf("fault-spec error %q does not name the bad token", err)
+	}
+}
+
+// TestServeFaultFlagEchoesSchedule: a valid -fault spec boots, announces
+// the seeded schedule (the repro line for chaos drills), and still serves.
+func TestServeFaultFlagEchoesSchedule(t *testing.T) {
+	base, out, stop := startServer(t, "-fault", "fs.write:error:p=0", "-fault-seed", "99")
+	r, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("list = %d", r.StatusCode)
+	}
+	// Only read the boot output once the server goroutine has exited —
+	// bytes.Buffer is not safe for concurrent read/write.
+	stop()
+	if !strings.Contains(out.String(), "seed=99") {
+		t.Fatalf("boot output lacks the fault seed line:\n%s", out.String())
+	}
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExploreHookRunsEveryWorkerRound checks the fault-injection seam
+// fires once per worker per epoch with the right coordinates.
+func TestExploreHookRunsEveryWorkerRound(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyConfig()
+	cfg.Workers = 2
+	cfg.MaxEpoch = 3
+
+	var mu sync.Mutex
+	seen := map[[2]int]int{} // {epoch, worker} → invocations
+	cfg.ExploreHook = func(_ context.Context, epoch, worker int) {
+		mu.Lock()
+		seen[[2]int{epoch, worker}]++
+		mu.Unlock()
+	}
+	p, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 1; epoch <= cfg.MaxEpoch; epoch++ {
+		for worker := 0; worker < cfg.Workers; worker++ {
+			if seen[[2]int{epoch, worker}] == 0 {
+				t.Fatalf("hook never ran for epoch %d worker %d: %v", epoch, worker, seen)
+			}
+		}
+	}
+}
+
+// TestExploreHookPanicIsQuarantined checks a panicking hook flows through
+// the same quarantine path as any worker panic: the epoch survives on the
+// other workers and the panic is reported in EpochStats.
+func TestExploreHookPanicIsQuarantined(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyConfig()
+	cfg.Workers = 2
+	cfg.MaxEpoch = 2
+	// Key the fault on worker 1: the post-quarantine top-up round indexes
+	// the surviving workers from 0, so the rebalancing pass (which re-runs
+	// the hook on the survivor) must not re-trigger it.
+	cfg.ExploreHook = func(_ context.Context, epoch, worker int) {
+		if epoch == 1 && worker == 1 {
+			panic("injected explore fault")
+		}
+	}
+	p, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Epochs) != cfg.MaxEpoch {
+		t.Fatalf("completed %d epochs, want %d", len(report.Epochs), cfg.MaxEpoch)
+	}
+	if n := len(report.Epochs[0].Panics); n != 1 {
+		t.Fatalf("epoch 1 recorded %d panics, want 1: %v", n, report.Epochs[0].Panics)
+	}
+	if n := len(report.Epochs[1].Panics); n != 0 {
+		t.Fatalf("epoch 2 recorded %d panics, want 0", n)
+	}
+}
+
+// TestExploreHookPanicEveryWorkerFailsTheRun: when the hook takes down
+// every worker the planner gives up, mirroring the all-workers-panicked
+// contract.
+func TestExploreHookPanicEveryWorkerFailsTheRun(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyConfig()
+	cfg.ExploreHook = func(_ context.Context, _, _ int) {
+		panic("injected explore fault")
+	}
+	p, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(); err == nil {
+		t.Fatal("run with every worker panicking reported success")
+	}
+}
+
+// TestExploreHookHangReleasesOnCancel: a hook that blocks on ctx (the
+// fault.KindHang shape) stalls the run until the context is cancelled,
+// then the planner returns its interrupted report instead of wedging.
+func TestExploreHookHangReleasesOnCancel(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyConfig()
+	entered := make(chan struct{}, 1)
+	cfg.ExploreHook = func(ctx context.Context, _, _ int) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+	}
+	p, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		report *Report
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := p.PlanContext(ctx)
+		done <- outcome{r, err}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hook never entered")
+	}
+	select {
+	case <-done:
+		t.Fatal("hung run finished before cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case out := <-done:
+		if out.err != nil && !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("cancelled hung run: %v", out.err)
+		}
+		if out.err == nil && !out.report.Interrupted {
+			t.Fatal("cancelled hung run not marked interrupted")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("hung run did not release on cancellation")
+	}
+}

@@ -572,6 +572,15 @@ func (p *Planner) runWorker(ctx context.Context, wg *sync.WaitGroup, w *worker, 
 	if p.hooks.explorePanic != nil {
 		p.hooks.explorePanic(epoch, idx)
 	}
+	if p.cfg.ExploreHook != nil {
+		p.cfg.ExploreHook(ctx, epoch, idx)
+		if ctx.Err() != nil {
+			// A hook that blocked until cancellation (fault.KindHang) must
+			// not start exploring on the dead context.
+			w.interrupted = true
+			return
+		}
+	}
 	w.explore(ctx, steps)
 }
 

@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseRules reads the compact schedule grammar the nptsn-serve -fault
+// flag uses (and Rule.String prints):
+//
+//	rule      := point ":" kind *(":" option)
+//	schedule  := rule *(";" rule)
+//	option    := "p=" float | "calls=" int *("," int)
+//	           | "delay=" duration | "bytes=" int
+//
+// Examples:
+//
+//	fs.torn:torn:calls=3:bytes=24
+//	core.explore:panic:p=0.01;fs.write:enospc:p=0.05
+//	service.plan:delay:delay=250ms:p=0.5
+//
+// A rule without p= or calls= fires on every invocation of its point.
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty schedule %q", spec)
+	}
+	return rules, nil
+}
+
+// Parse builds an injector straight from a seed and a schedule spec.
+func Parse(seed int64, spec string) (*Injector, error) {
+	rules, err := ParseRules(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rules...), nil
+}
+
+func parseRule(raw string) (Rule, error) {
+	parts := strings.Split(raw, ":")
+	if len(parts) < 2 || parts[0] == "" {
+		return Rule{}, fmt.Errorf("fault: rule %q needs point:kind", raw)
+	}
+	r := Rule{Point: parts[0], Prob: 1}
+	switch parts[1] {
+	case "error":
+		r.Kind = KindError
+	case "enospc":
+		r.Kind = KindENOSPC
+	case "torn":
+		r.Kind = KindTorn
+	case "panic":
+		r.Kind = KindPanic
+	case "hang":
+		r.Kind = KindHang
+	case "delay":
+		r.Kind = KindDelay
+	default:
+		return Rule{}, fmt.Errorf("fault: rule %q: unknown kind %q", raw, parts[1])
+	}
+	for _, opt := range parts[2:] {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("fault: rule %q: option %q is not key=value", raw, opt)
+		}
+		switch key {
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Rule{}, fmt.Errorf("fault: rule %q: probability %q not in [0,1]", raw, val)
+			}
+			r.Prob = p
+		case "calls":
+			for _, c := range strings.Split(val, ",") {
+				n, err := strconv.Atoi(c)
+				if err != nil || n < 1 {
+					return Rule{}, fmt.Errorf("fault: rule %q: call number %q", raw, c)
+				}
+				r.Calls = append(r.Calls, n)
+			}
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Rule{}, fmt.Errorf("fault: rule %q: delay %q", raw, val)
+			}
+			r.Delay = d
+		case "bytes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Rule{}, fmt.Errorf("fault: rule %q: bytes %q", raw, val)
+			}
+			r.TornBytes = n
+		default:
+			return Rule{}, fmt.Errorf("fault: rule %q: unknown option %q", raw, key)
+		}
+	}
+	if r.Kind == KindDelay && r.Delay == 0 {
+		return Rule{}, fmt.Errorf("fault: rule %q: delay kind needs delay=", raw)
+	}
+	return r, nil
+}

@@ -1,0 +1,105 @@
+package serialize
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scriptedFaults is a hand-driven FSFaults for the seam tests; the real
+// seeded implementation lives in internal/fault.
+type scriptedFaults struct {
+	write, sync, rename error
+	torn                int
+}
+
+func (s *scriptedFaults) Write(string) error  { return s.write }
+func (s *scriptedFaults) Sync(string) error   { return s.sync }
+func (s *scriptedFaults) Rename(string) error { return s.rename }
+func (s *scriptedFaults) Torn(string) int     { return s.torn }
+
+func writeAll(content string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	}
+}
+
+func TestWriteFileAtomicFSInjectedErrors(t *testing.T) {
+	errInjected := errors.New("injected")
+	cases := []struct {
+		name   string
+		faults scriptedFaults
+	}{
+		{"write", scriptedFaults{write: errInjected, torn: -1}},
+		{"sync", scriptedFaults{sync: errInjected, torn: -1}},
+		{"rename", scriptedFaults{rename: errInjected, torn: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			err := WriteFileAtomicFS(path, &tc.faults, writeAll("payload"))
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("err = %v, want the injected error", err)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %v does not name the destination", err)
+			}
+			if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+				t.Fatal("failed write left a destination file")
+			}
+			// The temp file must not linger either.
+			entries, readErr := os.ReadDir(dir)
+			if readErr != nil {
+				t.Fatal(readErr)
+			}
+			if len(entries) != 0 {
+				t.Fatalf("failed write left %d files behind", len(entries))
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomicFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	faults := &scriptedFaults{torn: 5}
+	// The torn write reports success — that is the point: the writer
+	// believes the record landed, only the bytes are short.
+	if err := WriteFileAtomicFS(path, faults, writeAll("0123456789")); err != nil {
+		t.Fatalf("torn write surfaced an error: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn file holds %q, want the first 5 bytes", got)
+	}
+
+	// Torn limit 0 leaves an empty file behind a "successful" write.
+	if err := WriteFileAtomicFS(path, &scriptedFaults{torn: 0}, writeAll("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); len(got) != 0 {
+		t.Fatalf("torn=0 file holds %q, want empty", got)
+	}
+}
+
+func TestWriteFileAtomicFSNilFaultsWritesNormally(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomicFS(path, nil, writeAll("intact")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "intact" {
+		t.Fatalf("file holds %q", got)
+	}
+}

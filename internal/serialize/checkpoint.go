@@ -135,15 +135,54 @@ func LoadCheckpoint(path string, connections *graph.Graph) (*core.Checkpoint, er
 // reported, not swallowed), and renames the temp file over path. Readers
 // never observe a partially written file.
 func WriteFileAtomic(path string, fn func(io.Writer) error) error {
+	return WriteFileAtomicFS(path, nil, fn)
+}
+
+// FSFaults intercepts the filesystem operations of WriteFileAtomicFS for
+// deterministic fault injection (internal/fault provides the standard
+// implementation). Each hook receives the destination path; an error from
+// Write/Sync/Rename fails that stage exactly as the filesystem would, and
+// a non-negative Torn result truncates the content to that many leading
+// bytes while the write still reports success — the torn-write pattern of
+// a crash between a page-cache write and its flush. Implementations must
+// be safe for concurrent use.
+type FSFaults interface {
+	Write(path string) error
+	Torn(path string) int
+	Sync(path string) error
+	Rename(path string) error
+}
+
+// WriteFileAtomicFS is WriteFileAtomic with a fault-injection seam; a nil
+// faults writes normally. Torn writes keep the rename, so the destination
+// ends up holding the truncated content — detectable only by the reader's
+// checksums, which is the failure mode the hook exists to exercise.
+func WriteFileAtomicFS(path string, faults FSFaults, fn func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op once the rename succeeded
-	if err := fn(tmp); err != nil {
+	var w io.Writer = tmp
+	if faults != nil {
+		if err := faults.Write(path); err != nil {
+			tmp.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if limit := faults.Torn(path); limit >= 0 {
+			w = &tornWriter{w: tmp, left: limit}
+		}
+	}
+	if err := fn(w); err != nil {
 		tmp.Close()
 		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if faults != nil {
+		if err := faults.Sync(path); err != nil {
+			tmp.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -152,8 +191,36 @@ func WriteFileAtomic(path string, fn func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
+	if faults != nil {
+		if err := faults.Rename(path); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	return nil
+}
+
+// tornWriter passes through the first `left` bytes and silently swallows
+// the rest, reporting full success — the writer believes everything
+// reached the disk.
+type tornWriter struct {
+	w    io.Writer
+	left int
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return len(p), nil
+	}
+	n := len(p)
+	if n > t.left {
+		n = t.left
+	}
+	if _, err := t.w.Write(p[:n]); err != nil {
+		return 0, err
+	}
+	t.left -= n
+	return len(p), nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/obsv"
 )
@@ -61,13 +62,18 @@ func (a *apiServer) submit(w http.ResponseWriter, r *http.Request) {
 	st, err := a.mgr.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		// Backpressure: tell the client when to come back. One second is
-		// a deliberate floor — planning jobs run for seconds to hours, so
-		// an earlier retry cannot succeed.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure: tell the client when to come back. The estimate
+		// paces the current backlog by recent run durations; its 1-second
+		// floor stands before any run has finished — planning jobs run for
+		// seconds to hours, so an earlier retry cannot succeed.
+		w.Header().Set("Retry-After", strconv.Itoa(a.mgr.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrPoisoned):
+		// The request is well-formed but this exact job has panicked the
+		// planner repeatedly; re-running it cannot help.
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err.Error())
 	case st.CacheHit:

@@ -170,6 +170,10 @@ type Status struct {
 	// CacheHit marks a job answered instantly from the plan cache.
 	CacheHit bool `json:"cacheHit,omitempty"`
 	Certify  bool `json:"certify,omitempty"`
+	// Attempts counts the server lives that have started this job; 0 for
+	// jobs that never survived a restart (the common case), ≥1 after the
+	// crash-recovery journal re-queued it.
+	Attempts int `json:"attempts,omitempty"`
 	// Fingerprint is the cache key over the canonicalized problem spec and
 	// planning configuration.
 	Fingerprint string `json:"fingerprint"`
@@ -200,6 +204,12 @@ type job struct {
 	certSamples int
 	timeout     time.Duration
 
+	// req is the original submission, journaled alongside non-terminal
+	// states so a restarted server can re-queue the job; attempts counts
+	// how many server lives have started it.
+	req      *Request
+	attempts int
+
 	mu              sync.Mutex
 	state           State
 	submitted       time.Time
@@ -211,6 +221,13 @@ type job struct {
 	cancel          func() // non-nil while running
 	cancelRequested bool
 	result          *Result
+	// lastBeat is the job's liveness heartbeat while running: bumped at
+	// start and on every planner Progress callback; the stuck-job watchdog
+	// fails jobs whose heartbeat goes quiet for Options.StuckTimeout.
+	lastBeat time.Time
+	// stalled marks a job the watchdog cancelled; the terminal transition
+	// maps it to StateFailed rather than StateCancelled.
+	stalled bool
 
 	// terminal is closed exactly once when the job reaches a terminal
 	// state; drain and tests wait on it.
@@ -237,6 +254,7 @@ func (j *job) status() Status {
 		Error:       j.errMsg,
 		CacheHit:    j.cacheHit,
 		Certify:     j.certify,
+		Attempts:    j.attempts,
 		Fingerprint: j.fingerprint,
 	}
 	if !j.started.IsZero() {

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/certify"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obsv"
 	"repro/internal/serialize"
 )
@@ -25,6 +28,10 @@ var (
 	// ErrNotTerminal is returned when a result is requested before the
 	// job finished (HTTP 409).
 	ErrNotTerminal = errors.New("service: job has not finished")
+	// ErrPoisoned is returned for submissions whose fingerprint has
+	// panicked the planner Options.PoisonPanics times — a reproducible
+	// crasher that re-running cannot fix (HTTP 422).
+	ErrPoisoned = errors.New("service: job fingerprint is quarantined after repeated panics")
 )
 
 // Options configures a Manager.
@@ -44,6 +51,26 @@ type Options struct {
 	// DefaultTimeout bounds each job's planning run unless the request
 	// carries its own TimeoutSec (0 = unbounded).
 	DefaultTimeout time.Duration
+	// StuckTimeout arms the stuck-job watchdog: a running job whose
+	// progress heartbeat (one beat per completed training epoch) goes
+	// quiet for this long is cancelled and marked failed. Zero disables
+	// the watchdog. Set it well above the expected epoch duration — and
+	// above the certification audit, which beats only once at its start.
+	StuckTimeout time.Duration
+	// MaxAttempts bounds how many server lives may start the same
+	// journaled job: a job interrupted by crashes this many times is
+	// failed on the next boot instead of re-queued (default 3).
+	MaxAttempts int
+	// PoisonPanics is the per-fingerprint panic budget: once planning a
+	// fingerprint has panicked this many times, further submissions of it
+	// are refused with ErrPoisoned (default 3).
+	PoisonPanics int
+	// Fault, when non-nil, arms deterministic fault injection across the
+	// engine: filesystem faults in the record store and panic/hang/delay
+	// faults in the planning path (fault.PointPlan once per job run,
+	// fault.PointExplore once per exploration worker round). Nil in
+	// production.
+	Fault *fault.Injector
 	// Metrics receives the nptsn_service_* series and, shared with every
 	// job's planner, the nptsn_* training series. Nil disables metrics.
 	Metrics *obsv.Registry
@@ -51,6 +78,11 @@ type Options struct {
 	// constants). Unlike the planner's sink, an emission error does not
 	// abort anything; it is counted on nptsn_service_event_errors_total.
 	Events obsv.Sink
+
+	// testBeforeRun seeds Manager.testBeforeRun before the worker pool
+	// starts — the only way for tests to intercept jobs re-queued from the
+	// journal during New, which may begin running before New returns.
+	testBeforeRun func(*job)
 }
 
 // Manager is the planning job engine: a bounded queue feeding a fixed
@@ -64,10 +96,16 @@ type Manager struct {
 	jobs     map[string]*job
 	order    []string           // submission order, for List
 	cache    map[string]*Result // fingerprint → finished result
+	panics   map[string]int     // fingerprint → contained planning panics
 	draining bool
+	// recent is a ring of the last recentRunWindow run durations, feeding
+	// the Retry-After estimate; recentIdx is the next overwrite slot.
+	recent    []time.Duration
+	recentIdx int
 
-	queue chan *job
-	wg    sync.WaitGroup // worker goroutines
+	queue     chan *job
+	wg        sync.WaitGroup // worker goroutines
+	watchStop chan struct{}  // closed by Shutdown; stops the watchdog
 
 	// testBeforeRun, when set by tests, runs after a job transitions to
 	// running and before planning starts — the hook tests use to hold a
@@ -75,8 +113,10 @@ type Manager struct {
 	testBeforeRun func(*job)
 }
 
-// New builds a Manager, loads persisted records when Options.Dir is set,
-// and starts the worker pool.
+// New builds a Manager, loads persisted records when Options.Dir is set
+// (quarantining undecodable files, re-serving terminal jobs, re-queuing
+// journaled live jobs from earlier lives of the server), and starts the
+// worker pool and — when StuckTimeout is set — the stuck-job watchdog.
 func New(opt Options) (*Manager, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = 1
@@ -84,55 +124,143 @@ func New(opt Options) (*Manager, error) {
 	if opt.QueueSize <= 0 {
 		opt.QueueSize = 16
 	}
-	m := &Manager{
-		opt:   opt,
-		met:   newMetrics(opt.Metrics),
-		jobs:  make(map[string]*job),
-		cache: make(map[string]*Result),
-		queue: make(chan *job, opt.QueueSize),
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 3
 	}
+	if opt.PoisonPanics <= 0 {
+		opt.PoisonPanics = 3
+	}
+	var recs []record
+	var quarantined []string
 	if opt.Dir != "" {
-		recs, skipped, err := loadRecords(opt.Dir)
+		var err error
+		recs, quarantined, err = loadRecords(opt.Dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, rec := range recs {
-			j := &job{
-				id:          rec.Status.ID,
-				fingerprint: rec.Status.Fingerprint,
-				certify:     rec.Status.Certify,
-				state:       rec.Status.State,
-				submitted:   rec.Status.SubmittedAt,
-				progress:    rec.Status.Progress,
-				errMsg:      rec.Status.Error,
-				cacheHit:    rec.Status.CacheHit,
-				result:      rec.Result,
-				terminal:    make(chan struct{}),
-			}
-			if rec.Status.StartedAt != nil {
-				j.started = *rec.Status.StartedAt
-			}
-			if rec.Status.FinishedAt != nil {
-				j.finished = *rec.Status.FinishedAt
-			}
-			close(j.terminal)
-			m.jobs[j.id] = j
-			m.order = append(m.order, j.id)
-			// Re-seed the plan cache from done, uninterrupted results so a
-			// re-submission after restart is still a hit.
-			if rec.Status.State == StateDone && rec.Result != nil && !rec.Result.Interrupted && !rec.Status.CacheHit {
-				m.cache[rec.Status.Fingerprint] = rec.Result
-			}
+	}
+	m := &Manager{
+		opt:           opt,
+		met:           newMetrics(opt.Metrics),
+		jobs:          make(map[string]*job),
+		cache:         make(map[string]*Result),
+		panics:        make(map[string]int),
+		watchStop:     make(chan struct{}),
+		testBeforeRun: opt.testBeforeRun,
+	}
+	var pending []record
+	for _, rec := range recs {
+		if !rec.Status.State.Terminal() {
+			pending = append(pending, rec)
+			continue
 		}
-		if skipped > 0 {
-			m.emit(obsv.Event{Type: "store_skipped", V: map[string]float64{"records": float64(skipped)}})
+		j := &job{
+			id:          rec.Status.ID,
+			fingerprint: rec.Status.Fingerprint,
+			certify:     rec.Status.Certify,
+			attempts:    rec.Attempts,
+			state:       rec.Status.State,
+			submitted:   rec.Status.SubmittedAt,
+			progress:    rec.Status.Progress,
+			errMsg:      rec.Status.Error,
+			cacheHit:    rec.Status.CacheHit,
+			result:      rec.Result,
+			terminal:    make(chan struct{}),
 		}
+		if rec.Status.StartedAt != nil {
+			j.started = *rec.Status.StartedAt
+		}
+		if rec.Status.FinishedAt != nil {
+			j.finished = *rec.Status.FinishedAt
+		}
+		close(j.terminal)
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		// Re-seed the plan cache from done, uninterrupted results so a
+		// re-submission after restart is still a hit.
+		if rec.Status.State == StateDone && rec.Result != nil && !rec.Result.Interrupted && !rec.Status.CacheHit {
+			m.cache[rec.Status.Fingerprint] = rec.Result
+		}
+	}
+	// Size the queue so every journaled live job fits on top of the
+	// configured capacity: a restart must never drop accepted work to
+	// backpressure.
+	m.queue = make(chan *job, opt.QueueSize+len(pending))
+	for _, rec := range pending {
+		m.requeue(rec)
+	}
+	if len(quarantined) > 0 {
+		m.met.addSkipped(len(quarantined))
+		m.emit(obsv.Event{Type: EventStoreCorrupt, Msg: strings.Join(quarantined, "; "),
+			V: map[string]float64{"records": float64(len(quarantined))}})
 	}
 	for i := 0; i < opt.Workers; i++ {
 		m.wg.Add(1)
 		go m.workerLoop()
 	}
+	if opt.StuckTimeout > 0 {
+		go m.watchdog()
+	}
 	return m, nil
+}
+
+// requeue re-enters one journaled live job from a previous server life
+// into the queue under its original ID, or fails it when the journal has
+// been retried MaxAttempts times already (a job that crashes the server
+// every time it runs must not crash-loop forever). Runs during New, before
+// the worker pool starts.
+func (m *Manager) requeue(rec record) {
+	j := &job{
+		id:          rec.Status.ID,
+		fingerprint: rec.Status.Fingerprint,
+		submitted:   rec.Status.SubmittedAt,
+		attempts:    rec.Attempts + 1,
+		terminal:    make(chan struct{}),
+	}
+	prep, err := prepare(*rec.Request)
+	switch {
+	case err != nil:
+		// The journaled request prepared at submit time; if it no longer
+		// does (a format change across the restart), fail it visibly
+		// rather than dropping it.
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("restart recovery: %v", err)
+		j.finished = time.Now().UTC()
+		close(j.terminal)
+	case j.attempts > m.opt.MaxAttempts:
+		j.fingerprint = prep.fingerprint
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("abandoned: %d attempts were interrupted by crashes or restarts (max %d)",
+			rec.Attempts, m.opt.MaxAttempts)
+		j.finished = time.Now().UTC()
+		close(j.terminal)
+	default:
+		j.fingerprint = prep.fingerprint
+		j.prob = prep.prob
+		j.cfg = prep.cfg
+		j.certify = prep.certify
+		j.certSamples = prep.certSamples
+		j.timeout = prep.timeout
+		j.req = rec.Request
+		j.state = StateQueued
+		j.progress.TotalEpochs = prep.cfg.MaxEpoch
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if j.state == StateQueued {
+		m.queue <- j // capacity reserved above; never blocks
+		m.met.incRequeued()
+		m.met.addQueueDepth(1)
+		m.emit(obsv.Event{Type: EventRequeued, Msg: j.id, V: map[string]float64{"attempt": float64(j.attempts)}})
+	} else {
+		m.met.incFailed()
+		m.met.incPoisoned()
+		m.emit(obsv.Event{Type: EventPoisoned, Msg: j.id, V: map[string]float64{"attempts": float64(rec.Attempts)}})
+	}
+	// Either way the on-disk journal advances: the attempt counter is
+	// bumped before the job runs (so a crash loop counts every life), and
+	// an abandoned job's terminal record replaces its journal entry.
+	m.persist(j)
 }
 
 // Submit validates a request and either answers it from the plan cache or
@@ -150,6 +278,7 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		certify:     prep.certify,
 		certSamples: prep.certSamples,
 		timeout:     prep.timeout,
+		req:         &req,
 		state:       StateQueued,
 		submitted:   time.Now().UTC(),
 		terminal:    make(chan struct{}),
@@ -160,6 +289,10 @@ func (m *Manager) Submit(req Request) (Status, error) {
 	if m.draining {
 		m.mu.Unlock()
 		return Status{}, ErrDraining
+	}
+	if n := m.panics[j.fingerprint]; n >= m.opt.PoisonPanics {
+		m.mu.Unlock()
+		return Status{}, fmt.Errorf("%w (fingerprint %s, %d panics)", ErrPoisoned, j.fingerprint, n)
 	}
 	if res, ok := m.cache[j.fingerprint]; ok {
 		// Cache hit: the job is born terminal, carrying a copy of the
@@ -196,6 +329,9 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		m.met.incSubmitted()
 		m.met.addQueueDepth(1)
 		m.emit(obsv.Event{Type: EventSubmitted, Msg: j.id, V: map[string]float64{"queue_depth": float64(depth)}})
+		// Journal the accepted job (with its request) before answering 202:
+		// from here on a crash must re-queue it, not lose it.
+		m.persist(j)
 		return j.status(), nil
 	default:
 		m.mu.Unlock()
@@ -324,6 +460,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	if !m.draining {
 		m.draining = true
 		close(m.queue)
+		close(m.watchStop)
 	}
 	m.mu.Unlock()
 
@@ -415,6 +552,7 @@ func (m *Manager) runJob(j *job) {
 	now := time.Now().UTC()
 	j.state = StateRunning
 	j.started = now
+	j.lastBeat = now
 	j.cancel = cancel
 	wait := now.Sub(j.submitted)
 	j.mu.Unlock()
@@ -423,18 +561,28 @@ func (m *Manager) runJob(j *job) {
 	defer m.met.addRunning(-1)
 	m.met.observeWait(wait)
 	m.emit(obsv.Event{Type: EventStart, Msg: j.id, V: map[string]float64{"wait_seconds": wait.Seconds()}})
+	// Journal the running transition before planning starts, so a crash
+	// mid-plan leaves a running record behind for the next boot to re-queue.
+	m.persist(j)
 	if m.testBeforeRun != nil {
 		m.testBeforeRun(j)
 	}
 
-	res, errMsg := m.plan(ctx, j)
+	res, errMsg := m.planSafe(ctx, j)
 
 	j.mu.Lock()
 	j.cancel = nil
 	j.finished = time.Now().UTC()
 	run := j.finished.Sub(j.started)
 	cancelled := j.cancelRequested
+	stalled := j.stalled
 	switch {
+	case stalled:
+		// The watchdog cancelled a job whose heartbeat went quiet; that is
+		// a failure of the job, not a client cancellation.
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("stalled: no progress heartbeat for %s; interrupted by the watchdog", m.opt.StuckTimeout)
+		j.result = res
 	case cancelled:
 		j.state = StateCancelled
 		j.errMsg = "cancelled"
@@ -452,6 +600,7 @@ func (m *Manager) runJob(j *job) {
 	j.mu.Unlock()
 
 	m.met.observeRun(run)
+	m.noteRun(run)
 	ev := obsv.Event{Msg: j.id, V: map[string]float64{"run_seconds": run.Seconds()}}
 	switch state {
 	case StateDone:
@@ -478,6 +627,36 @@ func (m *Manager) runJob(j *job) {
 	m.persist(j)
 }
 
+// planSafe runs plan with per-job panic containment: a panicking planning
+// run (a planner bug, or an injected service.plan fault) fails only its
+// own job, and the worker goroutine survives to take the next one. Each
+// contained panic counts against the job fingerprint's PoisonPanics
+// budget; once exhausted, Submit refuses the fingerprint with ErrPoisoned
+// instead of feeding a reproducible crasher to a worker again.
+func (m *Manager) planSafe(ctx context.Context, j *job) (res *Result, errMsg string) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		res, errMsg = nil, fmt.Sprintf("panic: %v", r)
+		m.met.incPanic()
+		m.mu.Lock()
+		m.panics[j.fingerprint]++
+		n := m.panics[j.fingerprint]
+		m.mu.Unlock()
+		m.emit(obsv.Event{Type: EventPanic, Msg: j.id, V: map[string]float64{"fingerprint_panics": float64(n)}})
+		if n == m.opt.PoisonPanics {
+			m.met.incPoisoned()
+			m.emit(obsv.Event{Type: EventPoisoned, Msg: j.fingerprint, V: map[string]float64{"panics": float64(n)}})
+		}
+	}()
+	if f := m.opt.Fault; f != nil {
+		f.Fire(ctx, fault.PointPlan)
+	}
+	return m.plan(ctx, j)
+}
+
 // plan runs the planner (and optionally the certifier) for one job,
 // returning the result and an error message ("" on success).
 func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
@@ -485,6 +664,7 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 	cfg.Metrics = m.opt.Metrics // training series accumulate across jobs
 	cfg.Progress = func(es core.EpochStats) {
 		j.mu.Lock()
+		j.lastBeat = time.Now()
 		j.progress.Epoch = es.Epoch
 		j.progress.Reward = es.Reward
 		j.progress.Solutions += es.Solutions
@@ -493,6 +673,11 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 			j.progress.GuaranteeMet = true
 		}
 		j.mu.Unlock()
+	}
+	if f := m.opt.Fault; f != nil {
+		cfg.ExploreHook = func(ctx context.Context, epoch, worker int) {
+			f.Fire(ctx, fault.PointExplore)
+		}
 	}
 	planner, err := core.NewPlanner(j.prob, cfg)
 	if err != nil {
@@ -523,6 +708,11 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 		res.Cost = report.Best.Cost
 	}
 	if j.certify && report.Best != nil && !report.Interrupted {
+		// One beat before the audit: certification emits no epoch progress,
+		// so this marks the start of its watchdog allowance.
+		j.mu.Lock()
+		j.lastBeat = time.Now()
+		j.mu.Unlock()
 		c := &certify.Certifier{
 			Prob: j.prob,
 			Sol:  report.Best,
@@ -544,18 +734,124 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 	return res, ""
 }
 
-// persist writes the job's terminal record when persistence is on.
+// persist writes the job's current record when persistence is on: live
+// jobs are journaled with their request (crash recovery re-queues them),
+// terminal jobs keep only status and result. A store write failure (disk
+// full, injected fault) is reported and counted, never fatal — the job
+// still completes in memory.
 func (m *Manager) persist(j *job) {
 	if m.opt.Dir == "" {
 		return
 	}
+	rec := record{Status: j.status(), Attempts: j.attempts}
 	j.mu.Lock()
-	rec := record{Version: recordVersion, Result: j.result}
+	rec.Result = j.result
 	j.mu.Unlock()
-	rec.Status = j.status()
-	if err := saveRecord(m.opt.Dir, rec); err != nil {
+	if !rec.Status.State.Terminal() {
+		rec.Request = j.req
+	}
+	if err := saveRecord(m.opt.Dir, rec, m.fsFaults()); err != nil {
 		m.met.incEventErr()
 		m.emit(obsv.Event{Type: "store_error", Msg: err.Error()})
+	}
+}
+
+// fsFaults adapts the configured injector to the record store's
+// filesystem seam; nil when fault injection is off.
+func (m *Manager) fsFaults() serialize.FSFaults {
+	if m.opt.Fault == nil {
+		return nil
+	}
+	return fault.FS{In: m.opt.Fault}
+}
+
+// noteRun records one finished run's duration in the Retry-After ring.
+func (m *Manager) noteRun(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.recent) < recentRunWindow {
+		m.recent = append(m.recent, d)
+	} else {
+		m.recent[m.recentIdx] = d
+	}
+	m.recentIdx = (m.recentIdx + 1) % recentRunWindow
+}
+
+// recentRunWindow is how many recent run durations feed RetryAfterSeconds.
+const recentRunWindow = 16
+
+// RetryAfterSeconds estimates when a submission bounced by backpressure is
+// worth retrying: the queue backlog paced by the mean of the last few run
+// durations, divided across the worker pool, clamped to [1s, 10min]. With
+// no finished runs to average yet the floor of one second stands — an
+// earlier retry cannot succeed anyway, planning jobs run for seconds to
+// hours.
+func (m *Manager) RetryAfterSeconds() int {
+	m.mu.Lock()
+	var sum time.Duration
+	n := len(m.recent)
+	for _, d := range m.recent {
+		sum += d
+	}
+	depth := len(m.queue)
+	m.mu.Unlock()
+	if n == 0 || depth == 0 {
+		return 1
+	}
+	wait := sum / time.Duration(n) * time.Duration(depth) / time.Duration(m.opt.Workers)
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// watchdog periodically sweeps running jobs whose progress heartbeat has
+// gone quiet for StuckTimeout and cancels them; runJob maps the stalled
+// flag to StateFailed. Sweeping at a quarter of the timeout bounds
+// detection latency to 1.25 × StuckTimeout.
+func (m *Manager) watchdog() {
+	tick := time.NewTicker(m.opt.StuckTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.watchStop:
+			return
+		case <-tick.C:
+			m.sweepStuck()
+		}
+	}
+}
+
+// sweepStuck cancels every running job whose last heartbeat predates the
+// stuck cutoff. Job locks are taken one at a time after m.mu is released,
+// preserving the m.mu → j.mu lock order used everywhere else.
+func (m *Manager) sweepStuck() {
+	cutoff := time.Now().Add(-m.opt.StuckTimeout)
+	m.mu.Lock()
+	candidates := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		candidates = append(candidates, j)
+	}
+	m.mu.Unlock()
+	for _, j := range candidates {
+		j.mu.Lock()
+		if j.state != StateRunning || j.stalled || j.lastBeat.IsZero() || !j.lastBeat.Before(cutoff) {
+			j.mu.Unlock()
+			continue
+		}
+		j.stalled = true
+		quiet := time.Since(j.lastBeat)
+		cancel := j.cancel
+		j.mu.Unlock()
+		m.met.incStalled()
+		m.emit(obsv.Event{Type: EventStalled, Msg: j.id, V: map[string]float64{"stalled_seconds": quiet.Seconds()}})
+		if cancel != nil {
+			cancel()
+		}
 	}
 }
 

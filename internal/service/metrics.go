@@ -22,6 +22,22 @@ const (
 	EventDone      = "job_done"
 	EventFailed    = "job_failed"
 	EventCancelled = "job_cancelled"
+	// EventPanic records a planning run that panicked; the panic was
+	// contained to the job (panics for the fingerprint so far in V).
+	EventPanic = "job_panic"
+	// EventStalled records the watchdog interrupting a running job that
+	// stopped emitting progress heartbeats (stalled_seconds in V).
+	EventStalled = "job_stalled"
+	// EventRequeued records a journaled live job re-entering the queue
+	// after a restart (attempt number in V).
+	EventRequeued = "job_requeued"
+	// EventPoisoned records a fingerprint being refused: either its
+	// planning runs panicked PoisonPanics times, or a journaled job
+	// exhausted MaxAttempts restarts.
+	EventPoisoned = "job_poisoned"
+	// EventStoreCorrupt records record files quarantined into corrupt/ at
+	// boot; Msg lists "file: reason" per quarantined file.
+	EventStoreCorrupt = "store_corrupt"
 )
 
 // metrics bundles the nptsn_service_* instrument handles. A nil *metrics
@@ -35,6 +51,11 @@ type metrics struct {
 	cacheHits  *obsv.Counter
 	cacheMiss  *obsv.Counter
 	eventErrs  *obsv.Counter
+	skipped    *obsv.Counter
+	panics     *obsv.Counter
+	stalled    *obsv.Counter
+	requeued   *obsv.Counter
+	poisoned   *obsv.Counter
 	queueDepth *obsv.Gauge
 	running    *obsv.Gauge
 	waitSecs   *obsv.Histogram
@@ -54,6 +75,11 @@ func newMetrics(reg *obsv.Registry) *metrics {
 		cacheHits:  reg.Counter("nptsn_service_cache_hits_total", "Submissions answered instantly from the plan cache."),
 		cacheMiss:  reg.Counter("nptsn_service_cache_misses_total", "Submissions that required a fresh planning run."),
 		eventErrs:  reg.Counter("nptsn_service_event_errors_total", "Lifecycle events the sink failed to record."),
+		skipped:    reg.Counter("nptsn_service_records_skipped_total", "Job-record files quarantined into corrupt/ at boot (torn writes, bad checksums, foreign files)."),
+		panics:     reg.Counter("nptsn_service_job_panics_total", "Planning runs that panicked; each was contained to its own job."),
+		stalled:    reg.Counter("nptsn_service_jobs_stalled_total", "Running jobs the watchdog interrupted for missing progress heartbeats."),
+		requeued:   reg.Counter("nptsn_service_jobs_requeued_total", "Journaled live jobs re-queued after a restart."),
+		poisoned:   reg.Counter("nptsn_service_jobs_poisoned_total", "Fingerprints refused after repeated panics or exhausted restart attempts."),
 		queueDepth: reg.Gauge("nptsn_service_queue_depth", "Jobs waiting in the queue."),
 		running:    reg.Gauge("nptsn_service_jobs_running", "Jobs currently planning."),
 		waitSecs:   reg.Histogram("nptsn_service_wait_seconds", "Queue wait per job (submit to start).", obsv.DurationBuckets),
@@ -93,6 +119,16 @@ func (m *metrics) incRejected()  { m.safeInc(func() *obsv.Counter { return m.rej
 func (m *metrics) incCacheHit()  { m.safeInc(func() *obsv.Counter { return m.cacheHits }) }
 func (m *metrics) incCacheMiss() { m.safeInc(func() *obsv.Counter { return m.cacheMiss }) }
 func (m *metrics) incEventErr()  { m.safeInc(func() *obsv.Counter { return m.eventErrs }) }
+func (m *metrics) incPanic()     { m.safeInc(func() *obsv.Counter { return m.panics }) }
+func (m *metrics) incStalled()   { m.safeInc(func() *obsv.Counter { return m.stalled }) }
+func (m *metrics) incRequeued()  { m.safeInc(func() *obsv.Counter { return m.requeued }) }
+func (m *metrics) incPoisoned()  { m.safeInc(func() *obsv.Counter { return m.poisoned }) }
+
+func (m *metrics) addSkipped(n int) {
+	if m != nil && n > 0 {
+		m.skipped.Add(float64(n))
+	}
+}
 
 func (m *metrics) safeInc(c func() *obsv.Counter) {
 	if m != nil {

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -8,22 +10,62 @@ import (
 	"regexp"
 	"sort"
 
+	"repro/internal/failure"
 	"repro/internal/serialize"
 )
 
-// recordVersion is the on-disk job-record format version; loads reject an
-// incompatible version rather than misreading it.
-const recordVersion = 1
+// recordVersion is the current on-disk job-record format: a checksummed
+// envelope framing the record payload, so a torn write (rename landed,
+// content truncated) is detected at load time instead of being misread.
+// Version-1 records — raw, unchecksummed, terminal-only — are still read.
+const (
+	recordVersion       = 2
+	legacyRecordVersion = 1
+)
 
-// record is the persisted form of a terminal job: its final status plus,
-// for done jobs, the result. Records are written atomically (temp file +
-// rename via serialize.WriteFileAtomic), so a crash mid-write never leaves
-// a truncated record, and a restarted server re-serves every record it
-// finds and re-seeds the plan cache from the done ones.
+// corruptDirName is the quarantine subdirectory of the data dir. Files
+// that fail to decode at boot are moved here — kept for post-mortem, out
+// of the way of the next boot.
+const corruptDirName = "corrupt"
+
+// record is the persisted form of a job. Terminal jobs carry their final
+// status plus, for done jobs, the result. Live jobs (queued, running) are
+// the crash journal: they additionally carry the original Request, so a
+// restarted server can re-queue them instead of silently dropping work
+// that was accepted with a 202.
 type record struct {
+	Status Status  `json:"status"`
+	Result *Result `json:"result,omitempty"`
+	// Request is the journaled submission of a non-terminal job; terminal
+	// records drop it (the result is what matters then).
+	Request *Request `json:"request,omitempty"`
+	// Attempts counts the server lives that have started this job; the
+	// restart re-queue gives up past Options.MaxAttempts.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// envelope is the version-2 on-disk frame: the JSON-encoded record plus a
+// content digest over those exact bytes.
+type envelope struct {
+	Version int             `json:"version"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// legacyRecord is the version-1 frame: record fields inline, no checksum.
+type legacyRecord struct {
 	Version int     `json:"version"`
 	Status  Status  `json:"status"`
 	Result  *Result `json:"result,omitempty"`
+}
+
+// recordSum digests a record payload with the same 128-bit content hash
+// the plan cache keys on, under a format-versioned domain prefix.
+func recordSum(payload []byte) string {
+	d := failure.NewDigest()
+	d.Str("nptsn-service-record-v2")
+	d.Bytes(payload)
+	return d.Sum()
 }
 
 // recordFile is the job's file name inside the data directory. Job IDs
@@ -34,10 +76,16 @@ func recordFile(dir, id string) string {
 
 var recordNameRE = regexp.MustCompile(`^job-[0-9a-f]{16}\.json$`)
 
-// saveRecord atomically persists one terminal job.
-func saveRecord(dir string, rec record) error {
-	return serialize.WriteFileAtomic(recordFile(dir, rec.Status.ID), func(w io.Writer) error {
-		return serialize.WriteJSON(w, rec)
+// saveRecord atomically persists one job under a checksummed envelope.
+// faults is the filesystem fault-injection seam (nil in production).
+func saveRecord(dir string, rec record, faults serialize.FSFaults) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	env := envelope{Version: recordVersion, Sum: recordSum(payload), Payload: payload}
+	return serialize.WriteFileAtomicFS(recordFile(dir, rec.Status.ID), faults, func(w io.Writer) error {
+		return serialize.WriteJSON(w, env)
 	})
 }
 
@@ -51,38 +99,105 @@ func deleteRecord(dir, id string) error {
 	return err
 }
 
+// decodeRecord parses one record file, current or legacy format. Every
+// failure mode returns an error naming what was wrong — the reason ends up
+// in the boot event next to the quarantined file.
+func decodeRecord(data []byte) (record, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return record{}, fmt.Errorf("not a record envelope: %v", err)
+	}
+	var rec record
+	switch env.Version {
+	case recordVersion:
+		// The envelope is written indented, which re-formats the embedded
+		// payload; the checksum is defined over the compact form, so
+		// re-compact before summing. A truncation that somehow kept the
+		// JSON well-formed still changes the compact bytes.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, env.Payload); err != nil {
+			return record{}, fmt.Errorf("record payload: %v", err)
+		}
+		if got := recordSum(compact.Bytes()); got != env.Sum {
+			return record{}, fmt.Errorf("checksum mismatch (stored %s, computed %s): torn write or manual edit", env.Sum, got)
+		}
+		if err := json.Unmarshal(env.Payload, &rec); err != nil {
+			return record{}, fmt.Errorf("record payload: %v", err)
+		}
+	case legacyRecordVersion:
+		var leg legacyRecord
+		if err := json.Unmarshal(data, &leg); err != nil {
+			return record{}, fmt.Errorf("legacy record: %v", err)
+		}
+		rec = record{Status: leg.Status, Result: leg.Result}
+		if !rec.Status.State.Terminal() {
+			return record{}, fmt.Errorf("legacy record in non-terminal state %q", rec.Status.State)
+		}
+	default:
+		return record{}, fmt.Errorf("record version %d, this build reads versions %d and %d",
+			env.Version, legacyRecordVersion, recordVersion)
+	}
+	if rec.Status.ID == "" {
+		return record{}, fmt.Errorf("record without a job ID")
+	}
+	switch rec.Status.State {
+	case StateQueued, StateRunning:
+		if rec.Request == nil {
+			return record{}, fmt.Errorf("live record (%s) without its journaled request", rec.Status.State)
+		}
+	case StateDone, StateFailed, StateCancelled:
+	default:
+		return record{}, fmt.Errorf("unknown job state %q", rec.Status.State)
+	}
+	return rec, nil
+}
+
 // loadRecords reads every job record in dir, oldest submission first.
-// Records that cannot be parsed (foreign files, future format versions)
-// are skipped and counted rather than failing the boot: one bad file must
-// not take the whole service down with it. A missing directory is created.
-func loadRecords(dir string) (recs []record, skipped int, err error) {
+// Files that cannot be decoded — torn writes caught by the checksum,
+// truncated JSON, future format versions, foreign files — are moved into
+// dir/corrupt/ and reported in quarantined ("name: reason" lines): one bad
+// file must not take the whole service down, but it must not vanish
+// silently either. A missing directory is created.
+func loadRecords(dir string) (recs []record, quarantined []string, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, 0, fmt.Errorf("service: data dir: %w", err)
+		return nil, nil, fmt.Errorf("service: data dir: %w", err)
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, 0, fmt.Errorf("service: data dir: %w", err)
+		return nil, nil, fmt.Errorf("service: data dir: %w", err)
 	}
 	for _, e := range entries {
-		if e.IsDir() || !recordNameRE.MatchString(e.Name()) {
+		if e.IsDir() {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			skipped++
+		name := e.Name()
+		var reason string
+		if !recordNameRE.MatchString(name) {
+			reason = "not a job record (foreign file or temp residue)"
+		} else if data, readErr := os.ReadFile(filepath.Join(dir, name)); readErr != nil {
+			reason = readErr.Error()
+		} else if rec, decErr := decodeRecord(data); decErr != nil {
+			reason = decErr.Error()
+		} else {
+			recs = append(recs, rec)
 			continue
 		}
-		var rec record
-		decodeErr := serialize.ReadJSON(f, &rec)
-		f.Close()
-		if decodeErr != nil || rec.Version != recordVersion || rec.Status.ID == "" || !rec.Status.State.Terminal() {
-			skipped++
-			continue
+		if qErr := quarantineFile(dir, name); qErr != nil {
+			return nil, nil, fmt.Errorf("service: quarantine %s: %w", name, qErr)
 		}
-		recs = append(recs, rec)
+		quarantined = append(quarantined, name+": "+reason)
 	}
 	sort.Slice(recs, func(i, k int) bool {
 		return recs[i].Status.SubmittedAt.Before(recs[k].Status.SubmittedAt)
 	})
-	return recs, skipped, nil
+	return recs, quarantined, nil
+}
+
+// quarantineFile moves one undecodable file into the corrupt/ dir.
+func quarantineFile(dir, name string) error {
+	qdir := filepath.Join(dir, corruptDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	return os.Rename(filepath.Join(dir, name), filepath.Join(qdir, name))
 }
