@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-analyzer race-service chaos vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz serve-smoke
+.PHONY: all build test test-short race race-analyzer race-service chaos chaos-fleet vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz serve-smoke fleet-smoke
 
 all: build lint test
 
@@ -37,14 +37,22 @@ race:
 race-analyzer:
 	$(GO) test -race ./internal/failure/... ./internal/core/...
 
-# Full race pass over the planning service (worker pool, cache, drain).
+# Full race pass over the planning service (worker pool, cache, drain)
+# and the fleet layer built on top of it (coordinator, ring, agent).
 race-service:
-	$(GO) test -race ./internal/service/... ./cmd/nptsn-serve/...
+	$(GO) test -race ./internal/service/... ./internal/fleet/... ./cmd/nptsn-serve/... ./cmd/nptsn-fleet/...
 
 # Black-box smoke test of the nptsn-serve daemon: boot on an ephemeral
 # port, plan the shipped example over HTTP, check /metrics.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Black-box failover drill of the planning fleet: coordinator + three
+# replicas on ephemeral ports, the job's home replica SIGKILLed mid-run,
+# completion asserted on a survivor with the death and handoff visible
+# on /v1/fleet and /metrics.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # Seeded fault-injection drills for the job engine: panics, torn writes,
 # ENOSPC, crash/restart journaling, hung epochs — under the race detector,
@@ -53,6 +61,14 @@ serve-smoke:
 # fixing that seed in the test.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos' ./internal/service/... ./internal/fault/...
+
+# Seeded chaos drills for the fleet layer: replica death mid-run, torn
+# and hung coordinator→replica HTTP, heartbeat partitions, coordinator
+# restart — under the race detector, twice. Every drill asserts the job
+# completed exactly once (adoption-by-fingerprint) and logs its seeded
+# schedule line for bit-exact reproduction.
+chaos-fleet:
+	$(GO) test -race -count=2 -run 'ChaosFleet' ./internal/fleet/...
 
 # One iteration of every table/figure/ablation benchmark.
 bench-quick:

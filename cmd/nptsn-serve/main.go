@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/obsv"
 	"repro/internal/serialize"
 	"repro/internal/service"
@@ -59,6 +60,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxAttempts  = fs.Int("max-attempts", 3, "restarts that may re-queue the same journaled job before it is abandoned")
 		faultSpec    = fs.String("fault", "", "fault-injection schedule for chaos drills, e.g. 'fs.write:enospc:p=0.1;service.plan:panic:calls=2' (empty = off)")
 		faultSeed    = fs.Int64("fault-seed", 1, "seed of the -fault schedule; the same seed replays the same fault decisions")
+		fleetURL     = fs.String("fleet", "", "register with the nptsn-fleet coordinator at this base URL and heartbeat until shutdown (empty = standalone)")
+		fleetID      = fs.String("fleet-id", "", "stable replica identity on the fleet ring (default: the advertised address); reuse it across restarts to keep this replica's keys")
+		fleetAdv     = fs.String("fleet-advertise", "", "base URL the coordinator reaches this replica at (default: http://<bound address>)")
+		fleetBeat    = fs.Duration("fleet-heartbeat", 0, "heartbeat pace before the coordinator's registration answer overrides it (0 = 1s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,11 +133,51 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	// Join the fleet once the API is actually reachable. The agent owns
+	// registration retries and heartbeats; cancelling its context at drain
+	// time deregisters gracefully, so the coordinator fails this replica's
+	// jobs over immediately instead of waiting out the heartbeat timeout.
+	agentDone := make(chan struct{})
+	agentCancel := func() {}
+	if *fleetURL != "" {
+		advertise := *fleetAdv
+		if advertise == "" {
+			advertise = "http://" + ln.Addr().String()
+		}
+		id := *fleetID
+		if id == "" {
+			id = advertise
+		}
+		agent := &fleet.Agent{
+			Coordinator:  *fleetURL,
+			ID:           id,
+			AdvertiseURL: advertise,
+			Interval:     *fleetBeat,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		}
+		agentCtx, cancel := context.WithCancel(context.Background())
+		agentCancel = cancel
+		go func() {
+			defer close(agentDone)
+			agent.Run(agentCtx)
+		}()
+	} else {
+		close(agentDone)
+	}
+	defer agentCancel()
+
 	select {
 	case err := <-serveErr:
 		return err // listener failed before any shutdown signal
 	case <-ctx.Done():
 	}
+
+	// Leave the fleet before draining: new work must stop routing here
+	// while running jobs get their drain window.
+	agentCancel()
+	<-agentDone
 
 	fmt.Fprintf(out, "nptsn-serve: draining (up to %s)\n", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

@@ -12,7 +12,7 @@
 // seed — no matter how the scheduler reorders the workers that triggered
 // it.
 //
-// Two families of injection points exist:
+// Three families of injection points exist:
 //
 //   - Filesystem points (fs.*), consulted by internal/serialize's atomic
 //     write pipeline via the FS adapter: injected write/fsync/rename
@@ -21,6 +21,10 @@
 //   - Compute points (core.*, service.*), fired by the planner's
 //     exploration workers and the service's job runner: injected panics,
 //     hangs (block until the job's context is cancelled) and slow steps.
+//   - Wire points (http.*), consulted by the Transport round-tripper once
+//     per outgoing HTTP request: injected transport errors, slow and hung
+//     requests, and torn response bodies that cut off mid-JSON — the
+//     network failure modes a fleet coordinator must survive.
 //
 // A nil *Injector is valid everywhere and injects nothing, so production
 // paths pay one nil check per point.
@@ -86,14 +90,17 @@ func (k Kind) String() string {
 
 // The injection points wired through the repository. The FS adapter
 // consults the fs.* points; the planning service fires service.plan once
-// per job run and core.explore once per exploration worker round.
+// per job run and core.explore once per exploration worker round; the
+// Transport round-tripper consults http.roundtrip once per outgoing HTTP
+// request.
 const (
-	PointFSWrite  = "fs.write"
-	PointFSSync   = "fs.sync"
-	PointFSRename = "fs.rename"
-	PointFSTorn   = "fs.torn"
-	PointExplore  = "core.explore"
-	PointPlan     = "service.plan"
+	PointFSWrite   = "fs.write"
+	PointFSSync    = "fs.sync"
+	PointFSRename  = "fs.rename"
+	PointFSTorn    = "fs.torn"
+	PointExplore   = "core.explore"
+	PointPlan      = "service.plan"
+	PointRoundTrip = "http.roundtrip"
 )
 
 // Rule arms one injection behavior at one point (or a "prefix*" family of

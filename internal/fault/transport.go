@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport is a fault-injecting http.RoundTripper: it consults the
+// injector's PointRoundTrip rules before (and, for torn bodies, after)
+// delegating to the base transport, so the same seeded, replayable chaos
+// schedules that cover the filesystem and compute paths also cover the
+// wire. The kinds map to the network failure modes a distributed caller
+// must survive:
+//
+//   - error: the request fails with an injected transport error before it
+//     is sent — a refused connection or reset, where the caller cannot
+//     know whether the server saw anything.
+//   - delay: the request is held for Rule.Delay before being sent — a slow
+//     network or an overloaded peer.
+//   - hang: the request blocks until its context is cancelled — a black
+//     hole route or a peer that accepted the connection and went silent.
+//     Callers without per-attempt timeouts never come back.
+//   - torn: the request is sent and the response returned, but its body is
+//     truncated to Rule.TornBytes and then fails with
+//     io.ErrUnexpectedEOF — the connection died mid-response, after the
+//     server did its work.
+//
+// A Transport with a nil injector delegates every request untouched, so
+// production paths can keep one code path.
+type Transport struct {
+	// In is the armed schedule; nil injects nothing.
+	In *Injector
+	// Base performs real round trips (http.DefaultTransport when nil).
+	Base http.RoundTripper
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper with per-request fault decisions.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r, n, ok := t.In.decide(PointRoundTrip, func(k Kind) bool {
+		return k == KindError || k == KindDelay || k == KindHang || k == KindTorn
+	})
+	if !ok {
+		return t.base().RoundTrip(req)
+	}
+	switch r.Kind {
+	case KindError:
+		return nil, fmt.Errorf("fault: injected transport error at %s call %d (seed %d)", PointRoundTrip, n, t.In.Seed())
+	case KindHang:
+		<-req.Context().Done()
+		return nil, fmt.Errorf("fault: injected hang at %s call %d (seed %d): %w",
+			PointRoundTrip, n, t.In.Seed(), req.Context().Err())
+	case KindDelay:
+		tm := time.NewTimer(r.Delay)
+		defer tm.Stop()
+		select {
+		case <-tm.C:
+		case <-req.Context().Done():
+			return nil, fmt.Errorf("fault: injected delay at %s call %d (seed %d): %w",
+				PointRoundTrip, n, t.In.Seed(), req.Context().Err())
+		}
+		return t.base().RoundTrip(req)
+	case KindTorn:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		// The truncation must look like a dead connection, not a short but
+		// well-formed body: the advertised length is dropped and the reader
+		// ends in ErrUnexpectedEOF.
+		resp.Body = &tornBody{rc: resp.Body, remaining: r.TornBytes}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.base().RoundTrip(req)
+}
+
+// tornBody serves at most `remaining` bytes of the real body, then fails
+// every read with io.ErrUnexpectedEOF — a response cut off mid-flight.
+type tornBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The real body was shorter than the torn budget: the cut still
+		// happened from the reader's point of view.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wireServer is a trivial backend every transport test talks to.
+func wireServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"answer":"0123456789abcdef0123456789abcdef"}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportPassThroughWithoutInjector(t *testing.T) {
+	srv := wireServer(t)
+	cl := &http.Client{Transport: &Transport{}}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), "answer") {
+		t.Fatalf("pass-through read = %q, %v", body, err)
+	}
+}
+
+func TestTransportInjectedError(t *testing.T) {
+	srv := wireServer(t)
+	in := New(7, Rule{Point: PointRoundTrip, Kind: KindError, Calls: []int{1}})
+	cl := &http.Client{Transport: &Transport{In: in}}
+	if _, err := cl.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "injected transport error") {
+		t.Fatalf("first call error = %v, want injected transport error", err)
+	}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("second call should pass through: %v", err)
+	}
+	resp.Body.Close()
+	if got := in.Fired(PointRoundTrip); got != 1 {
+		t.Fatalf("fired %d, want 1", got)
+	}
+}
+
+func TestTransportTornBody(t *testing.T) {
+	srv := wireServer(t)
+	in := New(7, Rule{Point: PointRoundTrip, Kind: KindTorn, Calls: []int{1}, TornBytes: 10})
+	cl := &http.Client{Transport: &Transport{In: in}}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("torn responses fail at read time, not request time: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != -1 {
+		t.Fatalf("torn response still advertises ContentLength %d", resp.ContentLength)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read = %q, %v; want io.ErrUnexpectedEOF", body, err)
+	}
+	if len(body) != 10 {
+		t.Fatalf("read %d bytes before the tear, want 10", len(body))
+	}
+}
+
+func TestTransportHangReleasesOnContext(t *testing.T) {
+	srv := wireServer(t)
+	in := New(7, Rule{Point: PointRoundTrip, Kind: KindHang, Calls: []int{1}})
+	cl := &http.Client{Transport: &Transport{In: in}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = cl.Do(req)
+	if err == nil {
+		t.Fatal("hung request returned a response")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("hang did not release on context cancellation (took %s)", time.Since(start))
+	}
+}
+
+func TestTransportDelayThenSucceeds(t *testing.T) {
+	srv := wireServer(t)
+	in := New(7, Rule{Point: PointRoundTrip, Kind: KindDelay, Delay: 30 * time.Millisecond, Calls: []int{1}})
+	cl := &http.Client{Transport: &Transport{In: in}}
+	start := time.Now()
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed request returned after %s, want >= 30ms", d)
+	}
+}
+
+// TestTransportScheduleParsesFromSpec: the wire point works through the
+// same -fault grammar the CLIs expose.
+func TestTransportScheduleParsesFromSpec(t *testing.T) {
+	in, err := Parse(3, "http.roundtrip:torn:calls=2:bytes=8;http.roundtrip:delay:delay=1ms:p=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.rules) != 2 || in.rules[0].Point != PointRoundTrip {
+		t.Fatalf("parsed rules = %+v", in.rules)
+	}
+}

@@ -36,6 +36,11 @@ type Client struct {
 	// MaxBackoff caps every sleep, including server-directed Retry-After
 	// pacing (default 30s).
 	MaxBackoff time.Duration
+	// MaxRetryAfter caps how long a server-directed Retry-After header may
+	// pace a retry (default MaxBackoff). The server's estimate is advice,
+	// not a contract: a buggy or overloaded server advertising an absurd
+	// pause must not park the client for it.
+	MaxRetryAfter time.Duration
 }
 
 // APIError is a non-2xx response from the server.
@@ -76,12 +81,24 @@ func (c *Client) maxBackoff() time.Duration {
 	return 30 * time.Second
 }
 
+func (c *Client) maxRetryAfter() time.Duration {
+	if c.MaxRetryAfter > 0 {
+		return c.MaxRetryAfter
+	}
+	return c.maxBackoff()
+}
+
 // delay computes the sleep before retry number attempt (0-based): the
-// server's Retry-After when it sent one, else jittered exponential
-// backoff; both capped at MaxBackoff.
+// server's Retry-After when it sent one (clamped to MaxRetryAfter instead
+// of trusted verbatim), else jittered exponential backoff; both capped at
+// MaxBackoff.
 func (c *Client) delay(attempt int, retryAfter time.Duration) time.Duration {
 	d := retryAfter
-	if d <= 0 {
+	if d > 0 {
+		if max := c.maxRetryAfter(); d > max {
+			d = max
+		}
+	} else {
 		d = c.backoff() << attempt
 		d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 	}
@@ -133,12 +150,15 @@ func (c *Client) Submit(ctx context.Context, req Request) (Status, error) {
 			// The server may have accepted the job before the connection
 			// died; resubmitting would plan it twice. Adopt the existing
 			// job when the fingerprint resolves.
-			if st, ok := c.findByFingerprint(ctx, prep.fingerprint); ok {
+			if st, ok := c.FindByFingerprint(ctx, prep.fingerprint); ok {
 				return st, nil
 			}
 		}
-		if err := c.sleep(ctx, c.delay(attempt, retryAfter)); err != nil {
-			return Status{}, lastErr
+		if serr := c.sleep(ctx, c.delay(attempt, retryAfter)); serr != nil {
+			// The caller gave up mid-backoff: surface the cancellation (so
+			// errors.Is(err, context.Canceled) holds) alongside the failure
+			// that was being retried.
+			return Status{}, fmt.Errorf("%w (retrying after: %v)", serr, lastErr)
 		}
 	}
 }
@@ -189,9 +209,12 @@ func retryableSubmit(err error) bool {
 		ae.StatusCode >= 500
 }
 
-// findByFingerprint lists the server's jobs and returns the newest one
-// carrying the fingerprint, if any.
-func (c *Client) findByFingerprint(ctx context.Context, fingerprint string) (Status, bool) {
+// FindByFingerprint lists the server's jobs and returns the newest one
+// carrying the fingerprint, if any. Submit uses it to adopt a job whose
+// acceptance response was lost; the fleet coordinator uses it to make
+// failover hand-offs idempotent — adopting work a replica already owns
+// instead of planning it twice.
+func (c *Client) FindByFingerprint(ctx context.Context, fingerprint string) (Status, bool) {
 	var all []Status
 	if err := c.getJSON(ctx, "/v1/jobs", &all); err != nil {
 		return Status{}, false
@@ -224,6 +247,55 @@ func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
 		return nil, err
 	}
 	return &res, nil
+}
+
+// Cancel requests cancellation of a live job (DELETE /v1/jobs/{id}) and
+// returns the resulting status snapshot. Cancellation is idempotent on the
+// server, so transient failures are retried like any GET.
+func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		st, err := c.cancelOnce(ctx, id)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode < 500 && ae.StatusCode != http.StatusTooManyRequests {
+			return Status{}, err
+		}
+		if attempt >= c.retries() {
+			return Status{}, lastErr
+		}
+		if serr := c.sleep(ctx, c.delay(attempt, 0)); serr != nil {
+			return Status{}, fmt.Errorf("%w (retrying after: %v)", serr, lastErr)
+		}
+	}
+}
+
+func (c *Client) cancelOnce(ctx context.Context, id string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Status{}, fmt.Errorf("service: cancel %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return Status{}, fmt.Errorf("service: cancel response: %w", err)
+		}
+		return st, nil
+	case http.StatusNoContent:
+		// The job was already terminal and the server deleted its record.
+		return Status{ID: id}, nil
+	default:
+		return Status{}, apiError(resp)
+	}
 }
 
 // Wait polls a job's status every poll interval (default 500ms) until it
@@ -263,8 +335,8 @@ func (c *Client) getJSON(ctx context.Context, path string, out interface{}) erro
 		if attempt >= c.retries() {
 			return lastErr
 		}
-		if err := c.sleep(ctx, c.delay(attempt, 0)); err != nil {
-			return lastErr
+		if serr := c.sleep(ctx, c.delay(attempt, 0)); serr != nil {
+			return fmt.Errorf("%w (retrying after: %v)", serr, lastErr)
 		}
 	}
 }

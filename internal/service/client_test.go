@@ -166,6 +166,109 @@ func TestClientInvalidRequestFailsFast(t *testing.T) {
 	}
 }
 
+// TestClientBackoffAbortsOnCancel: a context cancelled while the client
+// sleeps between retries aborts the backoff promptly and surfaces the
+// cancellation (errors.Is context.Canceled), not just the retried failure.
+func TestClientBackoffAbortsOnCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every attempt bounces with a Retry-After that would park the
+		// client for minutes if honored to the letter.
+		w.Header().Set("Retry-After", "120")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Backoff: time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond) // let the first attempt land and the sleep begin
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Submit(ctx, tinyRequest(t))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled surfaced", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s to abort the backoff sleep", elapsed)
+	}
+}
+
+// TestClientClampsAbsurdRetryAfter: a server-directed Retry-After far past
+// MaxRetryAfter paces the retry at the clamp, not the header.
+func TestClientClampsAbsurdRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	var posts []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts = append(posts, time.Now())
+		n := len(posts)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "86400") // a day
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"0123456789abcdef","state":"queued","submittedAt":"2026-08-08T00:00:00Z","progress":{"epoch":0,"totalEpochs":1,"bestCost":0,"guaranteeMet":false,"reward":0,"solutions":0},"fingerprint":"x"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Backoff: time.Millisecond, MaxRetryAfter: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Submit(ctx, tinyRequest(t)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(posts) != 2 {
+		t.Fatalf("%d POST attempts, want 2", len(posts))
+	}
+	if gap := posts[1].Sub(posts[0]); gap > 5*time.Second {
+		t.Fatalf("retry waited %v — the absurd Retry-After was trusted verbatim", gap)
+	}
+}
+
+// TestClientCancel: DELETE through the client cancels a live job and
+// returns its status snapshot.
+func TestClientCancel(t *testing.T) {
+	block := make(chan struct{})
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(block)
+		}
+	}
+	defer release()
+	m := newTestManager(t, Options{Workers: 1, testBeforeRun: func(*job) { <-block }})
+	srv := httptest.NewServer(NewMux(m, nil))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Backoff: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.Submit(ctx, tinyRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	release() // let the parked worker observe the cancelled context
+	final, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled && final.State != StateFailed {
+		t.Fatalf("cancelled job = %s, want cancelled", final.State)
+	}
+}
+
 // TestClientPoisonedEndToEnd: the server's 422 for a poisoned fingerprint
 // travels through the client untouched.
 func TestClientPoisonedEndToEnd(t *testing.T) {

@@ -313,6 +313,18 @@ func prepare(req Request) (prepared, error) {
 	}, nil
 }
 
+// Fingerprint validates req exactly the way Submit does and returns the
+// plan-cache fingerprint Submit would assign to it — the problem identity
+// the fleet coordinator shards on and adopts by. Two requests share a
+// fingerprint exactly when a finished plan for one answers the other.
+func Fingerprint(req Request) (string, error) {
+	prep, err := prepare(req)
+	if err != nil {
+		return "", err
+	}
+	return prep.fingerprint, nil
+}
+
 // jobFingerprint digests the canonical problem encoding plus every
 // outcome-relevant parameter with the failure analyzer's 128-bit content
 // hash. Two requests share a fingerprint exactly when a finished plan for

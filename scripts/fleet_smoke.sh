@@ -1,0 +1,179 @@
+#!/bin/sh
+# fleet_smoke.sh — black-box failover drill of the planning fleet: boot
+# the nptsn-fleet coordinator plus three nptsn-serve replicas on
+# ephemeral ports, submit the shipped example problem through the
+# coordinator, kill the replica that owns the job MID-RUN (SIGKILL, no
+# drain), and verify the job still completes exactly once, with the dead
+# replica reported on /v1/fleet and the handoff on the fleet metrics.
+# Exits 0 on success. Needs only a Go toolchain and curl.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill -TERM "$pid" 2>/dev/null || true
+        fi
+    done
+    for pid in $pids; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet-smoke: building nptsn-fleet and nptsn-serve"
+go build -o "$workdir/nptsn-fleet" ./cmd/nptsn-fleet
+go build -o "$workdir/nptsn-serve" ./cmd/nptsn-serve
+
+# Coordinator with compressed failure-detection timings so the drill
+# finishes in seconds: suspect after 300ms of heartbeat silence, dead
+# after 800ms.
+"$workdir/nptsn-fleet" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$workdir/fleet.addr" \
+    -heartbeat-interval 100ms \
+    -suspect-after 300ms \
+    -dead-after 800ms \
+    -events "$workdir/fleet-events.jsonl" \
+    >"$workdir/fleet.log" 2>&1 &
+fleet_pid=$!
+pids="$fleet_pid"
+
+wait_file() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "fleet-smoke: $1 never appeared" >&2
+            cat "$workdir"/*.log >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_file "$workdir/fleet.addr"
+base="http://$(cat "$workdir/fleet.addr")"
+echo "fleet-smoke: coordinator at $base"
+
+# Three replicas join the fleet. Each carries a seeded 2s planning delay
+# so the job is reliably mid-run when its replica is killed.
+for r in r1 r2 r3; do
+    "$workdir/nptsn-serve" \
+        -addr 127.0.0.1:0 \
+        -addr-file "$workdir/$r.addr" \
+        -fleet "$base" \
+        -fleet-id "$r" \
+        -fault 'service.plan:delay:delay=2s' \
+        >"$workdir/$r.log" 2>&1 &
+    eval "pid_$r=$!"
+    pids="$pids $!"
+    wait_file "$workdir/$r.addr"
+done
+
+# All three replicas must report alive before the drill starts.
+i=0
+while :; do
+    alive=$(curl -sS "$base/v1/fleet" | sed -n 's/.*"alive": *\([0-9]*\).*/\1/p' | head -n 1)
+    [ "${alive:-0}" = "3" ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "fleet-smoke: fleet never reached 3 alive replicas" >&2
+        curl -sS "$base/v1/fleet" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "fleet-smoke: 3 replicas alive"
+
+{
+    printf '{"problem": '
+    cat testdata/example-problem.json
+    printf ', "params": {"epochs": 2, "steps": 48, "k": 4, "mlpWidth": 16, "gcnLayers": 1, "seed": 2}}'
+} >"$workdir/job.json"
+
+submit=$(curl -sS -X POST --data-binary @"$workdir/job.json" "$base/v1/jobs")
+job_id=$(printf '%s' "$submit" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n 1)
+owner=$(printf '%s' "$submit" | sed -n 's/.*"replica": *"\([^"]*\)".*/\1/p' | head -n 1)
+if [ -z "$job_id" ] || [ -z "$owner" ]; then
+    echo "fleet-smoke: submission not placed: $submit" >&2
+    exit 1
+fi
+echo "fleet-smoke: job $job_id placed on $owner"
+
+# Give the owner a moment to pull the job into its 2s planning delay,
+# then kill it without ceremony — no drain, no deregistration.
+sleep 0.5
+eval "owner_pid=\$pid_$owner"
+kill -KILL "$owner_pid"
+echo "fleet-smoke: killed $owner (pid $owner_pid) mid-run"
+
+# The job must still complete, served by a surviving replica.
+i=0
+while :; do
+    status=$(curl -sS "$base/v1/jobs/$job_id")
+    state=$(printf '%s' "$status" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -n 1)
+    case "$state" in
+    done) break ;;
+    failed | cancelled)
+        echo "fleet-smoke: job ended $state: $status" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "fleet-smoke: job stuck in state '$state'" >&2
+        curl -sS "$base/v1/fleet" >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+final_owner=$(printf '%s' "$status" | sed -n 's/.*"replica": *"\([^"]*\)".*/\1/p' | head -n 1)
+if [ "$final_owner" = "$owner" ]; then
+    echo "fleet-smoke: job claims to have finished on the killed replica" >&2
+    exit 1
+fi
+echo "fleet-smoke: job done on $final_owner after failover"
+
+# The result must carry a solution.
+result=$(curl -sS "$base/v1/jobs/$job_id/result")
+case "$result" in
+*'"solution"'*) ;;
+*)
+    echo "fleet-smoke: result has no solution: $result" >&2
+    exit 1
+    ;;
+esac
+
+# The control plane recorded the death and the handoff.
+fleet=$(curl -sS "$base/v1/fleet")
+case "$fleet" in
+*'"state": "dead"'*) ;;
+*)
+    echo "fleet-smoke: /v1/fleet does not report the dead replica: $fleet" >&2
+    exit 1
+    ;;
+esac
+metrics=$(curl -sS "$base/metrics")
+case "$metrics" in
+*"nptsn_fleet_job_handoffs_total"*) ;;
+*)
+    echo "fleet-smoke: metrics missing nptsn_fleet_job_handoffs_total" >&2
+    printf '%s\n' "$metrics" | grep nptsn_fleet || true
+    exit 1
+    ;;
+esac
+handoffs=$(printf '%s' "$metrics" | sed -n 's/^nptsn_fleet_job_handoffs_total \([0-9.]*\).*/\1/p' | head -n 1)
+case "$handoffs" in
+0 | "")
+    echo "fleet-smoke: no handoff counted: $handoffs" >&2
+    exit 1
+    ;;
+esac
+
+echo "fleet-smoke: OK"
