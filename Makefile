@@ -84,7 +84,7 @@ bench-json:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	out=BENCH_$$n.json; \
 	$(GO) test -run xxx -json \
-		-bench 'BenchmarkFailureAnalysisORION|BenchmarkFailureAnalysisORIONEngine|BenchmarkScheduler' \
+		-bench 'BenchmarkFailureAnalysisORION|BenchmarkFailureAnalysisORIONEngine|BenchmarkScheduler|BenchmarkPolicyForward' \
 		-benchmem . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	echo "wrote $$out"
 

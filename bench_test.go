@@ -495,6 +495,55 @@ func BenchmarkScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicyForward times the pure inference path of the Table II
+// policy (GCN-2 trunk + 256x256 actor MLP + masked softmax) on an
+// ADS-sized observation — the per-step cost every exploration worker pays.
+// "single" evaluates one observation at a time; "batched" evaluates the
+// same observations as one row-stacked batch (per-observation cost
+// reported), the shape the planner's batched exploration uses.
+func BenchmarkPolicyForward(b *testing.B) {
+	scen := mustADS(b)
+	prob := scen.Problem(scenarios.ADSFlows(1), &nbf.StatelessRecovery{MaxAlternatives: 3}, 1e-6)
+	if err := prob.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig() // Table II as-is
+	soag, err := core.NewSOAG(prob, cfg.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := core.NewEncoder(prob, cfg.K)
+	nets, err := core.NewNets(rand.New(rand.NewSource(1)), enc, soag.ActionSpaceSize(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := core.NewTSSDN(prob)
+	set := soag.Generate(state, nbf.Failure{}, []tsn.Pair{{Src: 0, Dst: 6}}, rand.New(rand.NewSource(1)))
+	obs := enc.Encode(state, set)
+	b.Run("single", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nets.ForwardPolicy(obs)
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		// 8 workers' observations per barrier round, both heads evaluated
+		// (the shape planner exploration submits); cost is per observation.
+		const batch = 8
+		obsBatch := make([]*core.Obs, batch)
+		logits := make([][]float64, batch)
+		for i := range obsBatch {
+			obsBatch[i] = obs
+			logits[i] = make([]float64, soag.ActionSpaceSize())
+		}
+		values := make([]float64, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			nets.ForwardPolicyValueBatch(obsBatch, logits, values)
+		}
+	})
+}
+
 // orionAnalysisState builds the ORION-scale dual-homed topology the
 // failure-analysis benchmarks analyze: all switches upgraded, backbone
 // rung, every ES dual-homed on its least-loaded candidate switches.

@@ -278,7 +278,9 @@ func TestWeightCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	obs := enc.Encode(NewTSSDN(prob), nil)
-	la, lb := a.ForwardPolicy(obs), b.ForwardPolicy(obs)
+	// Copy a's logits: ForwardPolicy returns a borrowed scratch slice and
+	// the snapshot-independence check below forwards through a again.
+	la, lb := append([]float64(nil), a.ForwardPolicy(obs)...), b.ForwardPolicy(obs)
 	for i := range la {
 		if la[i] != lb[i] {
 			t.Fatal("imported weights do not reproduce logits")

@@ -27,6 +27,10 @@ var (
 // default) shared by an actor MLP (logits over the dynamic action space)
 // and a critic MLP (scalar value), with the flow/network parameter vector
 // concatenated onto the flattened graph embedding.
+//
+// Forward passes write into network-owned scratch buffers, so steady-state
+// evaluation allocates nothing. ForwardPolicy's returned slice is borrowed
+// scratch, valid until the next forward call on the same Nets.
 type Nets struct {
 	gcn    graphTrunk
 	useGAT bool
@@ -36,6 +40,18 @@ type Nets struct {
 	numVertices int
 	featDim     int
 	embedCols   int // per-node embedding width after the GCN
+	actionSpace int
+
+	// cached parameter lists (built once; callers must not mutate)
+	policyParams []nn.Param
+	valueParams  []nn.Param
+	allParams    []nn.Param
+
+	// scratch
+	xRow   *nn.Matrix // 1×mlpIn MLP input for single-observation forwards
+	batchX *nn.Matrix // B×mlpIn MLP input for batched forwards
+	dOut   *nn.Matrix // upstream gradient wrapper for BackwardPolicy/Value
+	dEmb   nn.Matrix  // view onto the embedding slice of the input gradient
 
 	// caches for backward passes
 	lastPolicyObs *Obs
@@ -64,7 +80,7 @@ func NewNets(rng *rand.Rand, enc *Encoder, actionSpace int, cfg Config) (*Nets, 
 	}
 	embedCols := trunk.OutFeatures(featDim)
 	mlpIn := n*embedCols + enc.ParamDim()
-	return &Nets{
+	nt := &Nets{
 		gcn:         trunk,
 		useGAT:      cfg.UseGAT,
 		actor:       nn.NewMLP(rng, mlpIn, cfg.MLPHidden, actionSpace, nn.Tanh),
@@ -72,36 +88,60 @@ func NewNets(rng *rand.Rand, enc *Encoder, actionSpace int, cfg Config) (*Nets, 
 		numVertices: n,
 		featDim:     featDim,
 		embedCols:   embedCols,
-	}, nil
+		actionSpace: actionSpace,
+		xRow:        nn.NewMatrix(1, mlpIn),
+		batchX:      new(nn.Matrix),
+		dOut:        new(nn.Matrix),
+	}
+	// Parameter lists are fixed for the network's lifetime; caching them
+	// keeps the per-iteration ZeroGrads/ClipGrads/Step calls allocation-
+	// free. Exact capacities so appends by callers reallocate.
+	pp := append(trunk.Params(), nt.actor.Params()...)
+	vp := append(trunk.Params(), nt.critic.Params()...)
+	ap := append(append(trunk.Params(), nt.actor.Params()...), nt.critic.Params()...)
+	nt.policyParams = pp[:len(pp):len(pp)]
+	nt.valueParams = vp[:len(vp):len(vp)]
+	nt.allParams = ap[:len(ap):len(ap)]
+	return nt, nil
 }
 
-// embed runs the graph trunk and assembles the MLP input.
-func (nt *Nets) embed(obs *Obs) *nn.Matrix {
-	op := obs.SHat
+// operator selects the trunk's propagation input for an observation.
+func (nt *Nets) operator(o *Obs) *nn.Matrix {
 	if nt.useGAT {
-		op = obs.Mask
+		return o.Mask
 	}
-	emb := nt.gcn.Forward(op, obs.Feat)
-	return nn.ConcatCols(emb.Flatten(), obs.Params)
+	return o.SHat
+}
+
+// embed runs the graph trunk and assembles the MLP input into xRow.
+func (nt *Nets) embed(obs *Obs) *nn.Matrix {
+	emb := nt.gcn.Forward(nt.operator(obs), obs.Feat)
+	embLen := nt.numVertices * nt.embedCols
+	copy(nt.xRow.Data[:embLen], emb.Data)
+	copy(nt.xRow.Data[embLen:], obs.Params.Data)
+	return nt.xRow
 }
 
 // backThroughEmbedding splits the MLP input gradient and backpropagates the
 // embedding part through the GCN (the parameter-vector part is constant).
+// dEmb is a read-only reshaped view of dIn's prefix, consumed immediately.
 func (nt *Nets) backThroughEmbedding(dIn *nn.Matrix) {
 	embLen := nt.numVertices * nt.embedCols
-	dEmb := nn.FromSlice(nt.numVertices, nt.embedCols, append([]float64(nil), dIn.Data[:embLen]...))
-	nt.gcn.Backward(dEmb)
+	nt.dEmb.Rows, nt.dEmb.Cols = nt.numVertices, nt.embedCols
+	nt.dEmb.Data = dIn.Data[:embLen]
+	nt.gcn.Backward(&nt.dEmb)
 }
 
-// ForwardPolicy implements rl.ActorCritic.
+// ForwardPolicy implements rl.ActorCritic. The returned slice is borrowed
+// network scratch: valid until the next forward call, never to be modified
+// or retained by the caller.
 func (nt *Nets) ForwardPolicy(obs rl.Observation) []float64 {
 	o, ok := obs.(*Obs)
 	if !ok {
 		panic(fmt.Sprintf("core: unexpected observation type %T", obs))
 	}
 	nt.lastPolicyObs = o
-	out := nt.actor.Forward(nt.embed(o))
-	return append([]float64(nil), out.Data...)
+	return nt.actor.Forward(nt.embed(o)).Data
 }
 
 // BackwardPolicy implements rl.ActorCritic.
@@ -109,14 +149,14 @@ func (nt *Nets) BackwardPolicy(dLogits []float64) {
 	if nt.lastPolicyObs == nil {
 		panic("core: policy backward before forward")
 	}
-	dIn := nt.actor.Backward(nn.FromSlice(1, len(dLogits), append([]float64(nil), dLogits...)))
-	nt.backThroughEmbedding(dIn)
+	nt.dOut.EnsureShape(1, len(dLogits))
+	copy(nt.dOut.Data, dLogits)
+	nt.backThroughEmbedding(nt.actor.Backward(nt.dOut))
 }
 
-// PolicyParams implements rl.ActorCritic: GCN trunk + actor head.
-func (nt *Nets) PolicyParams() []nn.Param {
-	return append(nt.gcn.Params(), nt.actor.Params()...)
-}
+// PolicyParams implements rl.ActorCritic: GCN trunk + actor head. The
+// returned list is cached; callers must treat it as read-only.
+func (nt *Nets) PolicyParams() []nn.Param { return nt.policyParams }
 
 // ForwardValue implements rl.ActorCritic.
 func (nt *Nets) ForwardValue(obs rl.Observation) float64 {
@@ -133,21 +173,64 @@ func (nt *Nets) BackwardValue(dV float64) {
 	if nt.lastValueObs == nil {
 		panic("core: value backward before forward")
 	}
-	dIn := nt.critic.Backward(nn.FromSlice(1, 1, []float64{dV}))
-	nt.backThroughEmbedding(dIn)
+	nt.dOut.EnsureShape(1, 1)
+	nt.dOut.Data[0] = dV
+	nt.backThroughEmbedding(nt.critic.Backward(nt.dOut))
 }
 
-// ValueParams implements rl.ActorCritic: GCN trunk + critic head.
-func (nt *Nets) ValueParams() []nn.Param {
-	return append(nt.gcn.Params(), nt.critic.Params()...)
+// ValueParams implements rl.ActorCritic: GCN trunk + critic head (cached,
+// read-only).
+func (nt *Nets) ValueParams() []nn.Param { return nt.valueParams }
+
+// ActionSpace returns the actor's output dimension.
+func (nt *Nets) ActionSpace() int { return nt.actionSpace }
+
+// ForwardPolicyValueBatch evaluates both heads for a row-stacked batch of
+// observations in one call: the trunk runs per observation (the
+// block-diagonal Ŝ of the batch factorizes into independent blocks), the
+// embeddings are stacked into one B×mlpIn matrix, and each MLP runs a
+// single batched matmul chain over it. Because every matmul kernel
+// computes output rows independently, row i of the batch is bit-identical
+// to a single-observation forward of obs[i] — the property the batched
+// exploration path relies on for reproducibility, asserted by the
+// differential tests.
+//
+// logits[i] must be a caller-owned slice of length ActionSpace(); values
+// must have length len(obs). Backward caches are not maintained: this is
+// an inference-only path (the PPO update re-forwards per step).
+func (nt *Nets) ForwardPolicyValueBatch(obs []*Obs, logits [][]float64, values []float64) {
+	b := len(obs)
+	if b == 0 {
+		return
+	}
+	if len(logits) != b || len(values) != b {
+		panic(fmt.Sprintf("core: batch of %d obs with %d logit / %d value slots", b, len(logits), len(values)))
+	}
+	embLen := nt.numVertices * nt.embedCols
+	mlpIn := embLen + len(obs[0].Params.Data)
+	nt.batchX.EnsureShape(b, mlpIn)
+	for i, o := range obs {
+		emb := nt.gcn.Forward(nt.operator(o), o.Feat)
+		row := nt.batchX.Data[i*mlpIn : (i+1)*mlpIn]
+		copy(row[:embLen], emb.Data)
+		copy(row[embLen:], o.Params.Data)
+	}
+	out := nt.actor.Forward(nt.batchX)
+	for i := range obs {
+		if len(logits[i]) != nt.actionSpace {
+			panic(fmt.Sprintf("core: logits[%d] has %d slots, action space is %d", i, len(logits[i]), nt.actionSpace))
+		}
+		copy(logits[i], out.Data[i*nt.actionSpace:(i+1)*nt.actionSpace])
+	}
+	vals := nt.critic.Forward(nt.batchX)
+	for i := range obs {
+		values[i] = vals.Data[i]
+	}
 }
 
 // AllParams lists every parameter exactly once (GCN, actor, critic), used
-// for replica synchronization.
-func (nt *Nets) AllParams() []nn.Param {
-	ps := append(nt.gcn.Params(), nt.actor.Params()...)
-	return append(ps, nt.critic.Params()...)
-}
+// for replica synchronization. The returned list is cached; read-only.
+func (nt *Nets) AllParams() []nn.Param { return nt.allParams }
 
 // SyncFrom copies parameter values from src (replica synchronization after
 // a global update, §IV-C).

@@ -100,7 +100,9 @@ func TestNetsForwardShapesAndDeterminism(t *testing.T) {
 	set := soag.Generate(s, nbf.Failure{}, []tsn.Pair{{Src: 0, Dst: 1}}, rand.New(rand.NewSource(1)))
 	obs := enc.Encode(s, set)
 
-	logits := nets.ForwardPolicy(obs)
+	// ForwardPolicy returns a borrowed scratch slice; copy before the next
+	// forward so the determinism comparison is not against an alias.
+	logits := append([]float64(nil), nets.ForwardPolicy(obs)...)
 	if len(logits) != soag.ActionSpaceSize() {
 		t.Fatalf("logits len %d, want %d", len(logits), soag.ActionSpaceSize())
 	}

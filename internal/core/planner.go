@@ -128,6 +128,19 @@ type worker struct {
 	rng  *rand.Rand
 	buf  *rl.Buffer
 
+	// batch, when non-nil, routes the worker's policy/value evaluations
+	// through the shared batching barrier instead of its own nets (in that
+	// mode nets aliases the global networks and is never called directly).
+	batch *policyBatcher
+	// scratch holds the worker's action-space vectors: batched logits land
+	// in scratch.Logits, masking/softmax/log-softmax reuse the rest. One
+	// arena per worker keeps every exploration step allocation-free.
+	scratch *nn.Scratch
+	// batchVal is the critic-value destination handed to batch.eval (a
+	// worker field rather than a loop local so taking its address does not
+	// allocate).
+	batchVal float64
+
 	// maskArena backs the per-step action-mask copies stored in buf. The
 	// buffer retains every mask until the epoch's PPO update consumes it,
 	// so the copies are carved out of one chunk instead of one allocation
@@ -166,6 +179,14 @@ func (w *worker) copyMask(src []bool) []bool {
 // cancelled, leaving the buffer in an undefined (possibly unfinished)
 // state; the planner discards the whole epoch in that case.
 func (w *worker) explore(ctx context.Context, steps int) {
+	if w.batch != nil {
+		// Join the batching barrier for the duration of this round. The
+		// deferred depart runs on every exit — normal return, error, ctx
+		// cancellation or panic — *before* the planner's panic recovery, so
+		// a dying worker can never strand the others at the barrier.
+		w.batch.join()
+		defer w.batch.depart()
+	}
 	for j := 0; j < steps; j++ {
 		if ctx.Err() != nil {
 			w.interrupted = true
@@ -179,12 +200,26 @@ func (w *worker) explore(ctx context.Context, steps int) {
 			w.err = fmt.Errorf("planner: no valid actions from the start state")
 			return
 		}
-		logits := w.nets.ForwardPolicy(obs)
-		masked := nn.MaskLogits(logits, mask)
-		probs := nn.Softmax(masked)
+		var logits []float64
+		if w.batch != nil {
+			// Blocks until every active worker submitted its observation,
+			// then one batched forward fills logits and batchVal. Row i of
+			// the batch is bit-identical to a single forward of obs[i], and
+			// the action below is drawn from this worker's own RNG stream,
+			// so batch composition cannot influence the trajectory.
+			w.batch.eval(obs, w.scratch.Logits, &w.batchVal)
+			logits = w.scratch.Logits
+		} else {
+			logits = w.nets.ForwardPolicy(obs)
+		}
+		masked := nn.MaskLogitsInto(w.scratch.Masked, logits, mask)
+		probs := nn.SoftmaxInto(w.scratch.Probs, masked)
 		action := nn.SampleCategorical(w.rng, probs)
-		logp := nn.LogSoftmax(masked)[action]
-		value := w.nets.ForwardValue(obs)
+		logp := nn.LogSoftmaxInto(w.scratch.LogProbs, masked)[action]
+		value := w.batchVal
+		if w.batch == nil {
+			value = w.nets.ForwardValue(obs)
+		}
 
 		reward, outcome, err := w.env.StepContext(ctx, action)
 		if err != nil {
@@ -216,7 +251,14 @@ func (w *worker) explore(ctx context.Context, steps int) {
 	// does the counter (a phantom trajectory would deflate the epoch
 	// reward).
 	before := w.buf.Paths()
-	w.buf.FinishPath(w.nets.ForwardValue(w.env.Observation()))
+	boot := 0.0
+	if w.batch != nil {
+		w.batch.eval(w.env.Observation(), w.scratch.Logits, &w.batchVal)
+		boot = w.batchVal
+	} else {
+		boot = w.nets.ForwardValue(w.env.Observation())
+	}
+	w.buf.FinishPath(boot)
 	if w.buf.Paths() > before {
 		w.trajectories++
 	}
@@ -275,6 +317,16 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		cache = failure.NewCache(p.cfg.AnalyzerCacheSize)
 	}
 
+	// Batched exploration (the default) centralizes all policy/value
+	// evaluation on the global networks behind one barrier, so the workers
+	// need no replica networks at all; the unbatched escape hatch keeps the
+	// original one-replica-per-worker layout. Trajectories are bit-identical
+	// either way: between updates every replica equals the global weights,
+	// and the batched forward is row-wise identical to single forwards.
+	var batch *policyBatcher
+	if !p.cfg.UnbatchedExploration {
+		batch = newPolicyBatcher(global)
+	}
 	workers := make([]*worker, p.cfg.Workers)
 	for i := range workers {
 		src := rng.New(p.cfg.Seed + int64(i)*7919 + 1)
@@ -282,12 +334,18 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		nets, err := p.buildNets(rand.New(rand.NewSource(p.cfg.Seed)))
-		if err != nil {
-			return nil, err
+		nets := global
+		if batch == nil {
+			nets, err = p.buildNets(rand.New(rand.NewSource(p.cfg.Seed)))
+			if err != nil {
+				return nil, err
+			}
+			nets.SyncFrom(global)
 		}
-		nets.SyncFrom(global)
-		workers[i] = &worker{env: env, nets: nets, src: src, rng: rand.New(src)}
+		workers[i] = &worker{
+			env: env, nets: nets, src: src, rng: rand.New(src),
+			batch: batch, scratch: nn.NewScratch(global.ActionSpace()),
+		}
 	}
 
 	var pm *plannerMetrics
@@ -472,7 +530,9 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 			}
 		}
 		for _, w := range workers {
-			w.nets.SyncFrom(global)
+			if w.nets != global { // batched workers share the global nets
+				w.nets.SyncFrom(global)
+			}
 		}
 		// Re-arm quarantined workers with a clean environment for the next
 		// epoch (a panic may have left the construction state mid-action).

@@ -1,9 +1,7 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
-	"math"
 )
 
 // ErrNoPath is returned when no path exists between the requested endpoints.
@@ -104,26 +102,6 @@ func (p Path) Clone() Path {
 	return c
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	id   int
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // pathConstraints restrict the vertices and edges Dijkstra may use. Both
 // maps may be nil.
 type pathConstraints struct {
@@ -131,77 +109,29 @@ type pathConstraints struct {
 	bannedEdges map[Edge]struct{}
 }
 
-func (c pathConstraints) nodeBanned(id int) bool {
-	_, ok := c.bannedNodes[id]
-	return ok
-}
-
-func (c pathConstraints) edgeBanned(u, v int) bool {
-	_, ok := c.bannedEdges[Edge{U: u, V: v}.Canonical()]
-	return ok
-}
-
 // ShortestPath returns the minimum-length path from s to d using edge
 // lengths as weights (ties broken deterministically by vertex ID). It
-// returns ErrNoPath when d is unreachable.
+// returns ErrNoPath when d is unreachable. The result is freshly allocated;
+// hot paths should hold a PathFinder instead.
 func (g *Graph) ShortestPath(s, d int) (Path, error) {
 	return g.shortestPathConstrained(s, d, pathConstraints{})
 }
 
 func (g *Graph) shortestPathConstrained(s, d int, con pathConstraints) (Path, error) {
-	n := g.NumVertices()
-	if s < 0 || s >= n || d < 0 || d >= n {
-		return nil, ErrNoPath
-	}
-	if con.nodeBanned(s) || con.nodeBanned(d) {
-		return nil, ErrNoPath
-	}
-	if s == d {
-		return Path{s}, nil
-	}
-	dist := make([]float64, n)
-	prev := make([]int, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[s] = 0
-	q := &pq{{id: s, dist: 0}}
-	for q.Len() > 0 {
-		cur := heap.Pop(q).(pqItem)
-		if done[cur.id] {
-			continue
-		}
-		done[cur.id] = true
-		if cur.id == d {
-			break
-		}
-		// Iterate neighbors in sorted order for deterministic tie-breaking.
-		for _, nb := range g.Neighbors(cur.id) {
-			if done[nb] || con.nodeBanned(nb) || con.edgeBanned(cur.id, nb) {
-				continue
-			}
-			l, _ := g.EdgeLength(cur.id, nb)
-			nd := dist[cur.id] + l
-			if nd < dist[nb] || (nd == dist[nb] && prev[nb] > cur.id && prev[nb] != -1) {
-				dist[nb] = nd
-				prev[nb] = cur.id
-				heap.Push(q, pqItem{id: nb, dist: nd})
-			}
+	f := AcquireFinder(g)
+	defer ReleaseFinder(f)
+	f.clearConstraints()
+	for v := range con.bannedNodes {
+		if v >= 0 && v < f.n {
+			f.banNode(v)
 		}
 	}
-	if math.IsInf(dist[d], 1) {
-		return nil, ErrNoPath
+	for e := range con.bannedEdges {
+		f.banEdge(e)
 	}
-	// Reconstruct.
-	var rev Path
-	for at := d; at != -1; at = prev[at] {
-		rev = append(rev, at)
+	p, err := f.dijkstra(s, d)
+	if err != nil {
+		return nil, err
 	}
-	p := make(Path, len(rev))
-	for i := range rev {
-		p[i] = rev[len(rev)-1-i]
-	}
-	return p, nil
+	return p.Clone(), nil
 }

@@ -1,93 +1,31 @@
 package graph
 
-import "sort"
-
 // KShortestPaths implements Yen's algorithm [Yen 1971] for the K shortest
 // loopless paths from s to d, as referenced by Algorithm 1 of the paper
 // (path addition action generation). Paths are returned in non-decreasing
 // length order; fewer than k paths are returned if the graph does not
 // contain k distinct loopless paths. When no path exists at all, it returns
 // (nil, ErrNoPath).
+//
+// This wrapper runs the search on a pooled PathFinder and copies the
+// results out, so callers own the returned paths. Hot loops that issue many
+// queries against one graph should hold their own PathFinder and skip the
+// copies.
 func (g *Graph) KShortestPaths(s, d, k int) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	first, err := g.ShortestPath(s, d)
+	f := AcquireFinder(g)
+	defer ReleaseFinder(f)
+	ps, err := f.KShortestPaths(s, d, k)
 	if err != nil {
 		return nil, err
 	}
-	result := []Path{first}
-	// Candidate pool (B in Yen's formulation).
-	type candidate struct {
-		path Path
-		len  float64
+	out := make([]Path, len(ps))
+	for i, p := range ps {
+		out[i] = p.Clone()
 	}
-	var candidates []candidate
-
-	haveCandidate := func(p Path) bool {
-		for _, c := range candidates {
-			if c.path.Equal(p) {
-				return true
-			}
-		}
-		return false
-	}
-	haveResult := func(p Path) bool {
-		for _, r := range result {
-			if r.Equal(p) {
-				return true
-			}
-		}
-		return false
-	}
-
-	for len(result) < k {
-		prev := result[len(result)-1]
-		// Each vertex of the previous path except the destination is a spur
-		// node.
-		for i := 0; i < len(prev)-1; i++ {
-			spur := prev[i]
-			root := prev[:i+1].Clone()
-
-			con := pathConstraints{
-				bannedNodes: make(map[int]struct{}),
-				bannedEdges: make(map[Edge]struct{}),
-			}
-			// Ban edges that would recreate a previously found path sharing
-			// this root.
-			for _, r := range result {
-				if len(r) > i && r[:i+1].Equal(root) {
-					con.bannedEdges[Edge{U: r[i], V: r[i+1]}.Canonical()] = struct{}{}
-				}
-			}
-			// Ban root vertices (except the spur) to keep paths loopless.
-			for _, v := range root[:len(root)-1] {
-				con.bannedNodes[v] = struct{}{}
-			}
-
-			spurPath, err := g.shortestPathConstrained(spur, d, con)
-			if err != nil {
-				continue
-			}
-			total := append(root[:len(root)-1].Clone(), spurPath...)
-			if !total.Loopless() || haveResult(total) || haveCandidate(total) {
-				continue
-			}
-			candidates = append(candidates, candidate{path: total, len: total.Length(g)})
-		}
-		if len(candidates) == 0 {
-			break
-		}
-		sort.SliceStable(candidates, func(a, b int) bool {
-			if candidates[a].len != candidates[b].len {
-				return candidates[a].len < candidates[b].len
-			}
-			return lexLess(candidates[a].path, candidates[b].path)
-		})
-		result = append(result, candidates[0].path)
-		candidates = candidates[1:]
-	}
-	return result, nil
+	return out, nil
 }
 
 // lexLess orders paths lexicographically for deterministic tie-breaking.

@@ -19,53 +19,65 @@ const (
 	Tanh
 )
 
-// apply computes the activation of z element-wise.
-func (a Activation) apply(z *Matrix) *Matrix {
-	out := z.Clone()
+// applyInto computes dst = σ(z) element-wise, resizing dst in place.
+func (a Activation) applyInto(dst, z *Matrix) {
+	dst.EnsureShape(z.Rows, z.Cols)
 	switch a {
 	case Identity:
+		copy(dst.Data, z.Data)
 	case ReLU:
-		for i, v := range out.Data {
+		for i, v := range z.Data {
 			if v < 0 {
-				out.Data[i] = 0
+				dst.Data[i] = 0
+			} else {
+				dst.Data[i] = v
 			}
 		}
 	case Tanh:
-		for i, v := range out.Data {
-			out.Data[i] = math.Tanh(v)
+		for i, v := range z.Data {
+			dst.Data[i] = math.Tanh(v)
 		}
 	default:
 		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
 	}
-	return out
 }
 
-// gradFactor returns dσ/dz given pre-activation z and activation output y.
-func (a Activation) gradFactor(z, y *Matrix) *Matrix {
-	g := NewMatrix(z.Rows, z.Cols)
+// backwardInto computes dst = dY ⊙ dσ/dz element-wise from the cached
+// pre-activation z and output y — the fused form of the former
+// Hadamard(dY, gradFactor(z, y)); each element is the identical product, so
+// gradients are bit-identical to the allocating version.
+func (a Activation) backwardInto(dst, dY, z, y *Matrix) {
+	shapeEqual("activation backward", dY, z)
+	dst.EnsureShape(z.Rows, z.Cols)
 	switch a {
 	case Identity:
-		for i := range g.Data {
-			g.Data[i] = 1
-		}
+		copy(dst.Data, dY.Data)
 	case ReLU:
 		for i, v := range z.Data {
 			if v > 0 {
-				g.Data[i] = 1
+				dst.Data[i] = dY.Data[i] * 1
+			} else {
+				// dY·0, not the constant 0: keeps zero signs and NaN
+				// propagation bit-identical to the Hadamard formulation.
+				dst.Data[i] = dY.Data[i] * 0
 			}
 		}
 	case Tanh:
-		for i := range g.Data {
-			g.Data[i] = 1 - y.Data[i]*y.Data[i]
+		for i := range z.Data {
+			dst.Data[i] = dY.Data[i] * (1 - y.Data[i]*y.Data[i])
 		}
 	default:
 		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
 	}
-	return g
 }
 
 // Dense is a fully connected layer y = σ(xW + b) with cached forward state
 // for backpropagation. Inputs are batch-major: x is batch×in.
+//
+// Forward and Backward write into layer-owned scratch matrices that are
+// resized in place, so steady-state evaluation allocates nothing. The
+// returned matrices are owned by the layer and valid until its next
+// Forward/Backward call; callers that retain results must copy them.
 type Dense struct {
 	In, Out int
 	Act     Activation
@@ -76,9 +88,13 @@ type Dense struct {
 	gradW *Matrix
 	gradB *Matrix
 
-	lastX *Matrix // batch×In
-	lastZ *Matrix // pre-activation
-	lastY *Matrix // post-activation
+	lastX *Matrix // batch×In (caller-owned input, not copied)
+	z     *Matrix // pre-activation scratch
+	y     *Matrix // post-activation scratch
+
+	dZ       *Matrix // backward scratch: dY ⊙ σ'
+	dX       *Matrix // backward scratch: returned input gradient
+	gradWTmp *Matrix // backward scratch: xᵀ dZ before accumulation
 }
 
 // NewDense builds a dense layer with Xavier-initialized weights.
@@ -87,43 +103,48 @@ func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 		In: in, Out: out, Act: act,
 		W: NewMatrix(in, out), B: NewMatrix(1, out),
 		gradW: NewMatrix(in, out), gradB: NewMatrix(1, out),
+		z: new(Matrix), y: new(Matrix),
+		dZ: new(Matrix), dX: new(Matrix), gradWTmp: new(Matrix),
 	}
 	d.W.XavierInit(rng, in, out)
 	return d
 }
 
-// Forward computes the layer output and caches intermediates.
+// Forward computes the layer output and caches intermediates. The returned
+// matrix is layer-owned scratch, valid until the next Forward call.
 func (d *Dense) Forward(x *Matrix) *Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense input %d, want %d", x.Cols, d.In))
 	}
-	z := MatMul(x, d.W)
-	for r := 0; r < z.Rows; r++ {
-		for c := 0; c < z.Cols; c++ {
-			z.Data[r*z.Cols+c] += d.B.Data[c]
+	MatMulInto(d.z, x, d.W)
+	for r := 0; r < d.z.Rows; r++ {
+		row := d.z.Data[r*d.z.Cols : (r+1)*d.z.Cols]
+		for c, bv := range d.B.Data {
+			row[c] += bv
 		}
 	}
 	d.lastX = x
-	d.lastZ = z
-	d.lastY = d.Act.apply(z)
-	return d.lastY
+	d.Act.applyInto(d.y, d.z)
+	return d.y
 }
 
 // Backward accumulates parameter gradients for upstream gradient dY and
-// returns the gradient with respect to the input.
+// returns the gradient with respect to the input (layer-owned scratch).
 func (d *Dense) Backward(dY *Matrix) *Matrix {
 	if d.lastX == nil {
 		panic("nn: dense backward before forward")
 	}
-	dZ := Hadamard(dY, d.Act.gradFactor(d.lastZ, d.lastY))
-	d.gradW.AddInPlace(MatMul(d.lastX.Transpose(), dZ))
+	d.Act.backwardInto(d.dZ, dY, d.z, d.y)
+	matMulATInto(d.gradWTmp, d.lastX, d.dZ)
+	d.gradW.AddInPlace(d.gradWTmp)
 	// Bias gradient: column sums of dZ.
-	for r := 0; r < dZ.Rows; r++ {
-		for c := 0; c < dZ.Cols; c++ {
-			d.gradB.Data[c] += dZ.Data[r*dZ.Cols+c]
+	for r := 0; r < d.dZ.Rows; r++ {
+		for c := 0; c < d.dZ.Cols; c++ {
+			d.gradB.Data[c] += d.dZ.Data[r*d.dZ.Cols+c]
 		}
 	}
-	return MatMul(dZ, d.W.Transpose())
+	matMulBTInto(d.dX, d.dZ, d.W)
+	return d.dX
 }
 
 // Params exposes the layer parameters to the optimizer.
@@ -153,7 +174,11 @@ func NewMLP(rng *rand.Rand, in int, hidden []int, out int, act Activation) *MLP 
 	return m
 }
 
-// Forward runs all layers.
+// Forward runs all layers. Rows of x are independent samples: evaluating a
+// row-stacked batch produces, row for row, the identical results (and
+// floating-point operation sequence) as evaluating each row alone, which
+// the batched-equals-single differential tests assert. The returned matrix
+// is scratch owned by the output layer.
 func (m *MLP) Forward(x *Matrix) *Matrix {
 	for _, l := range m.layers {
 		x = l.Forward(x)
@@ -161,7 +186,8 @@ func (m *MLP) Forward(x *Matrix) *Matrix {
 	return x
 }
 
-// Backward backpropagates and returns the input gradient.
+// Backward backpropagates and returns the input gradient (scratch owned by
+// the first layer).
 func (m *MLP) Backward(dY *Matrix) *Matrix {
 	for i := len(m.layers) - 1; i >= 0; i-- {
 		dY = m.layers[i].Backward(dY)

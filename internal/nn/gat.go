@@ -32,6 +32,9 @@ func SelfLoopMask(adj *Matrix) *Matrix {
 // §IV-C alternative to GCN. Attention coefficients are computed per edge
 // with a LeakyReLU-activated additive score and normalized by a masked
 // softmax over each node's neighborhood.
+//
+// Like GCNLayer, all intermediates live in layer-owned scratch buffers
+// resized in place; returned matrices are valid until the next call.
 type GATLayer struct {
 	In, Out int
 	Act     Activation
@@ -44,14 +47,24 @@ type GATLayer struct {
 	gradA1 *Matrix
 	gradA2 *Matrix
 
-	// caches
-	lastMask  *Matrix
-	lastH     *Matrix
-	lastZ     *Matrix
-	lastRaw   *Matrix // unactivated attention scores (only valid on mask)
-	lastAlpha *Matrix
-	lastS     *Matrix // pre-activation aggregate
-	lastY     *Matrix
+	// caches (lastMask/lastH are caller-owned inputs; the rest is scratch)
+	lastMask *Matrix
+	lastH    *Matrix
+	z        *Matrix
+	raw      *Matrix // unactivated attention scores (only valid on mask)
+	alpha    *Matrix
+	s        *Matrix // pre-activation aggregate
+	y        *Matrix
+
+	src, dst []float64 // per-node attention score scratch
+
+	dS        *Matrix // backward scratch
+	dZ        *Matrix
+	dH        *Matrix
+	gradWTmp  *Matrix
+	dSrc      []float64
+	dDst      []float64
+	dAlphaRow []float64
 }
 
 // NewGATLayer builds a layer with Xavier-initialized parameters.
@@ -60,6 +73,8 @@ func NewGATLayer(rng *rand.Rand, in, out int, act Activation) *GATLayer {
 		In: in, Out: out, Act: act,
 		W: NewMatrix(in, out), A1: NewMatrix(out, 1), A2: NewMatrix(out, 1),
 		gradW: NewMatrix(in, out), gradA1: NewMatrix(out, 1), gradA2: NewMatrix(out, 1),
+		z: new(Matrix), raw: new(Matrix), alpha: new(Matrix), s: new(Matrix), y: new(Matrix),
+		dS: new(Matrix), dZ: new(Matrix), dH: new(Matrix), gradWTmp: new(Matrix),
 	}
 	l.W.XavierInit(rng, in, out)
 	l.A1.XavierInit(rng, out, 1)
@@ -67,36 +82,49 @@ func NewGATLayer(rng *rand.Rand, in, out int, act Activation) *GATLayer {
 	return l
 }
 
-// Forward computes the attention aggregation over the self-looped mask.
+// ensureVec grows a float64 scratch slice to length n, reusing capacity.
+func ensureVec(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Forward computes the attention aggregation over the self-looped mask. The
+// returned matrix is layer-owned scratch.
 func (l *GATLayer) Forward(mask, h *Matrix) *Matrix {
 	if h.Cols != l.In {
 		panic(fmt.Sprintf("nn: gat input features %d, want %d", h.Cols, l.In))
 	}
 	n := h.Rows
-	z := MatMul(h, l.W)
+	MatMulInto(l.z, h, l.W)
+	z := l.z
 
 	// Per-node source/neighbor scores.
-	src := make([]float64, n)
-	dst := make([]float64, n)
+	l.src = ensureVec(l.src, n)
+	l.dst = ensureVec(l.dst, n)
 	for i := 0; i < n; i++ {
 		var s1, s2 float64
 		for c := 0; c < l.Out; c++ {
 			s1 += z.At(i, c) * l.A1.Data[c]
 			s2 += z.At(i, c) * l.A2.Data[c]
 		}
-		src[i] = s1
-		dst[i] = s2
+		l.src[i] = s1
+		l.dst[i] = s2
 	}
 
-	raw := NewMatrix(n, n)
-	alpha := NewMatrix(n, n)
+	l.raw.EnsureShape(n, n)
+	l.raw.Zero()
+	l.alpha.EnsureShape(n, n)
+	l.alpha.Zero()
+	raw, alpha := l.raw, l.alpha
 	for i := 0; i < n; i++ {
 		maxPre := math.Inf(-1)
 		for j := 0; j < n; j++ {
 			if mask.At(i, j) == 0 {
 				continue
 			}
-			r := src[i] + dst[j]
+			r := l.src[i] + l.dst[j]
 			raw.Set(i, j, r)
 			pre := leaky(r)
 			if pre > maxPre {
@@ -120,11 +148,10 @@ func (l *GATLayer) Forward(mask, h *Matrix) *Matrix {
 		}
 	}
 
-	s := MatMul(alpha, z)
-	l.lastMask, l.lastH, l.lastZ = mask, h, z
-	l.lastRaw, l.lastAlpha, l.lastS = raw, alpha, s
-	l.lastY = l.Act.apply(s)
-	return l.lastY
+	MatMulInto(l.s, alpha, z)
+	l.lastMask, l.lastH = mask, h
+	l.Act.applyInto(l.y, l.s)
+	return l.y
 }
 
 func leaky(x float64) float64 {
@@ -143,39 +170,50 @@ func leakyGrad(x float64) float64 {
 
 // Backward accumulates parameter gradients and returns dH.
 func (l *GATLayer) Backward(dY *Matrix) *Matrix {
-	if l.lastZ == nil {
+	if l.lastH == nil {
 		panic("nn: gat backward before forward")
 	}
 	n := l.lastH.Rows
-	dS := Hadamard(dY, l.Act.gradFactor(l.lastS, l.lastY))
+	l.Act.backwardInto(l.dS, dY, l.s, l.y)
+	dS := l.dS
 
 	// dZ from the aggregation: dZ = αᵀ dS.
-	dZ := MatMul(l.lastAlpha.Transpose(), dS)
+	matMulATInto(l.dZ, l.alpha, dS)
+	dZ := l.dZ
 
 	// dα_ij = dS_i · Z_j for edges; then masked softmax backward per row.
-	dSrc := make([]float64, n)
-	dDst := make([]float64, n)
+	l.dSrc = ensureVec(l.dSrc, n)
+	l.dDst = ensureVec(l.dDst, n)
+	l.dAlphaRow = ensureVec(l.dAlphaRow, n)
+	dSrc, dDst := l.dSrc, l.dDst
+	for i := range dSrc {
+		dSrc[i] = 0
+		dDst[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		// Row dot products.
 		var rowDot float64 // Σ_k α_ik dα_ik
-		dAlphaRow := make([]float64, n)
+		dAlphaRow := l.dAlphaRow
+		for j := range dAlphaRow {
+			dAlphaRow[j] = 0
+		}
 		for j := 0; j < n; j++ {
 			if l.lastMask.At(i, j) == 0 {
 				continue
 			}
 			var dot float64
 			for c := 0; c < l.Out; c++ {
-				dot += dS.At(i, c) * l.lastZ.At(j, c)
+				dot += dS.At(i, c) * l.z.At(j, c)
 			}
 			dAlphaRow[j] = dot
-			rowDot += l.lastAlpha.At(i, j) * dot
+			rowDot += l.alpha.At(i, j) * dot
 		}
 		for j := 0; j < n; j++ {
 			if l.lastMask.At(i, j) == 0 {
 				continue
 			}
-			dPre := l.lastAlpha.At(i, j) * (dAlphaRow[j] - rowDot)
-			dRaw := dPre * leakyGrad(l.lastRaw.At(i, j))
+			dPre := l.alpha.At(i, j) * (dAlphaRow[j] - rowDot)
+			dRaw := dPre * leakyGrad(l.raw.At(i, j))
 			dSrc[i] += dRaw
 			dDst[j] += dRaw
 		}
@@ -183,14 +221,16 @@ func (l *GATLayer) Backward(dY *Matrix) *Matrix {
 	// Attention-vector gradients and their Z contributions.
 	for i := 0; i < n; i++ {
 		for c := 0; c < l.Out; c++ {
-			l.gradA1.Data[c] += dSrc[i] * l.lastZ.At(i, c)
-			l.gradA2.Data[c] += dDst[i] * l.lastZ.At(i, c)
+			l.gradA1.Data[c] += dSrc[i] * l.z.At(i, c)
+			l.gradA2.Data[c] += dDst[i] * l.z.At(i, c)
 			dZ.Data[i*l.Out+c] += dSrc[i]*l.A1.Data[c] + dDst[i]*l.A2.Data[c]
 		}
 	}
 
-	l.gradW.AddInPlace(MatMul(l.lastH.Transpose(), dZ))
-	return MatMul(dZ, l.W.Transpose())
+	matMulATInto(l.gradWTmp, l.lastH, dZ)
+	l.gradW.AddInPlace(l.gradWTmp)
+	matMulBTInto(l.dH, dZ, l.W)
+	return l.dH
 }
 
 // Params exposes the layer parameters.

@@ -51,7 +51,7 @@ func TestGATForwardShapesAndAttentionRows(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			var sum float64
 			for j := 0; j < 5; j++ {
-				a := layer.lastAlpha.At(i, j)
+				a := layer.alpha.At(i, j)
 				if mask.At(i, j) == 0 && a != 0 {
 					t.Fatalf("attention leaked outside the mask at (%d,%d)", i, j)
 				}

@@ -37,6 +37,10 @@ func NormalizeAdjacency(adj *Matrix) *Matrix {
 // GCNLayer implements one layer of Eq. 4: H' = σ(Ŝ H W). The propagation
 // operator Ŝ varies per observation (the topology changes every step), so
 // it is an input to Forward rather than a layer parameter.
+//
+// All intermediates live in layer-owned scratch matrices resized in place,
+// so steady-state Forward/Backward allocate nothing. Returned matrices are
+// valid until the layer's next Forward/Backward call.
 type GCNLayer struct {
 	In, Out int
 	Act     Activation
@@ -44,10 +48,15 @@ type GCNLayer struct {
 	W     *Matrix
 	gradW *Matrix
 
-	lastS  *Matrix // Ŝ
-	lastSH *Matrix // Ŝ H
-	lastZ  *Matrix
-	lastY  *Matrix
+	lastS *Matrix // Ŝ (caller-owned)
+	sh    *Matrix // Ŝ H scratch
+	z     *Matrix // pre-activation scratch
+	y     *Matrix // post-activation scratch
+
+	dZ       *Matrix // backward scratch
+	dZW      *Matrix // backward scratch: dZ Wᵀ
+	dH       *Matrix // backward scratch: returned input gradient
+	gradWTmp *Matrix // backward scratch: (ŜH)ᵀ dZ before accumulation
 }
 
 // NewGCNLayer builds a GCN layer with Xavier-initialized weights.
@@ -55,34 +64,38 @@ func NewGCNLayer(rng *rand.Rand, in, out int, act Activation) *GCNLayer {
 	l := &GCNLayer{
 		In: in, Out: out, Act: act,
 		W: NewMatrix(in, out), gradW: NewMatrix(in, out),
+		sh: new(Matrix), z: new(Matrix), y: new(Matrix),
+		dZ: new(Matrix), dZW: new(Matrix), dH: new(Matrix), gradWTmp: new(Matrix),
 	}
 	l.W.XavierInit(rng, in, out)
 	return l
 }
 
-// Forward computes σ(Ŝ H W) and caches intermediates for Backward.
+// Forward computes σ(Ŝ H W) and caches intermediates for Backward. The
+// returned matrix is layer-owned scratch.
 func (l *GCNLayer) Forward(sHat, h *Matrix) *Matrix {
 	if h.Cols != l.In {
 		panic(fmt.Sprintf("nn: gcn input features %d, want %d", h.Cols, l.In))
 	}
-	sh := MatMul(sHat, h)
-	z := MatMul(sh, l.W)
+	MatMulInto(l.sh, sHat, h)
+	MatMulInto(l.z, l.sh, l.W)
 	l.lastS = sHat
-	l.lastSH = sh
-	l.lastZ = z
-	l.lastY = l.Act.apply(z)
-	return l.lastY
+	l.Act.applyInto(l.y, l.z)
+	return l.y
 }
 
 // Backward accumulates dW and returns dH, the gradient with respect to the
 // input node features. Ŝ is symmetric, so dH = Ŝ (dZ Wᵀ).
 func (l *GCNLayer) Backward(dY *Matrix) *Matrix {
-	if l.lastSH == nil {
+	if l.lastS == nil {
 		panic("nn: gcn backward before forward")
 	}
-	dZ := Hadamard(dY, l.Act.gradFactor(l.lastZ, l.lastY))
-	l.gradW.AddInPlace(MatMul(l.lastSH.Transpose(), dZ))
-	return MatMul(l.lastS, MatMul(dZ, l.W.Transpose()))
+	l.Act.backwardInto(l.dZ, dY, l.z, l.y)
+	matMulATInto(l.gradWTmp, l.sh, l.dZ)
+	l.gradW.AddInPlace(l.gradWTmp)
+	matMulBTInto(l.dZW, l.dZ, l.W)
+	MatMulInto(l.dH, l.lastS, l.dZW)
+	return l.dH
 }
 
 // Params exposes the layer weight to the optimizer.
@@ -130,7 +143,9 @@ func (g *GCN) OutFeatures(inFeatures int) int {
 	return g.layers[len(g.layers)-1].Out
 }
 
-// Forward runs all layers over the propagation operator sHat.
+// Forward runs all layers over the propagation operator sHat. The returned
+// matrix is scratch owned by the last layer (or the input itself for a
+// zero-layer GCN).
 func (g *GCN) Forward(sHat, h *Matrix) *Matrix {
 	for _, l := range g.layers {
 		h = l.Forward(sHat, h)

@@ -158,6 +158,108 @@ func TestGCNGradientMatchesFiniteDifference(t *testing.T) {
 	assertGradsClose(t, gcn.Params(), numeric, 1e-4)
 }
 
+// TestMLPBatchedForwardMatchesSingleBitForBit is the property the planner's
+// batched exploration relies on: because every matmul kernel computes output
+// rows independently, forwarding a row-stacked batch produces, per row, the
+// exact bits of a single-row forward.
+func TestMLPBatchedForwardMatchesSingleBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mlp := NewMLP(rng, 5, []int{8, 8}, 3, Tanh)
+	const batch = 4
+	xs := NewMatrix(batch, 5)
+	xs.XavierInit(rng, 5, 3)
+
+	// Single-row forwards, copied out of the borrowed scratch.
+	single := make([][]float64, batch)
+	row := NewMatrix(1, 5)
+	for i := 0; i < batch; i++ {
+		copy(row.Data, xs.Data[i*5:(i+1)*5])
+		single[i] = append([]float64(nil), mlp.Forward(row).Data...)
+	}
+
+	batched := mlp.Forward(xs)
+	for i := 0; i < batch; i++ {
+		for j := 0; j < 3; j++ {
+			got := batched.At(i, j)
+			want := single[i][j]
+			if got != want {
+				t.Fatalf("row %d col %d: batched %v != single %v (must be bit-identical)", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestMLPBatchedBackwardMatchesFiniteDifference checks the in-place
+// backward pass on a multi-row (batched) input against finite differences.
+func TestMLPBatchedBackwardMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	mlp := NewMLP(rng, 4, []int{6}, 2, ReLU)
+	x := NewMatrix(3, 4)
+	x.XavierInit(rng, 4, 2)
+	loss := func() float64 {
+		y := mlp.Forward(x)
+		var s float64
+		for i, v := range y.Data {
+			s += v * v * float64(i%2+1)
+		}
+		return s
+	}
+	numeric := numericalGrad(mlp.Params(), loss)
+	ZeroGrads(mlp.Params())
+	y := mlp.Forward(x)
+	dY := NewMatrix(y.Rows, y.Cols)
+	for i, v := range y.Data {
+		dY.Data[i] = 2 * v * float64(i%2+1)
+	}
+	mlp.Backward(dY)
+	assertGradsClose(t, mlp.Params(), numeric, 1e-4)
+}
+
+// TestScratchReuseIsBitStable verifies that the layer-owned scratch does not
+// leak state between calls: repeating the same forward/backward produces
+// exactly the same outputs and gradient accumulations.
+func TestScratchReuseIsBitStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gcn := NewGCN(rng, 2, 4, 6, 2)
+	adj := NewMatrix(5, 5)
+	for i := 0; i < 4; i++ {
+		adj.Set(i, i+1, 1)
+		adj.Set(i+1, i, 1)
+	}
+	sHat := NormalizeAdjacency(adj)
+	h := NewMatrix(5, 4)
+	h.XavierInit(rng, 4, 2)
+	dY := NewMatrix(5, 2)
+	for i := range dY.Data {
+		dY.Data[i] = rng.NormFloat64()
+	}
+
+	snap := func() ([]float64, [][]float64) {
+		ZeroGrads(gcn.Params())
+		y := append([]float64(nil), gcn.Forward(sHat, h).Data...)
+		gcn.Backward(dY)
+		var gs [][]float64
+		for _, p := range gcn.Params() {
+			gs = append(gs, append([]float64(nil), p.Grad.Data...))
+		}
+		return y, gs
+	}
+	y1, g1 := snap()
+	y2, g2 := snap()
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("output %d changed across identical calls: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+	for i := range g1 {
+		for j := range g1[i] {
+			if g1[i][j] != g2[i][j] {
+				t.Fatalf("grad %d/%d changed across identical calls: %v vs %v", i, j, g1[i][j], g2[i][j])
+			}
+		}
+	}
+}
+
 func TestGCNZeroLayersIsIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	gcn := NewGCN(rng, 0, 4, 6, 2)

@@ -76,15 +76,54 @@ func (m *Matrix) ScaleInPlace(s float64) {
 	}
 }
 
+// EnsureShape resizes m to rows×cols, reusing the existing backing array
+// when it has enough capacity. Element values are unspecified afterwards —
+// callers that need zeros must Zero() (the Into kernels do it themselves).
+func (m *Matrix) EnsureShape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+}
+
+// aliases reports whether two matrices share a backing array (same slice
+// origin is enough for the scratch-reuse discipline: buffers are either
+// identical or disjoint, never overlapping views).
+func aliases(a, b *Matrix) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
 // MatMul returns a×b.
 func MatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a×b, resizing dst in place. dst must not alias
+// a or b. The inner loop skips zero elements of a (the propagation operator
+// Ŝ and the masked feature blocks are sparse); every matmul in the package
+// funnels through this kernel so single-row and batched evaluations execute
+// the identical floating-point operation sequence per output row.
+func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: matmul inner dims %d vs %d", a.Cols, b.Rows))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
+	if aliases(dst, a) || aliases(dst, b) {
+		panic("nn: matmul destination aliases an operand")
+	}
+	dst.EnsureShape(a.Rows, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		orow := dst.Data[i*b.Cols : (i+1)*b.Cols]
 		for k, av := range arow {
 			if av == 0 {
 				continue
@@ -95,7 +134,63 @@ func MatMul(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+}
+
+// matMulATInto computes dst = aᵀ×b without materializing the transpose.
+// The loop visits exactly the elements MatMulInto(dst, a.Transpose(), b)
+// would, in the same order, so results are bit-identical to the allocating
+// form the layers used before the scratch rewrite.
+func matMulATInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: matmul(aT,b) inner dims %d vs %d", a.Rows, b.Rows))
+	}
+	if aliases(dst, a) || aliases(dst, b) {
+		panic("nn: matmul destination aliases an operand")
+	}
+	dst.EnsureShape(a.Cols, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Cols; i++ {
+		orow := dst.Data[i*b.Cols : (i+1)*b.Cols]
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*a.Cols+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulBTInto computes dst = a×bᵀ without materializing the transpose,
+// bit-identical to MatMulInto(dst, a, b.Transpose()).
+func matMulBTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmul(a,bT) inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	if aliases(dst, a) || aliases(dst, b) {
+		panic("nn: matmul destination aliases an operand")
+	}
+	dst.EnsureShape(a.Rows, b.Rows)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Rows; j++ {
+				orow[j] += av * b.Data[j*b.Cols+k]
+			}
+		}
+	}
 }
 
 // Transpose returns mᵀ.

@@ -11,27 +11,48 @@ import (
 // Algorithm 2, line 6).
 var NegInf = math.Inf(-1)
 
+// ensureLen grows dst to length n, reusing capacity when possible.
+func ensureLen(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
 // MaskLogits returns a copy of logits with masked-out entries (mask[i] ==
 // false) set to -inf. The caller keeps the original logits for the PPO
 // buffer (Algorithm 2, line 17 stores the unmasked policy).
 func MaskLogits(logits []float64, mask []bool) []float64 {
+	return MaskLogitsInto(nil, logits, mask)
+}
+
+// MaskLogitsInto is MaskLogits writing into dst (grown as needed and
+// returned); dst may alias logits. Pass a scratch slice to avoid the
+// per-call allocation on hot paths.
+func MaskLogitsInto(dst, logits []float64, mask []bool) []float64 {
 	if len(logits) != len(mask) {
 		panic(fmt.Sprintf("nn: %d logits vs %d mask bits", len(logits), len(mask)))
 	}
-	out := make([]float64, len(logits))
+	dst = ensureLen(dst, len(logits))
 	for i, l := range logits {
 		if mask[i] {
-			out[i] = l
+			dst[i] = l
 		} else {
-			out[i] = NegInf
+			dst[i] = NegInf
 		}
 	}
-	return out
+	return dst
 }
 
 // LogSoftmax computes numerically stable log-probabilities. Entries at -inf
 // stay -inf. It panics if every entry is -inf.
 func LogSoftmax(logits []float64) []float64 {
+	return LogSoftmaxInto(nil, logits)
+}
+
+// LogSoftmaxInto is LogSoftmax writing into dst (grown as needed and
+// returned); dst may alias logits.
+func LogSoftmaxInto(dst, logits []float64) []float64 {
 	maxL := NegInf
 	for _, l := range logits {
 		if l > maxL {
@@ -48,29 +69,34 @@ func LogSoftmax(logits []float64) []float64 {
 		}
 	}
 	logZ := maxL + math.Log(sum)
-	out := make([]float64, len(logits))
+	dst = ensureLen(dst, len(logits))
 	for i, l := range logits {
 		if math.IsInf(l, -1) {
-			out[i] = NegInf
+			dst[i] = NegInf
 		} else {
-			out[i] = l - logZ
+			dst[i] = l - logZ
 		}
 	}
-	return out
+	return dst
 }
 
 // Softmax computes probabilities from logits (masked entries get 0).
 func Softmax(logits []float64) []float64 {
-	lp := LogSoftmax(logits)
-	out := make([]float64, len(lp))
-	for i, l := range lp {
+	return SoftmaxInto(nil, logits)
+}
+
+// SoftmaxInto is Softmax writing into dst (grown as needed and returned);
+// dst may alias logits.
+func SoftmaxInto(dst, logits []float64) []float64 {
+	dst = LogSoftmaxInto(dst, logits)
+	for i, l := range dst {
 		if math.IsInf(l, -1) {
-			out[i] = 0
+			dst[i] = 0
 		} else {
-			out[i] = math.Exp(l)
+			dst[i] = math.Exp(l)
 		}
 	}
-	return out
+	return dst
 }
 
 // SampleCategorical draws an index from the categorical distribution given
@@ -128,18 +154,60 @@ func Entropy(probs []float64) float64 {
 // only happens when a caller stores an action inconsistent with its mask,
 // so it panics loudly instead of corrupting the policy.
 func LogSoftmaxGrad(logits []float64, action int) []float64 {
+	return LogSoftmaxGradInto(nil, logits, action)
+}
+
+// LogSoftmaxGradInto is LogSoftmaxGrad writing into dst (grown as needed
+// and returned). dst must not alias logits: the probabilities are computed
+// into dst first and the masked entries are then re-read from logits.
+func LogSoftmaxGradInto(dst, logits []float64, action int) []float64 {
 	if math.IsInf(logits[action], -1) {
 		panic(fmt.Sprintf("nn: log-softmax gradient of masked action %d (logit is -inf)", action))
 	}
-	probs := Softmax(logits)
-	g := make([]float64, len(logits))
-	for i, p := range probs {
+	dst = SoftmaxInto(dst, logits)
+	for i, p := range dst {
 		if math.IsInf(logits[i], -1) {
-			g[i] = 0
+			dst[i] = 0
 			continue
 		}
-		g[i] = -p
+		dst[i] = -p
 	}
-	g[action]++
-	return g
+	dst[action]++
+	return dst
+}
+
+// Scratch is a per-worker arena of reusable action-space vectors, sized
+// once from the policy's output dimension. Every exploration step and PPO
+// update step needs the same four intermediates (masked logits,
+// log-probabilities, probabilities, logit gradient); carving them out of
+// one arena keeps the sampling path allocation-free. The buffers are
+// mutually disjoint, but each one is overwritten by the next step — callers
+// that retain values must copy them out.
+type Scratch struct {
+	// Logits receives the raw policy output in batched evaluation.
+	Logits []float64
+	// Masked holds the masked logits of the current step.
+	Masked []float64
+	// Probs holds softmax probabilities.
+	Probs []float64
+	// LogProbs holds log-softmax values.
+	LogProbs []float64
+	// Grad holds the per-step logit gradient of the PPO update.
+	Grad []float64
+}
+
+// NewScratch builds an arena for an action space of the given size. One
+// backing array serves all five vectors.
+func NewScratch(actionSpace int) *Scratch {
+	if actionSpace <= 0 {
+		panic(fmt.Sprintf("nn: scratch action space must be positive, got %d", actionSpace))
+	}
+	slab := make([]float64, 5*actionSpace)
+	s := &Scratch{}
+	s.Logits = slab[0*actionSpace : 1*actionSpace : 1*actionSpace]
+	s.Masked = slab[1*actionSpace : 2*actionSpace : 2*actionSpace]
+	s.Probs = slab[2*actionSpace : 3*actionSpace : 3*actionSpace]
+	s.LogProbs = slab[3*actionSpace : 4*actionSpace : 4*actionSpace]
+	s.Grad = slab[4*actionSpace : 5*actionSpace : 5*actionSpace]
+	return s
 }

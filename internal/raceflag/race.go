@@ -1,0 +1,11 @@
+//go:build race
+
+// Package raceflag reports at compile time whether the race detector is
+// active. Allocation-count regression tests consult it: the race runtime
+// instruments allocations and makes testing.AllocsPerRun counts
+// meaningless, so those guards skip themselves under -race while the rest
+// of the suite still runs.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

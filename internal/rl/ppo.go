@@ -13,7 +13,9 @@ import (
 // updated twice", §IV-C) and its own forward/backward pair.
 type ActorCritic interface {
 	// ForwardPolicy computes raw (unmasked) action logits for obs and
-	// caches activations for BackwardPolicy.
+	// caches activations for BackwardPolicy. The returned slice is borrowed
+	// network scratch: it is valid until the next forward call on the same
+	// ActorCritic and must not be modified or retained.
 	ForwardPolicy(obs Observation) []float64
 	// BackwardPolicy accumulates policy-head gradients for the upstream
 	// logit gradient.
@@ -93,6 +95,20 @@ type PPO struct {
 	cfg       PPOConfig
 	actorOpt  *nn.Adam
 	criticOpt *nn.Adam
+
+	// scratch backs the per-step masked-logits / probability / gradient
+	// vectors of Update, sized from the first step's logits; reusing it
+	// keeps the inner loops allocation-free across iterations and epochs.
+	scratch *nn.Scratch
+}
+
+// scratchFor returns the update scratch arena, (re)built when the action
+// space changed.
+func (p *PPO) scratchFor(n int) *nn.Scratch {
+	if p.scratch == nil || len(p.scratch.Masked) != n {
+		p.scratch = nn.NewScratch(n)
+	}
+	return p.scratch
 }
 
 // NewPPO builds a PPO updater.
@@ -142,8 +158,9 @@ func (p *PPO) Update(ac ActorCritic, buf *Buffer) (UpdateStats, error) {
 		var loss, kl, entropy, clipped float64
 		for i, s := range steps {
 			logits := ac.ForwardPolicy(s.Obs)
-			masked := nn.MaskLogits(logits, s.Mask)
-			logp := nn.LogSoftmax(masked)[s.Action]
+			sc := p.scratchFor(len(logits))
+			masked := nn.MaskLogitsInto(sc.Masked, logits, s.Mask)
+			logp := nn.LogSoftmaxInto(sc.LogProbs, masked)[s.Action]
 			ratio := math.Exp(logp - s.LogP)
 
 			a := adv[i]
@@ -153,7 +170,7 @@ func (p *PPO) Update(ac ActorCritic, buf *Buffer) (UpdateStats, error) {
 			obj := math.Min(unclipped, clampedRatio*a)
 			loss += -obj
 			kl += s.LogP - logp
-			entropy += nn.Entropy(nn.Softmax(masked))
+			entropy += nn.Entropy(nn.SoftmaxInto(sc.Probs, masked))
 
 			// Gradient of -obj w.r.t. logp: active only when the
 			// unclipped branch is selected.
@@ -164,13 +181,12 @@ func (p *PPO) Update(ac ActorCritic, buf *Buffer) (UpdateStats, error) {
 				clipped++
 			}
 			if dObjDLogp != 0 {
-				gLogits := nn.LogSoftmaxGrad(masked, s.Action)
-				dLogits := make([]float64, len(gLogits))
+				gLogits := nn.LogSoftmaxGradInto(sc.Grad, masked, s.Action)
 				scale := -dObjDLogp / n // minimize loss = -mean(obj)
 				for j, g := range gLogits {
-					dLogits[j] = scale * g
+					gLogits[j] = scale * g
 				}
-				ac.BackwardPolicy(dLogits)
+				ac.BackwardPolicy(gLogits)
 			}
 		}
 		stats.PolicyLoss = loss / n

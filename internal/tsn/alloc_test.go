@@ -1,0 +1,44 @@
+package tsn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/raceflag"
+)
+
+// TestScheduleAllocBound guards the scheduler allocation hunt: a steady-
+// state Schedule call may allocate only what escapes into the returned
+// State (the state itself, its plan slice and one path + slot slice per
+// pair) — the path search, slot tables, flow ordering and validation all
+// run on pooled or borrowed memory. The bound is deliberately loose against
+// runtime jitter; before the hunt this fixture cost hundreds of allocs.
+func TestScheduleAllocBound(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	g := starTopo(t, 4)
+	net := Network{BasePeriod: 500 * time.Microsecond, SlotsPerBase: 10}
+	fs := FlowSet{
+		{ID: 0, Src: 0, Dsts: []int{1, 2}, Period: 500 * time.Microsecond, Deadline: 250 * time.Microsecond, FrameSize: 100},
+		{ID: 1, Src: 2, Dsts: []int{3}, Period: 1 * time.Millisecond, Deadline: 500 * time.Microsecond, FrameSize: 100},
+	}
+	sched := Scheduler{MaxAlternatives: 3}
+	run := func() {
+		st, failed, err := sched.Schedule(g, net, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failed) != 0 {
+			t.Fatalf("failed pairs: %v", failed)
+		}
+		if len(st.Plans) != 3 {
+			t.Fatalf("got %d plans, want 3", len(st.Plans))
+		}
+	}
+	run() // warm the scratch and slot-table pools
+	const maxAllocs = 20
+	if n := testing.AllocsPerRun(100, run); n > maxAllocs {
+		t.Errorf("Schedule: %v allocs/op, want <= %d", n, maxAllocs)
+	}
+}

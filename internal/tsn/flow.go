@@ -76,17 +76,19 @@ func (p Pair) String() string { return fmt.Sprintf("(%d->%d)", p.Src, p.Dst) }
 // FlowSet is the complete TT flow specification FS.
 type FlowSet []Flow
 
-// Validate checks all flows and the uniqueness of IDs.
+// Validate checks all flows and the uniqueness of IDs. The duplicate scan
+// is quadratic but allocation-free: flow sets are small and Validate runs
+// on every Schedule call, i.e. once per NBF recovery simulation.
 func (fs FlowSet) Validate(base time.Duration) error {
-	seen := make(map[int]struct{}, len(fs))
-	for _, f := range fs {
+	for i, f := range fs {
 		if err := f.Validate(base); err != nil {
 			return err
 		}
-		if _, dup := seen[f.ID]; dup {
-			return fmt.Errorf("duplicate flow ID %d", f.ID)
+		for j := 0; j < i; j++ {
+			if fs[j].ID == f.ID {
+				return fmt.Errorf("duplicate flow ID %d", f.ID)
+			}
 		}
-		seen[f.ID] = struct{}{}
 	}
 	return nil
 }

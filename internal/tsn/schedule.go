@@ -154,6 +154,30 @@ type Scheduler struct {
 	MaxAlternatives int
 }
 
+// byFlowID sorts flows ascending by ID. Flow IDs are unique within a
+// validated FlowSet, so the order is total and any sort algorithm yields
+// the same result. Sorted through a pointer receiver so the interface
+// conversion does not allocate.
+type byFlowID FlowSet
+
+func (s *byFlowID) Len() int           { return len(*s) }
+func (s *byFlowID) Swap(i, j int)      { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+func (s *byFlowID) Less(i, j int) bool { return (*s)[i].ID < (*s)[j].ID }
+
+// schedScratch bundles the reusable working state of one Schedule (or
+// ScheduleAround) call: the path-finder with its search buffers, the sorted
+// flow order and the per-attempt slot buffer. Pooled across calls because
+// every NBF recovery simulation builds a schedule from scratch.
+type schedScratch struct {
+	finder  *graph.PathFinder
+	ordered byFlowID
+	slots   []int
+}
+
+var schedScratchPool = sync.Pool{
+	New: func() any { return &schedScratch{finder: graph.NewPathFinder()} },
+}
+
 // Schedule computes a full flow state for fs on topo. It returns the state
 // and the error set ER: the (source, destination) pairs whose bandwidth and
 // timing guarantees could not be established. ER is empty when scheduling
@@ -172,18 +196,21 @@ func (sc Scheduler) Schedule(topo *graph.Graph, net Network, fs FlowSet) (*State
 	hyper := net.Hyperperiod(fs)
 	table := acquireSlotTable(hyper)
 	defer releaseSlotTable(table)
+	scratch := schedScratchPool.Get().(*schedScratch)
+	defer schedScratchPool.Put(scratch)
+	scratch.finder.Reset(topo)
 	state := &State{Net: net}
 	var failed []Pair
 
 	// Deterministic order: flows sorted by ID, destinations in spec order.
-	ordered := append(FlowSet(nil), fs...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	scratch.ordered = append(scratch.ordered[:0], fs...)
+	sort.Sort(&scratch.ordered)
 
-	for _, f := range ordered {
+	for _, f := range scratch.ordered {
 		periodSlots := net.PeriodSlots(f.Period)
 		deadlineSlots := net.DeadlineSlots(f.Deadline)
 		for _, dst := range f.Dsts {
-			plan, ok := sc.schedulePair(topo, table, f, dst, periodSlots, deadlineSlots, alts)
+			plan, ok := sc.schedulePair(scratch, table, f, dst, periodSlots, deadlineSlots, alts)
 			if !ok {
 				failed = append(failed, Pair{Src: f.Src, Dst: dst})
 				continue
@@ -196,16 +223,22 @@ func (sc Scheduler) Schedule(topo *graph.Graph, net Network, fs FlowSet) (*State
 
 // schedulePair tries up to `alts` loopless paths for one (flow, dst) pair
 // and greedily assigns slots on the first path that fits. Reservations of
-// failed attempts are rolled back.
-func (sc Scheduler) schedulePair(topo *graph.Graph, table *slotTable, f Flow, dst, periodSlots, deadlineSlots, alts int) (FlowPlan, bool) {
-	paths, err := topo.KShortestPaths(f.Src, dst, alts)
+// failed attempts are rolled back. Candidate paths and trial slots live in
+// the scratch; only the successful plan's path and slots are copied out
+// (they escape into the returned State).
+func (sc Scheduler) schedulePair(scratch *schedScratch, table *slotTable, f Flow, dst, periodSlots, deadlineSlots, alts int) (FlowPlan, bool) {
+	paths, err := scratch.finder.KShortestPaths(f.Src, dst, alts)
 	if err != nil {
 		return FlowPlan{}, false
 	}
 	for _, path := range paths {
-		slots, ok := assignSlots(table, path, periodSlots, deadlineSlots)
+		var ok bool
+		scratch.slots, ok = assignSlotsInto(table, path, periodSlots, deadlineSlots, scratch.slots[:0])
 		if ok {
-			return FlowPlan{FlowID: f.ID, Dst: dst, Path: path, Slots: slots}, true
+			return FlowPlan{
+				FlowID: f.ID, Dst: dst, Path: path.Clone(),
+				Slots: append([]int(nil), scratch.slots...),
+			}, true
 		}
 	}
 	return FlowPlan{}, false
@@ -217,7 +250,20 @@ func assignSlots(table *slotTable, path graph.Path, periodSlots, deadlineSlots i
 	if len(path) < 2 {
 		return nil, false
 	}
-	slots := make([]int, 0, len(path)-1)
+	slots, ok := assignSlotsInto(table, path, periodSlots, deadlineSlots, make([]int, 0, len(path)-1))
+	if !ok {
+		return nil, false
+	}
+	return slots, true
+}
+
+// assignSlotsInto is assignSlots appending into buf (returned re-sliced);
+// the result aliases buf, so callers that retain slots must copy them.
+func assignSlotsInto(table *slotTable, path graph.Path, periodSlots, deadlineSlots int, buf []int) ([]int, bool) {
+	if len(path) < 2 {
+		return buf, false
+	}
+	slots := buf
 	prev := -1
 	for i := 0; i+1 < len(path); i++ {
 		link := DirLink{From: path[i], To: path[i+1]}
@@ -233,7 +279,7 @@ func assignSlots(table *slotTable, path graph.Path, periodSlots, deadlineSlots i
 			for j := range slots {
 				table.release(DirLink{From: path[j], To: path[j+1]}, slots[j], periodSlots)
 			}
-			return nil, false
+			return slots, false
 		}
 		table.reserve(link, assigned, periodSlots)
 		slots = append(slots, assigned)
@@ -378,6 +424,9 @@ func (sc Scheduler) ScheduleAround(topo *graph.Graph, net Network, fs FlowSet, p
 	hyper := net.Hyperperiod(fs)
 	table := acquireSlotTable(hyper)
 	defer releaseSlotTable(table)
+	scratch := schedScratchPool.Get().(*schedScratch)
+	defer schedScratchPool.Put(scratch)
+	scratch.finder.Reset(topo)
 	state := &State{Net: net}
 
 	// Pin existing reservations.
@@ -412,7 +461,7 @@ func (sc Scheduler) ScheduleAround(topo *graph.Graph, net Network, fs FlowSet, p
 		periodSlots := net.PeriodSlots(spec.Period)
 		deadlineSlots := net.DeadlineSlots(spec.Deadline)
 		for _, dst := range f.Dsts {
-			plan, ok := sc.schedulePair(topo, table, spec, dst, periodSlots, deadlineSlots, alts)
+			plan, ok := sc.schedulePair(scratch, table, spec, dst, periodSlots, deadlineSlots, alts)
 			if !ok {
 				failed = append(failed, Pair{Src: spec.Src, Dst: dst})
 				continue
