@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-analyzer race-service chaos chaos-fleet vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz serve-smoke fleet-smoke
+.PHONY: all build test test-short race race-analyzer race-service chaos chaos-fleet vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz serve-smoke fleet-smoke delta-smoke
 
 all: build lint test
 
@@ -47,6 +47,13 @@ race-service:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# Black-box smoke of the incremental re-planning path: plan a base job,
+# then drive an empty delta (plan-cache hit), a flow-removal delta
+# (warm-started, zero training epochs) and a post-restart delta by base
+# fingerprint through the live HTTP API.
+delta-smoke:
+	sh scripts/delta_smoke.sh
+
 # Black-box failover drill of the planning fleet: coordinator + three
 # replicas on ephemeral ports, the job's home replica SIGKILLed mid-run,
 # completion asserted on a survivor with the death and handoff visible
@@ -77,14 +84,15 @@ bench-quick:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-# Machine-readable run of the analyzer + scheduler benchmarks. Writes
+# Machine-readable run of the analyzer + scheduler + warm-vs-cold delta
+# benchmarks. Writes
 # BENCH_<n>.json with the next free index so successive runs are kept
 # side by side for before/after comparison.
 bench-json:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	out=BENCH_$$n.json; \
 	$(GO) test -run xxx -json \
-		-bench 'BenchmarkFailureAnalysisORION|BenchmarkFailureAnalysisORIONEngine|BenchmarkScheduler|BenchmarkPolicyForward' \
+		-bench 'BenchmarkFailureAnalysisORION|BenchmarkFailureAnalysisORIONEngine|BenchmarkScheduler|BenchmarkPolicyForward|BenchmarkDeltaColdStart|BenchmarkDeltaWarmStart' \
 		-benchmem . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	echo "wrote $$out"
 

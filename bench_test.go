@@ -7,7 +7,9 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/asil"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/nbf"
 	"repro/internal/scenarios"
+	"repro/internal/serialize"
 	"repro/internal/tsn"
 )
 
@@ -730,4 +733,114 @@ func BenchmarkAblation_MaskedVsExhaustivePaths(b *testing.B) {
 			}
 		})
 	}
+}
+
+// deltaBenchSetup plans a small base problem once and derives a
+// single-flow-removal delta from it, shared by the warm/cold delta benches.
+var deltaBench struct {
+	once    sync.Once
+	err     error
+	derived *core.Problem
+	base    *core.Solution
+}
+
+func deltaBenchInit(b *testing.B) (*core.Problem, *core.Solution) {
+	b.Helper()
+	deltaBench.once.Do(func() {
+		s, err := scenarios.Family("mesh", 4, 2)
+		if err != nil {
+			deltaBench.err = err
+			return
+		}
+		reg := nbf.NewRegistry()
+		recovery, err := reg.New("stateless-greedy")
+		if err != nil {
+			deltaBench.err = err
+			return
+		}
+		prob := s.Problem(s.RandomFlows(3, 1), recovery, 1e-6)
+		pl, err := core.NewPlanner(prob, microCfg(1))
+		if err != nil {
+			deltaBench.err = err
+			return
+		}
+		report, err := pl.Plan()
+		if err != nil {
+			deltaBench.err = err
+			return
+		}
+		if report.Best == nil {
+			deltaBench.err = fmt.Errorf("delta bench: base problem did not solve")
+			return
+		}
+		// Single-flow delta through the real spec-diff path.
+		baseSpec := serialize.EncodeProblem(prob, "stateless-greedy")
+		derivedSpec, err := serialize.ApplyDelta(baseSpec, serialize.DeltaJSON{RemoveFlows: []int{0}})
+		if err != nil {
+			deltaBench.err = err
+			return
+		}
+		derived, err := serialize.DecodeProblem(derivedSpec, reg)
+		if err != nil {
+			deltaBench.err = err
+			return
+		}
+		deltaBench.derived, deltaBench.base = derived, report.Best
+	})
+	if deltaBench.err != nil {
+		b.Fatal(deltaBench.err)
+	}
+	return deltaBench.derived, deltaBench.base
+}
+
+// BenchmarkDeltaColdStart plans a single-flow delta of a solved base from
+// scratch — the price of ignoring the base plan.
+func BenchmarkDeltaColdStart(b *testing.B) {
+	derived, _ := deltaBenchInit(b)
+	b.ResetTimer()
+	var steps float64
+	for i := 0; i < b.N; i++ {
+		pl, err := core.NewPlanner(derived, microCfg(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err := pl.Plan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Best == nil {
+			b.Fatal("cold run did not solve")
+		}
+		for _, e := range report.Epochs {
+			steps += float64(e.EnvSteps)
+		}
+	}
+	b.ReportMetric(steps/float64(b.N), "envsteps/op")
+}
+
+// BenchmarkDeltaWarmStart plans the same delta warm-started from the base
+// plan; the surviving seed certifies at init, so no training runs at all.
+func BenchmarkDeltaWarmStart(b *testing.B) {
+	derived, base := deltaBenchInit(b)
+	b.ResetTimer()
+	var steps float64
+	for i := 0; i < b.N; i++ {
+		cfg := microCfg(1)
+		cfg.WarmStart = base
+		pl, err := core.NewPlanner(derived, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err := pl.Plan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Best == nil {
+			b.Fatal("warm run did not solve")
+		}
+		for _, e := range report.Epochs {
+			steps += float64(e.EnvSteps)
+		}
+	}
+	b.ReportMetric(steps/float64(b.N), "envsteps/op")
 }

@@ -65,7 +65,7 @@ func scaleConfig(scale string, seed int64) (core.Config, error) {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nptsn-eval", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 5a, 5b, 5c or all")
+		fig       = fs.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 5a, 5b, 5c, warm or all")
 		scale     = fs.String("scale", "micro", "training budget: micro, small or paper")
 		cases     = fs.Int("cases", 3, "test cases per flow count (paper: 10)")
 		flowsCSV  = fs.String("flows", "10,20,30", "comma-separated flow counts (paper: 10,20,30,40,50)")
@@ -79,6 +79,11 @@ func run(args []string, out io.Writer) error {
 
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090)")
 		eventsPath  = fs.String("events", "", "summarize this training event log (from nptsn -events) and exit")
+
+		warmFamily = fs.String("warm-family", "zonal", "scenario family for -fig warm: "+strings.Join(scenarios.FamilyNames(), ", "))
+		warmES     = fs.Int("warm-es", 8, "end stations for -fig warm")
+		warmSW     = fs.Int("warm-sw", 4, "switches for -fig warm")
+		warmSteps  = fs.Int("warm-steps", 3, "churn-trace steps (re-plans) for -fig warm")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +126,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	wantFig4 := *fig == "all" || strings.HasPrefix(*fig, "4")
+	wantWarm := *fig == "all" || *fig == "warm"
 	wantFig5 := map[string]bool{
 		"5a": *fig == "all" || *fig == "5a",
 		"5b": *fig == "all" || *fig == "5b",
@@ -247,6 +253,26 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
+	}
+
+	if wantWarm {
+		s, err := scenarios.Family(*warmFamily, *warmES, *warmSW)
+		if err != nil {
+			return err
+		}
+		trace, err := scenarios.Churn(scenarios.ChurnOptions{
+			Scenario: s, BaseFlows: 4, Steps: *warmSteps,
+			AddsPerStep: 1, RemovesPerStep: 1, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := eval.RunWarmCold(trace, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.Render())
+		fmt.Fprintln(out)
 	}
 	return nil
 }

@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		httpTimeout  = fs.Duration("http-timeout", time.Minute, "HTTP read timeout per request; a stalled or malicious client cannot hold a connection open past it (0 = none)")
 		stuckTimeout = fs.Duration("stuck-timeout", 0, "fail running jobs whose per-epoch progress heartbeat goes quiet this long (0 = no watchdog)")
 		maxAttempts  = fs.Int("max-attempts", 3, "restarts that may re-queue the same journaled job before it is abandoned")
+		verdictCache = fs.Int("verdict-cache", 0, "failure-analysis verdicts shared across jobs so delta re-plans reuse the base's work (0 = default 65536, negative = disabled)")
 		faultSpec    = fs.String("fault", "", "fault-injection schedule for chaos drills, e.g. 'fs.write:enospc:p=0.1;service.plan:panic:calls=2' (empty = off)")
 		faultSeed    = fs.Int64("fault-seed", 1, "seed of the -fault schedule; the same seed replays the same fault decisions")
 		fleetURL     = fs.String("fleet", "", "register with the nptsn-fleet coordinator at this base URL and heartbeat until shutdown (empty = standalone)")
@@ -94,15 +95,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	mgr, err := service.New(service.Options{
-		Workers:        *workers,
-		QueueSize:      *queueSize,
-		Dir:            *dataDir,
-		DefaultTimeout: *jobTimeout,
-		StuckTimeout:   *stuckTimeout,
-		MaxAttempts:    *maxAttempts,
-		Metrics:        reg,
-		Events:         sink,
-		Fault:          injector,
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		Dir:              *dataDir,
+		DefaultTimeout:   *jobTimeout,
+		StuckTimeout:     *stuckTimeout,
+		MaxAttempts:      *maxAttempts,
+		VerdictCacheSize: *verdictCache,
+		Metrics:          reg,
+		Events:           sink,
+		Fault:            injector,
 	})
 	if err != nil {
 		return err

@@ -46,6 +46,20 @@ type WorkerState struct {
 // exploration or updates. MaxEpoch is deliberately excluded so a resumed
 // run may extend the horizon.
 func (p *Planner) fingerprint() string {
+	// The warm seed shapes every environment reset, so a checkpoint taken
+	// under one seed must not resume a run under another (or none). The
+	// field is appended only when warm-starting, keeping checkpoints from
+	// cold runs — which predate the field — valid unchanged.
+	warm := ""
+	if p.cfg.WarmStart != nil {
+		if ws, err := buildWarmSeed(p.prob, p.cfg.WarmStart); err == nil {
+			warm = "|warm=" + ws.digest()
+		} else {
+			// Planner construction already validated the seed; an error here
+			// still must not silently alias the cold fingerprint.
+			warm = "|warm=invalid"
+		}
+	}
 	return fmt.Sprintf(
 		"nptsn-ckpt|prob:v=%d,e=%d,f=%d,r=%g,esd=%d,esl=%d,flr=%t|"+
 			"cfg:gcn=%d/%d/%d,gat=%t,mlp=%v,k=%d,steps=%d,scale=%g,clip=%g,"+
@@ -59,7 +73,7 @@ func (p *Planner) fingerprint() string {
 		p.cfg.TrainPiIters, p.cfg.TrainVIters, p.cfg.TargetKL, p.cfg.Workers, p.cfg.Seed,
 		p.cfg.DisableSOAGMasking, p.cfg.SolutionBonus, p.cfg.PerFlowEncoding,
 		p.cfg.ExhaustivePathGeneration, p.cfg.DivergenceRetries,
-	)
+	) + warm
 }
 
 // capture snapshots the full training state after epoch `epoch` completed.

@@ -47,6 +47,11 @@ type Env struct {
 	// exactly where the uninterrupted run had it.
 	rngBeforeGen uint64
 
+	// warm, when non-nil, is the pruned warm-start seed replayed onto the
+	// state at construction and after every reset — incremental
+	// re-planning's "start from the surviving prior plan" mode.
+	warm *warmSeed
+
 	state   *TSSDN
 	actions *ActionSet
 	lastGf  nbf.Failure
@@ -120,11 +125,35 @@ func NewEnvWithCache(prob *Problem, cfg Config, seed int64, cache *failure.Cache
 		rng:    rand.New(src),
 		state:  NewTSSDN(prob),
 	}
+	if cfg.WarmStart != nil {
+		ws, err := buildWarmSeed(prob, cfg.WarmStart)
+		if err != nil {
+			return nil, err
+		}
+		e.warm = ws
+		e.warm.apply(e.state)
+		e.cost = ws.cost
+	}
 	if err := e.analyzeAndGenerate(context.Background()); err != nil {
 		return nil, err
 	}
+	if e.warm != nil {
+		e.warm.info.SeedSolved = e.lastOK
+	}
 	return e, nil
 }
+
+// WarmInfo returns the warm-start pruning outcome (zero value when the
+// environment was not warm-started).
+func (e *Env) WarmInfo() WarmStartInfo {
+	if e.warm == nil {
+		return WarmStartInfo{}
+	}
+	return e.warm.info
+}
+
+// Cost returns the running Eq. 1 cost of the construction state.
+func (e *Env) Cost() float64 { return e.cost }
 
 // analyzeAndGenerate runs the failure analyzer on the current state and
 // refreshes the action set from the SOAG.
@@ -164,10 +193,15 @@ func (e *Env) State() *TSSDN { return e.state }
 // (true before any step only for trivial problems, e.g. no flows).
 func (e *Env) Solved() bool { return e.lastOK }
 
-// reset clears the TSSDN and refreshes analysis + actions.
+// reset clears the TSSDN — back to the warm seed when one is configured,
+// else to the empty network — and refreshes analysis + actions.
 func (e *Env) reset(ctx context.Context) error {
 	e.state.Reset()
 	e.cost = 0
+	if e.warm != nil {
+		e.warm.apply(e.state)
+		e.cost = e.warm.cost
+	}
 	e.Resets++
 	return e.analyzeAndGenerate(ctx)
 }

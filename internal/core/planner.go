@@ -86,6 +86,9 @@ type Report struct {
 	// completed epochs; the in-flight epoch was discarded so that a
 	// checkpoint-resumed run stays bit-identical to an uninterrupted one.
 	Interrupted bool
+	// Warm reports the warm-start pruning outcome when Config.WarmStart was
+	// set (nil for from-scratch runs).
+	Warm *WarmStartInfo
 }
 
 // GuaranteeMet reports whether any recorded solution satisfied the goal.
@@ -311,9 +314,11 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 	}
 
 	// One verdict cache shared by all exploration workers, so a scenario
-	// simulated by any worker is a hit for every other one.
-	var cache *failure.Cache
-	if p.cfg.AnalyzerCacheSize > 0 {
+	// simulated by any worker is a hit for every other one. A caller-owned
+	// SharedAnalyzerCache takes precedence, letting warm verdicts from a
+	// base plan's run serve its delta re-plans.
+	cache := p.cfg.SharedAnalyzerCache
+	if cache == nil && p.cfg.AnalyzerCacheSize > 0 {
 		cache = failure.NewCache(p.cfg.AnalyzerCacheSize)
 	}
 
@@ -363,6 +368,13 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 	}
 
 	report := &Report{}
+	if p.cfg.WarmStart != nil {
+		info := workers[0].env.WarmInfo()
+		report.Warm = &info
+		if p.cfg.OnWarmStart != nil {
+			p.cfg.OnWarmStart(info)
+		}
+	}
 	startEpoch := 1
 	if p.cfg.Resume != nil {
 		restoreStart := time.Now()
@@ -378,12 +390,15 @@ func (p *Planner) PlanContext(ctx context.Context) (*Report, error) {
 		}
 		startEpoch = p.cfg.Resume.Epoch + 1
 	} else if workers[0].env.Solved() {
-		// Trivial problem: the empty network already satisfies the goal.
-		sol := &Solution{
+		// The initial state already satisfies the goal: a trivial problem
+		// from the empty network, or a warm seed that survived the delta
+		// intact (the instant-solve fast path of incremental re-planning).
+		report.Best = &Solution{
 			Topology:   workers[0].env.State().Topo.Clone(),
 			Assignment: workers[0].env.State().Assign.Clone(),
+			Cost:       workers[0].env.Cost(),
 		}
-		return &Report{Best: sol}, nil
+		return report, nil
 	}
 
 	stepsPerWorker := p.cfg.MaxStep / p.cfg.Workers

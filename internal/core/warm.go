@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asil"
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// WarmStartInfo reports what a warm-started run actually inherited from
+// the prior plan after pruning it against the (possibly delta-modified)
+// problem. It is handed to Config.OnWarmStart once per planning run and
+// recorded by the service on the job's status.
+type WarmStartInfo struct {
+	// SeededLinks / SeededSwitches count what survived pruning and seeds
+	// every environment reset.
+	SeededLinks    int `json:"seededLinks"`
+	SeededSwitches int `json:"seededSwitches"`
+	// DroppedLinks / DroppedSwitches count prior-plan allocations the new
+	// problem no longer admits (damaged links, links incident to them).
+	DroppedLinks    int `json:"droppedLinks,omitempty"`
+	DroppedSwitches int `json:"droppedSwitches,omitempty"`
+	// SeedCost is the Eq. 1 cost of the pruned seed topology.
+	SeedCost float64 `json:"seedCost"`
+	// SeedSolved reports whether the seed already satisfied the reliability
+	// guarantee at initialization — the instant-solve fast path.
+	SeedSolved bool `json:"seedSolved,omitempty"`
+}
+
+// warmSeed is the pruned, validated form of Config.WarmStart that every
+// environment reset replays: switch upgrades first, then links with their
+// ASILs re-derived from the endpoint-minimum invariant. Building it once
+// per environment keeps resets cheap and deterministic.
+type warmSeed struct {
+	switches []warmSwitch
+	edges    []graph.Edge
+	cost     float64
+	info     WarmStartInfo
+}
+
+type warmSwitch struct {
+	id  int
+	lvl asil.Level
+}
+
+// buildWarmSeed prunes a prior solution against prob: allocations the new
+// connection graph no longer admits (a vertex that is not a switch any
+// more, a damaged candidate link, a link whose switch was dropped) are
+// discarded rather than failed on — incremental re-planning refines the
+// surviving part of the old plan. The pruned seed is then applied to a
+// scratch TSSDN and checked against the construction invariants, so a
+// structurally impossible seed (which would poison every reset) surfaces
+// here, at planner construction, with a clear error.
+func buildWarmSeed(prob *Problem, sol *Solution) (*warmSeed, error) {
+	if sol == nil || sol.Topology == nil || sol.Assignment == nil {
+		return nil, fmt.Errorf("planner: warm-start solution is missing its topology or assignment")
+	}
+	ws := &warmSeed{}
+	n := prob.Connections.NumVertices()
+	keepSwitch := make(map[int]bool)
+	for sw, lvl := range sol.Assignment.Switches {
+		if sw < 0 || sw >= n || prob.Connections.Kind(sw) != graph.KindSwitch {
+			ws.info.DroppedSwitches++
+			continue
+		}
+		if !lvl.Valid() {
+			return nil, fmt.Errorf("planner: warm-start switch %d has invalid ASIL %d", sw, int(lvl))
+		}
+		keepSwitch[sw] = true
+		ws.switches = append(ws.switches, warmSwitch{id: sw, lvl: lvl})
+	}
+	sort.Slice(ws.switches, func(i, k int) bool { return ws.switches[i].id < ws.switches[k].id })
+	for _, ed := range sol.Topology.Edges() {
+		if ed.U >= n || ed.V >= n || !prob.Connections.HasEdge(ed.U, ed.V) {
+			ws.info.DroppedLinks++
+			continue
+		}
+		if (prob.Connections.Kind(ed.U) == graph.KindSwitch && !keepSwitch[ed.U]) ||
+			(prob.Connections.Kind(ed.V) == graph.KindSwitch && !keepSwitch[ed.V]) {
+			// The link's switch did not survive pruning; a link to an
+			// un-upgraded switch would violate the construction invariant.
+			ws.info.DroppedLinks++
+			continue
+		}
+		length := ed.Length
+		if l, ok := prob.Connections.EdgeLength(ed.U, ed.V); ok {
+			length = l // the candidate graph owns cable lengths
+		}
+		ws.edges = append(ws.edges, graph.Edge{U: ed.U, V: ed.V, Length: length})
+	}
+	ws.info.SeededSwitches = len(ws.switches)
+	ws.info.SeededLinks = len(ws.edges)
+
+	// Dry-run the seed on a scratch state: invariant violations and cost
+	// errors fail planner construction instead of every reset.
+	st := NewTSSDN(prob)
+	ws.apply(st)
+	if err := st.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("planner: warm-start seed: %w", err)
+	}
+	cost, err := st.Cost()
+	if err != nil {
+		return nil, fmt.Errorf("planner: warm-start seed: %w", err)
+	}
+	ws.cost = cost
+	ws.info.SeedCost = cost
+	return ws, nil
+}
+
+// apply replays the seed onto a freshly Reset state. Switches first, then
+// links with ASILs re-derived from the endpoint minimum — the same order
+// ImportState uses, so the resulting state is exactly what restoring a
+// checkpoint of it would produce.
+func (ws *warmSeed) apply(st *TSSDN) {
+	for _, sw := range ws.switches {
+		st.Assign.Switches[sw.id] = sw.lvl
+	}
+	for _, ed := range ws.edges {
+		// The seed was validated at build time; AddEdge on the pruned edge
+		// set cannot fail (same vertex set, no duplicates).
+		_ = st.Topo.AddEdge(ed.U, ed.V, ed.Length)
+		st.Assign.SetLink(ed.U, ed.V, asil.Min(st.vertexLevel(ed.U), st.vertexLevel(ed.V)))
+	}
+}
+
+// digest folds the seed into a short stable hash for the checkpoint
+// fingerprint: a checkpoint captured under one warm seed must not resume a
+// run under another (or none), because the seed shapes every reset.
+func (ws *warmSeed) digest() string {
+	d := failure.NewDigest()
+	d.Str("nptsn-warm-seed-v1")
+	for _, sw := range ws.switches {
+		d.Int(sw.id)
+		d.Int(int(sw.lvl))
+	}
+	for _, ed := range ws.edges {
+		d.Int(ed.U)
+		d.Int(ed.V)
+		d.Float(ed.Length)
+	}
+	d.Float(ws.cost)
+	return d.Sum()
+}

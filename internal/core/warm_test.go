@@ -1,0 +1,245 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/graph"
+)
+
+// planTiny plans the problem and fails the test unless a solution came out.
+func planTiny(t *testing.T, prob *Problem, cfg Config) *Report {
+	t.Helper()
+	pl, err := NewPlanner(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := pl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best == nil {
+		t.Fatal("no solution found")
+	}
+	if err := VerifySolution(prob, report.Best); err != nil {
+		t.Fatalf("solution failed audit: %v", err)
+	}
+	return report
+}
+
+func TestWarmStartInstantSolveOnSurvivingSeed(t *testing.T) {
+	prob := tinyProblem(t)
+	base := planTiny(t, prob, tinyConfig())
+
+	// Same problem, warm-started with its own solution: the seed satisfies
+	// the goal at init, so planning must return instantly without training.
+	cfg := tinyConfig()
+	cfg.WarmStart = base.Best
+	var seen *WarmStartInfo
+	cfg.OnWarmStart = func(info WarmStartInfo) { seen = &info }
+	report := planTiny(t, prob, cfg)
+	if len(report.Epochs) != 0 {
+		t.Fatalf("instant-solve ran %d training epochs", len(report.Epochs))
+	}
+	if report.Warm == nil || !report.Warm.SeedSolved {
+		t.Fatalf("Warm = %+v, want SeedSolved", report.Warm)
+	}
+	if seen == nil || !seen.SeedSolved {
+		t.Fatalf("OnWarmStart got %+v, want SeedSolved", seen)
+	}
+	if report.Warm.SeededLinks == 0 || report.Warm.SeededSwitches == 0 {
+		t.Fatalf("seed inherited nothing: %+v", report.Warm)
+	}
+	if report.Best.Cost != base.Best.Cost {
+		t.Fatalf("instant-solve cost %g, base cost %g", report.Best.Cost, base.Best.Cost)
+	}
+}
+
+func TestWarmStartPrunesDamagedAllocations(t *testing.T) {
+	prob := tinyProblem(t)
+	base := planTiny(t, prob, tinyConfig())
+
+	// Damage a candidate link the base plan uses: the warm seed must drop
+	// it (and nothing else breaks), not fail construction.
+	var used graph.Edge
+	found := false
+	for _, e := range base.Best.Topology.Edges() {
+		used, found = e, true
+		break
+	}
+	if !found {
+		t.Fatal("base plan has no links")
+	}
+	damaged := prob.Connections.Clone()
+	damaged.RemoveEdge(used.U, used.V)
+	dprob := *prob
+	dprob.Connections = damaged
+	if err := dprob.Validate(); err != nil {
+		t.Skipf("damaged problem no longer valid: %v", err)
+	}
+
+	cfg := tinyConfig()
+	cfg.WarmStart = base.Best
+	pl, err := NewPlanner(&dprob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := pl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Warm == nil {
+		t.Fatal("no WarmStartInfo on a warm-started run")
+	}
+	if report.Warm.DroppedLinks == 0 {
+		t.Fatalf("damaged link not pruned: %+v", report.Warm)
+	}
+	if report.Best != nil {
+		if err := VerifySolution(&dprob, report.Best); err != nil {
+			t.Fatalf("warm solution failed audit: %v", err)
+		}
+		if report.Best.Topology.HasEdge(used.U, used.V) {
+			t.Fatal("warm solution routes over the damaged link")
+		}
+	}
+}
+
+func TestWarmStartRejectsCorruptSeed(t *testing.T) {
+	prob := tinyProblem(t)
+	base := planTiny(t, prob, tinyConfig())
+
+	corrupt := base.Best.Clone()
+	for sw := range corrupt.Assignment.Switches {
+		corrupt.Assignment.Switches[sw] = asil.Level(99)
+	}
+	// Seed validation happens when the environments are built, i.e. at
+	// Plan() time — the error must surface there, not poison every reset.
+	tryPlan := func(seed *Solution) error {
+		cfg := tinyConfig()
+		cfg.WarmStart = seed
+		pl, err := NewPlanner(prob, cfg)
+		if err != nil {
+			return err
+		}
+		_, err = pl.Plan()
+		return err
+	}
+	if err := tryPlan(corrupt); err == nil {
+		t.Fatal("corrupt warm seed accepted")
+	} else if !strings.Contains(err.Error(), "warm-start") {
+		t.Fatalf("error does not name the warm seed: %v", err)
+	}
+	if err := tryPlan(&Solution{}); err == nil {
+		t.Fatal("empty warm seed accepted")
+	}
+}
+
+func TestWarmStartDeterministic(t *testing.T) {
+	prob := tinyProblem(t)
+	base := planTiny(t, prob, tinyConfig())
+
+	// Remove a flow (the seed survives and instant-solves); two identical
+	// warm runs must produce identical solutions.
+	dprob := *prob
+	dprob.Flows = prob.Flows[:2]
+	if err := dprob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.WarmStart = base.Best
+	a := planTiny(t, &dprob, cfg)
+	b := planTiny(t, &dprob, cfg)
+	if a.Best.Cost != b.Best.Cost {
+		t.Fatalf("warm runs diverged: %g vs %g", a.Best.Cost, b.Best.Cost)
+	}
+	ea, eb := a.Best.Topology.Edges(), b.Best.Topology.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("warm runs built different topologies")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("warm runs built different topologies")
+		}
+	}
+}
+
+// TestWarmVsColdBothCertify is the differential suite: on randomized
+// base+delta pairs, the warm-started planner and the from-scratch planner
+// must both produce solutions that pass the independent audit — a warm
+// start never trades away the guarantee.
+func TestWarmVsColdBothCertify(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		prob := tinyProblem(t)
+		cfg := tinyConfig()
+		cfg.Seed = seed
+		cfg.MaxEpoch = 4
+		base := planTiny(t, prob, cfg)
+
+		// Randomized delta: drop the (seed mod n)-th flow — every variant
+		// keeps the problem solvable and the seed valid.
+		drop := int(seed) % len(prob.Flows)
+		dprob := *prob
+		flows := append(prob.Flows[:0:0], prob.Flows[:drop]...)
+		flows = append(flows, prob.Flows[drop+1:]...)
+		dprob.Flows = flows
+		if err := dprob.Validate(); err != nil {
+			t.Fatal(err)
+		}
+
+		cold := planTiny(t, &dprob, cfg) // audit inside planTiny
+
+		wcfg := cfg
+		wcfg.WarmStart = base.Best
+		warm := planTiny(t, &dprob, wcfg)
+		if warm.Warm == nil {
+			t.Fatalf("seed %d: warm run missing WarmStartInfo", seed)
+		}
+		// The warm run must not spend more training than cold with the same
+		// budget; for these surviving seeds it instant-solves.
+		if len(warm.Epochs) > len(cold.Epochs) {
+			t.Fatalf("seed %d: warm ran %d epochs, cold %d", seed, len(warm.Epochs), len(cold.Epochs))
+		}
+	}
+}
+
+func TestCheckpointFingerprintSeparatesWarmRuns(t *testing.T) {
+	prob := tinyProblem(t)
+	base := planTiny(t, prob, tinyConfig())
+
+	fp := func(cfg Config) string {
+		pl, err := NewPlanner(prob, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl.fingerprint()
+	}
+	cold := fp(tinyConfig())
+	wcfg := tinyConfig()
+	wcfg.WarmStart = base.Best
+	warm := fp(wcfg)
+	if cold == warm {
+		t.Fatal("cold and warm checkpoints share a fingerprint; a resume could cross seeds")
+	}
+
+	// A different seed must fingerprint differently too: flip one selected
+	// switch's ASIL (link ASILs re-derive from the endpoint minimum, so the
+	// flipped seed still passes the dry-run invariants).
+	other := base.Best.Clone()
+	for sw, lvl := range other.Assignment.Switches {
+		if !lvl.Valid() {
+			continue
+		}
+		if lvl == asil.LevelD {
+			other.Assignment.Switches[sw] = asil.LevelC
+		} else {
+			other.Assignment.Switches[sw] = asil.LevelD
+		}
+		break
+	}
+	wcfg2 := tinyConfig()
+	wcfg2.WarmStart = other
+	if fp(wcfg2) == warm {
+		t.Fatal("different warm seeds share a checkpoint fingerprint")
+	}
+}

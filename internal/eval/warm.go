@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/nbf"
+	"repro/internal/scenarios"
+	"repro/internal/serialize"
+)
+
+// WarmColdCase is one base+delta re-plan measured both ways: from scratch
+// and warm-started from the base plan.
+type WarmColdCase struct {
+	// Step is the trace step index (0-based).
+	Step int
+	// Delta summarizes the spec diff ("+2f -1f ~1l" = 2 adds, 1 remove,
+	// 1 link change).
+	Delta string
+	// Epochs and EnvSteps count the training work each run spent; an
+	// instant-solved warm run records zero of both.
+	ColdEpochs, WarmEpochs     int
+	ColdEnvSteps, WarmEnvSteps int
+	// Wall is each run's wall-clock planning time.
+	ColdWall, WarmWall time.Duration
+	// Solved reports whether each run found a certified topology.
+	ColdSolved, WarmSolved bool
+	// Info is the warm run's pruning outcome.
+	Info *core.WarmStartInfo
+}
+
+// WarmColdResult is the warm-vs-cold evaluation over a churn trace.
+type WarmColdResult struct {
+	Trace string
+	Cases []WarmColdCase
+	// BaseWall is the cost of planning the shared base from scratch.
+	BaseWall time.Duration
+}
+
+// RunWarmCold replays a churn trace twice per step — once from scratch and
+// once warm-started from the previous plan — and measures the saved work.
+// Cold runs start with nothing; warm runs seed the envs with the previous
+// plan and reuse analyzer verdicts via a shared failure cache, mirroring
+// what the planning service does for delta jobs.
+func RunWarmCold(trace *scenarios.ChurnTrace, cfg core.Config) (*WarmColdResult, error) {
+	reg := nbf.NewRegistry()
+	baseProb, err := serialize.DecodeProblem(trace.Base, reg)
+	if err != nil {
+		return nil, fmt.Errorf("warm-cold: base: %w", err)
+	}
+	verdicts := failure.NewCache(1 << 16)
+
+	plan := func(prob *core.Problem, warm *core.Solution) (*core.Report, time.Duration, error) {
+		c := cfg
+		c.WarmStart = warm
+		if warm != nil {
+			c.SharedAnalyzerCache = verdicts
+		}
+		pl, err := core.NewPlanner(prob, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		report, err := pl.Plan()
+		return report, time.Since(start), err
+	}
+
+	baseReport, baseWall, err := plan(baseProb, nil)
+	if err != nil {
+		return nil, fmt.Errorf("warm-cold: base plan: %w", err)
+	}
+	if baseReport.Best == nil {
+		return nil, fmt.Errorf("warm-cold: base problem did not solve; increase the budget")
+	}
+
+	res := &WarmColdResult{Trace: trace.Name, BaseWall: baseWall}
+	spec, prior := trace.Base, baseReport.Best
+	for i, d := range trace.Steps {
+		next, err := serialize.ApplyDelta(spec, d)
+		if err != nil {
+			return nil, fmt.Errorf("warm-cold: step %d: %w", i, err)
+		}
+		prob, err := serialize.DecodeProblem(next, reg)
+		if err != nil {
+			return nil, fmt.Errorf("warm-cold: step %d: %w", i, err)
+		}
+
+		coldReport, coldWall, err := plan(prob, nil)
+		if err != nil {
+			return nil, fmt.Errorf("warm-cold: step %d cold: %w", i, err)
+		}
+		warmReport, warmWall, err := plan(prob, prior)
+		if err != nil {
+			return nil, fmt.Errorf("warm-cold: step %d warm: %w", i, err)
+		}
+
+		// Certify both: a warm start must never trade away the guarantee.
+		if coldReport.Best != nil {
+			if err := core.VerifySolution(prob, coldReport.Best); err != nil {
+				return nil, fmt.Errorf("warm-cold: step %d cold solution failed audit: %w", i, err)
+			}
+		}
+		if warmReport.Best != nil {
+			if err := core.VerifySolution(prob, warmReport.Best); err != nil {
+				return nil, fmt.Errorf("warm-cold: step %d warm solution failed audit: %w", i, err)
+			}
+		}
+
+		res.Cases = append(res.Cases, WarmColdCase{
+			Step:         i,
+			Delta:        summarizeDelta(d),
+			ColdEpochs:   len(coldReport.Epochs),
+			WarmEpochs:   len(warmReport.Epochs),
+			ColdEnvSteps: envSteps(coldReport),
+			WarmEnvSteps: envSteps(warmReport),
+			ColdWall:     coldWall,
+			WarmWall:     warmWall,
+			ColdSolved:   coldReport.Best != nil,
+			WarmSolved:   warmReport.Best != nil,
+			Info:         warmReport.Warm,
+		})
+
+		spec = next
+		// Chain from the warm run's plan when it solved; fall back to the
+		// cold plan so one miss does not strand the rest of the trace.
+		switch {
+		case warmReport.Best != nil:
+			prior = warmReport.Best
+		case coldReport.Best != nil:
+			prior = coldReport.Best
+		}
+	}
+	return res, nil
+}
+
+// envSteps sums the trained environment steps across a report's epochs.
+func envSteps(r *core.Report) int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += e.EnvSteps
+	}
+	return n
+}
+
+// summarizeDelta compresses a spec diff into "+2f -1f ~2l" form.
+func summarizeDelta(d serialize.DeltaJSON) string {
+	var parts []string
+	if n := len(d.AddFlows); n > 0 {
+		parts = append(parts, fmt.Sprintf("+%df", n))
+	}
+	if n := len(d.RemoveFlows); n > 0 {
+		parts = append(parts, fmt.Sprintf("-%df", n))
+	}
+	if n := len(d.DamageLinks) + len(d.RestoreLinks); n > 0 {
+		parts = append(parts, fmt.Sprintf("~%dl", n))
+	}
+	if len(parts) == 0 {
+		return "empty"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render formats the warm-vs-cold table plus totals.
+func (r *WarmColdResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm vs cold re-planning: %s (base plan %s)\n", r.Trace, r.BaseWall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-4s %-12s %10s %10s %12s %12s %6s %6s\n",
+		"step", "delta", "cold steps", "warm steps", "cold wall", "warm wall", "cold", "warm")
+	var coldT, warmT int
+	var coldW, warmW time.Duration
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "%-4d %-12s %10d %10d %12s %12s %6s %6s\n",
+			c.Step, c.Delta, c.ColdEnvSteps, c.WarmEnvSteps,
+			c.ColdWall.Round(time.Millisecond), c.WarmWall.Round(time.Millisecond),
+			solvedMark(c.ColdSolved), solvedMark(c.WarmSolved))
+		coldT += c.ColdEnvSteps
+		warmT += c.WarmEnvSteps
+		coldW += c.ColdWall
+		warmW += c.WarmWall
+	}
+	fmt.Fprintf(&b, "%-4s %-12s %10d %10d %12s %12s\n", "sum", "",
+		coldT, warmT, coldW.Round(time.Millisecond), warmW.Round(time.Millisecond))
+	if coldT > 0 {
+		fmt.Fprintf(&b, "warm start saved %.0f%% of env steps and %.0f%% of wall time\n",
+			(1-float64(warmT)/float64(coldT))*100, wallSaved(coldW, warmW))
+	}
+	return b.String()
+}
+
+func solvedMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}
+
+func wallSaved(cold, warm time.Duration) float64 {
+	if cold <= 0 {
+		return 0
+	}
+	return (1 - float64(warm)/float64(cold)) * 100
+}

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+func TestRunWarmCold(t *testing.T) {
+	s, err := scenarios.Family("mesh", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := scenarios.Churn(scenarios.ChurnOptions{
+		Scenario: s, BaseFlows: 3, Steps: 2,
+		AddsPerStep: -1, RemovesPerStep: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := microCfg(1)
+	cfg.MaxEpoch = 4
+	res, err := RunWarmCold(trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("cases = %d, want 2", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if c.Info == nil {
+			t.Fatalf("step %d: warm run has no WarmStartInfo", c.Step)
+		}
+		// Remove-only deltas keep the prior plan valid, so the warm seed
+		// must instant-solve: zero training epochs, zero env steps.
+		if !c.Info.SeedSolved {
+			t.Errorf("step %d (%s): remove-only delta did not instant-solve", c.Step, c.Delta)
+		}
+		if c.Info.SeedSolved && (c.WarmEpochs != 0 || c.WarmEnvSteps != 0) {
+			t.Errorf("step %d: instant-solve still trained (%d epochs, %d steps)",
+				c.Step, c.WarmEpochs, c.WarmEnvSteps)
+		}
+		if !c.WarmSolved {
+			t.Errorf("step %d: warm run produced no solution", c.Step)
+		}
+		if !c.ColdSolved {
+			t.Errorf("step %d: cold run produced no solution", c.Step)
+		}
+		if c.ColdEnvSteps <= c.WarmEnvSteps {
+			t.Errorf("step %d: cold spent %d env steps, warm %d — no measurable saving",
+				c.Step, c.ColdEnvSteps, c.WarmEnvSteps)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Warm vs cold", "cold steps", "sum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

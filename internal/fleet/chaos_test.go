@@ -545,6 +545,102 @@ func TestChaosFleetPartitionHandsOffAndHeals(t *testing.T) {
 	}
 }
 
+// TestChaosFleetDeltaFailoverPlansCold: the delta-routing failure drill.
+// A delta job shards by its BASE fingerprint so it lands where the warm
+// cache lives; when that home shard dies, the materialized request (base
+// spec inline) must degrade to a cold from-scratch plan on a survivor —
+// a dead home shard costs the speedup, never the job, and never a 5xx.
+func TestChaosFleetDeltaFailoverPlansCold(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			in := fault.New(seed,
+				fault.Rule{Point: fault.PointRoundTrip, Kind: fault.KindDelay, Prob: 0.2, Delay: 10 * time.Millisecond},
+			)
+			t.Log(in.String())
+			sink := &memSink{}
+			c := New(chaosOptions(sink, &fault.Transport{In: in}))
+			defer c.Close()
+
+			replicas := make(map[string]*testReplica)
+			for i := 0; i < 3; i++ {
+				id := fmt.Sprintf("r%d", i)
+				replicas[id] = startTestReplica(t, c, id, service.Options{Workers: 1, QueueSize: 8})
+			}
+
+			// Aim the base at r0 so the drill controls whose death matters.
+			req, baseFp := requestHomedOn(t, c, "r0")
+			ctx := context.Background()
+			base, err := c.Submit(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Replica != "r0" {
+				t.Fatalf("base placed on %s, want its home shard r0", base.Replica)
+			}
+			waitFleetState(t, c, base.ID, service.StateDone)
+
+			// Healthy path first: a delta against the finished base routes to
+			// the SAME home shard and warm-starts from its plan cache.
+			warm, err := c.Submit(ctx, service.Request{
+				Base:  base.ID,
+				Delta: &serialize.DeltaJSON{RemoveFlows: []int{2}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Replica != "r0" {
+				t.Fatalf("delta with a live home placed on %s, want r0", warm.Replica)
+			}
+			wfinal := waitFleetState(t, c, warm.ID, service.StateDone)
+			if wfinal.Warm == nil || !wfinal.Warm.SeedSolved {
+				t.Fatalf("delta on its home shard did not warm-start: %+v", wfinal.Warm)
+			}
+			if sink.count(EventDeltaFallback) != 0 {
+				t.Fatal("on-home delta counted as a fallback")
+			}
+
+			// Kill the home shard and wait until the coordinator knows.
+			replicas["r0"].kill()
+			deadline := time.Now().Add(10 * time.Second)
+			for c.Fleet().Dead != 1 {
+				if time.Now().After(deadline) {
+					t.Fatalf("killed replica never declared dead: %+v", c.Fleet())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+
+			// The same kind of delta now has a dead home. Submission must
+			// still be accepted and complete on a survivor — planned cold
+			// from the inline base spec, flagged as a delta fallback.
+			cold, err := c.Submit(ctx, service.Request{
+				Base:  baseFp,
+				Delta: &serialize.DeltaJSON{RemoveFlows: []int{1}},
+			})
+			if err != nil {
+				t.Fatalf("delta with a dead home shard rejected: %v", err)
+			}
+			if cold.Replica == "r0" {
+				t.Fatal("delta placed on the dead home shard")
+			}
+			cfinal := waitFleetState(t, c, cold.ID, service.StateDone)
+			if cfinal.Warm != nil && cfinal.Warm.SeedSolved {
+				t.Fatalf("fallback replica claims a warm start it cannot have: %+v", cfinal.Warm)
+			}
+			res, err := c.Result(ctx, cold.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.GuaranteeMet || res.Solution == nil {
+				t.Fatalf("cold fallback plan did not certify: %+v", res)
+			}
+			if sink.count(EventDeltaFallback) == 0 {
+				t.Error("off-home delta produced no delta_fallback event")
+			}
+			t.Log(in.Stats())
+		})
+	}
+}
+
 // TestChaosFleetCoordinatorRestartAdoptsFinishedWork: the coordinator is
 // the only component without durable state — a restarted coordinator
 // re-learns the fleet from registrations, and a resubmitted problem is

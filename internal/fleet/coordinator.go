@@ -138,8 +138,15 @@ type replica struct {
 type fleetJob struct {
 	id          string
 	fingerprint string
-	req         service.Request
-	submitted   time.Time
+	// routeFp is the fingerprint the job shards by: for delta jobs the
+	// BASE fingerprint (so the job lands where the warm cache lives), else
+	// the job's own. Handoffs route by it too.
+	routeFp string
+	// req is the materialized request — delta jobs carry their base spec
+	// inline, so any replica can serve a handoff even if it never saw the
+	// base job (it degrades to a cold run, not an error).
+	req       service.Request
+	submitted time.Time
 
 	mu        sync.Mutex
 	replicaID string
@@ -370,39 +377,56 @@ func (c *Coordinator) liveJobsOnLocked(id string) int {
 // Submit validates a request, dedups it against the fleet's fingerprint
 // table, and places it on its home shard — or, when the home shard is
 // suspect or dead, on the next replica along the ring.
+//
+// Delta requests are first materialized: a base referencing a fleet job
+// (or a fingerprint the fleet tracks) gets that job's derived spec
+// injected inline and its Base rewritten to the base fingerprint. The job
+// then routes by the BASE fingerprint — the base's home shard holds the
+// plan cache the warm start needs — while any fallback replica can still
+// serve it cold from the inline spec, so a dead home shard costs the
+// speedup, never the job.
 func (c *Coordinator) Submit(ctx context.Context, req service.Request) (JobStatus, error) {
-	fp, err := service.Fingerprint(req)
+	req, routeFp, dedupFp, err := c.materialize(req)
 	if err != nil {
-		return JobStatus{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return JobStatus{}, err
 	}
 
 	// One placement at a time per fingerprint: the loser of the race
 	// adopts the winner's job through the dedup table instead of planting
 	// a duplicate.
-	mi, _ := c.placing.LoadOrStore(fp, &sync.Mutex{})
+	lockFp := dedupFp
+	if lockFp == "" {
+		lockFp = routeFp
+	}
+	mi, _ := c.placing.LoadOrStore(lockFp, &sync.Mutex{})
 	fpMu := mi.(*sync.Mutex)
 	fpMu.Lock()
 	defer fpMu.Unlock()
 
-	if j := c.usableJobByFingerprint(fp); j != nil {
-		c.met.incDeduped()
-		return j.view(), nil
+	if dedupFp != "" {
+		if j := c.usableJobByFingerprint(dedupFp); j != nil {
+			c.met.incDeduped()
+			return j.view(), nil
+		}
 	}
 
-	order, home := c.route(fp)
+	order, home := c.route(routeFp)
 	if len(order) == 0 {
 		return JobStatus{}, ErrNoReplicas
 	}
 	var lastErr error
 	for _, rep := range order {
-		st, adopted, err := c.place(ctx, rep, fp, req)
+		st, adopted, err := c.place(ctx, rep, dedupFp, req)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		j := &fleetJob{
-			id:          newFleetJobID(),
-			fingerprint: fp,
+			id: newFleetJobID(),
+			// The replica reports the derived fingerprint it assigned; for
+			// base-by-reference deltas this is the first time it is known.
+			fingerprint: st.Fingerprint,
+			routeFp:     routeFp,
 			req:         req,
 			submitted:   time.Now().UTC(),
 			replicaID:   rep.id,
@@ -414,9 +438,12 @@ func (c *Coordinator) Submit(ctx context.Context, req service.Request) (JobStatu
 		c.mu.Lock()
 		c.jobs[j.id] = j
 		c.order = append(c.order, j.id)
-		c.byFp[fp] = j.id
+		c.byFp[j.fingerprint] = j.id
 		c.mu.Unlock()
 		c.met.incSubmitted()
+		if req.IsDelta() {
+			c.met.incDelta()
+		}
 		if adopted {
 			c.met.incAdopted()
 		}
@@ -427,6 +454,14 @@ func (c *Coordinator) Submit(ctx context.Context, req service.Request) (JobStatu
 			} else {
 				c.met.incFallback()
 			}
+			if req.IsDelta() {
+				// The delta landed off the base's home shard: it planned
+				// cold (the fallback replica has no warm cache), but it
+				// planned.
+				c.met.incDeltaFallback()
+				c.emit(obsv.Event{Type: EventDeltaFallback, Msg: j.id, V: map[string]float64{
+					"home_suspect": boolTo01(home.state == ReplicaSuspect)}})
+			}
 		}
 		return j.view(), nil
 	}
@@ -434,6 +469,78 @@ func (c *Coordinator) Submit(ctx context.Context, req service.Request) (JobStatu
 		lastErr = ErrNoReplicas
 	}
 	return JobStatus{}, fmt.Errorf("fleet: no replica took the job: %w", lastErr)
+}
+
+// materialize resolves a delta request into the form the fleet can place
+// anywhere: the base spec inline, Base rewritten to the base fingerprint.
+// It returns the request, the fingerprint to route by (the base's for
+// delta jobs) and the derived fingerprint for dedup/adoption ("" when it
+// cannot be computed coordinator-side — an untracked base fingerprint
+// without an inline spec — in which case only the replicas holding the
+// base spec can serve the job).
+func (c *Coordinator) materialize(req service.Request) (service.Request, string, string, error) {
+	if !req.IsDelta() {
+		fp, err := service.Fingerprint(req)
+		if err != nil {
+			return service.Request{}, "", "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return req, fp, fp, nil
+	}
+	var baseJob *fleetJob
+	switch len(req.Base) {
+	case 16: // fleet job ID
+		baseJob = c.lookup(req.Base)
+		if baseJob == nil && !req.HasInlineProblem() {
+			return service.Request{}, "", "", fmt.Errorf("%w: delta base job %q", ErrNotFound, req.Base)
+		}
+	case 32: // plan-cache fingerprint; the fleet may or may not track it
+		c.mu.Lock()
+		if id, ok := c.byFp[req.Base]; ok {
+			baseJob = c.jobs[id]
+		}
+		c.mu.Unlock()
+	default:
+		return service.Request{}, "", "", fmt.Errorf("%w: base %q is neither a 16-hex job ID nor a 32-hex fingerprint", ErrBadRequest, req.Base)
+	}
+	baseFp := req.Base
+	if baseJob != nil {
+		baseFp = baseJob.fingerprint
+		if !req.HasInlineProblem() {
+			// Inject the tracked base job's derived spec so any replica can
+			// serve this delta; inherit its planning knobs the same way the
+			// replica's manager would, keeping fingerprints stable across
+			// home and fallback placements.
+			baseSelf, err := baseJob.req.Derive(baseJob.req.Problem)
+			if err != nil {
+				return service.Request{}, "", "", fmt.Errorf("%w: base job %s spec: %v", ErrBadRequest, req.Base, err)
+			}
+			req.Problem = baseSelf.Problem
+			if req.Params == (service.PlanParams{}) {
+				req.Params = baseSelf.Params
+			}
+			if !req.Certify && baseSelf.Certify {
+				req.Certify = true
+				if req.CertifySamples == 0 {
+					req.CertifySamples = baseSelf.CertifySamples
+				}
+			}
+		}
+		req.Base = baseFp
+	}
+	dedupFp := ""
+	if req.HasInlineProblem() {
+		fp, err := service.Fingerprint(req)
+		if err != nil {
+			return service.Request{}, "", "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		dedupFp = fp
+	}
+	if len(baseFp) != 32 {
+		// An unresolvable job-ID base with an inline spec: route by the
+		// derived fingerprint; the replica will plan it cold.
+		baseFp = dedupFp
+	}
+	return req, baseFp, dedupFp, nil
 }
 
 // usableJobByFingerprint returns the fingerprint's tracked job when it can
@@ -499,9 +606,11 @@ func (c *Coordinator) route(fp string) ([]*replica, homeInfo) {
 func (c *Coordinator) place(ctx context.Context, rep *replica, fp string, req service.Request) (st service.Status, adopted bool, err error) {
 	cctx, cancel := context.WithTimeout(ctx, c.opt.CallTimeout)
 	defer cancel()
-	if st, ok := rep.client.FindByFingerprint(cctx, fp); ok &&
-		st.State != service.StateFailed && st.State != service.StateCancelled {
-		return st, true, nil
+	if fp != "" { // unknown derived fingerprint: nothing to adopt by
+		if st, ok := rep.client.FindByFingerprint(cctx, fp); ok &&
+			st.State != service.StateFailed && st.State != service.StateCancelled {
+			return st, true, nil
+		}
 	}
 	st, err = rep.client.Submit(cctx, req)
 	return st, false, err
@@ -839,9 +948,13 @@ func (c *Coordinator) handoff(ctx context.Context, j *fleetJob, from string) {
 		return
 	}
 	fp, req := j.fingerprint, j.req
+	routeFp := j.routeFp
+	if routeFp == "" {
+		routeFp = fp
+	}
 	j.mu.Unlock()
 
-	order, _ := c.route(fp)
+	order, _ := c.route(routeFp)
 	for _, rep := range order {
 		if rep.id == from {
 			continue

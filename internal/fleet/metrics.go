@@ -22,6 +22,11 @@ const (
 	// job's total handoffs and whether the target already owned the work
 	// (adopted 0/1).
 	EventJobHandoff = "job_handoff"
+	// EventDeltaFallback records a delta job placed off its base
+	// fingerprint's home shard (the shard was suspect or dead): the job
+	// planned cold on a fallback replica instead of warm-starting
+	// (home_suspect 0/1 in V).
+	EventDeltaFallback = "delta_fallback"
 )
 
 // metrics bundles the nptsn_fleet_* instrument handles. A nil *metrics is
@@ -38,6 +43,8 @@ type metrics struct {
 	handoffs   *obsv.Counter
 	fallback   *obsv.Counter
 	hedged     *obsv.Counter
+	deltas     *obsv.Counter
+	deltaFall  *obsv.Counter
 	heartbeats *obsv.Counter
 	registered *obsv.Counter
 	eventErrs  *obsv.Counter
@@ -58,6 +65,8 @@ func newMetrics(reg *obsv.Registry) *metrics {
 		handoffs:   reg.Counter("nptsn_fleet_job_handoffs_total", "In-flight jobs re-served from a dead replica to a surviving one."),
 		fallback:   reg.Counter("nptsn_fleet_ring_fallback_routes_total", "Submissions routed past a dead home shard to the next replica on the ring."),
 		hedged:     reg.Counter("nptsn_fleet_hedged_routes_total", "Submissions routed around a suspect (not yet dead) home shard."),
+		deltas:     reg.Counter("nptsn_fleet_delta_jobs_total", "Delta submissions placed by the coordinator (routed to the base fingerprint's home shard)."),
+		deltaFall:  reg.Counter("nptsn_fleet_delta_fallbacks_total", "Delta submissions placed off the base's home shard; they planned cold instead of warm-starting."),
 		heartbeats: reg.Counter("nptsn_fleet_heartbeats_total", "Heartbeats received from replicas."),
 		registered: reg.Counter("nptsn_fleet_registrations_total", "Replica registrations (first contact and rejoins)."),
 		eventErrs:  reg.Counter("nptsn_fleet_event_errors_total", "Lifecycle events the sink failed to record."),
@@ -79,13 +88,23 @@ func (m *metrics) inc(c func(*metrics) *obsv.Counter) {
 	}
 }
 
-func (m *metrics) incSubmitted()  { m.inc(func(m *metrics) *obsv.Counter { return m.submitted }) }
-func (m *metrics) incDeduped()    { m.inc(func(m *metrics) *obsv.Counter { return m.deduped }) }
-func (m *metrics) incAdopted()    { m.inc(func(m *metrics) *obsv.Counter { return m.adopted }) }
-func (m *metrics) incFailover()   { m.inc(func(m *metrics) *obsv.Counter { return m.failovers }) }
-func (m *metrics) incHandoff()    { m.inc(func(m *metrics) *obsv.Counter { return m.handoffs }) }
-func (m *metrics) incFallback()   { m.inc(func(m *metrics) *obsv.Counter { return m.fallback }) }
-func (m *metrics) incHedged()     { m.inc(func(m *metrics) *obsv.Counter { return m.hedged }) }
+func (m *metrics) incSubmitted() { m.inc(func(m *metrics) *obsv.Counter { return m.submitted }) }
+func (m *metrics) incDeduped()   { m.inc(func(m *metrics) *obsv.Counter { return m.deduped }) }
+func (m *metrics) incAdopted()   { m.inc(func(m *metrics) *obsv.Counter { return m.adopted }) }
+func (m *metrics) incFailover()  { m.inc(func(m *metrics) *obsv.Counter { return m.failovers }) }
+func (m *metrics) incHandoff()   { m.inc(func(m *metrics) *obsv.Counter { return m.handoffs }) }
+func (m *metrics) incFallback()  { m.inc(func(m *metrics) *obsv.Counter { return m.fallback }) }
+func (m *metrics) incHedged()    { m.inc(func(m *metrics) *obsv.Counter { return m.hedged }) }
+
+func (m *metrics) incDelta()         { m.inc(func(m *metrics) *obsv.Counter { return m.deltas }) }
+func (m *metrics) incDeltaFallback() { m.inc(func(m *metrics) *obsv.Counter { return m.deltaFall }) }
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 func (m *metrics) incHeartbeat()  { m.inc(func(m *metrics) *obsv.Counter { return m.heartbeats }) }
 func (m *metrics) incRegistered() { m.inc(func(m *metrics) *obsv.Counter { return m.registered }) }
 func (m *metrics) incEventErr()   { m.inc(func(m *metrics) *obsv.Counter { return m.eventErrs }) }

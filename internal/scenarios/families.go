@@ -1,0 +1,199 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Family builds a deterministic scenario from one of the parameterized
+// backbone families. Unlike Random, families use no RNG at all: the same
+// (name, endStations, switches) triple always yields the same graph, so
+// they are suitable as stable bases for delta traces and golden tests.
+//
+// Recognized names:
+//
+//   - "ring":      switch ring backbone (switches >= 3)
+//   - "mesh":      complete switch backbone (switches >= 2)
+//   - "dualstar":  two hub switches, optional edge tier (switches >= 2)
+//   - "zonal":     zonal E/E layout — zone-switch ring plus a two-switch
+//     central spine connected to every zone (switches >= 4: 2 spine + >= 2 zones)
+//
+// Every end station gets exactly two candidate switch attachments, so
+// flow-level redundancy is always possible and MaxESDegree = 2 holds.
+func Family(name string, endStations, switches int) (*Scenario, error) {
+	if endStations < 2 {
+		return nil, fmt.Errorf("family %s: need at least 2 end stations", name)
+	}
+	switch strings.ToLower(name) {
+	case "ring":
+		return ringFamily(endStations, switches)
+	case "mesh":
+		return meshFamily(endStations, switches)
+	case "dualstar", "dual-star":
+		return dualStarFamily(endStations, switches)
+	case "zonal":
+		return zonalFamily(endStations, switches)
+	default:
+		return nil, fmt.Errorf("unknown scenario family %q (want ring, mesh, dualstar, or zonal)", name)
+	}
+}
+
+// FamilyNames lists the recognized Family backbone names.
+func FamilyNames() []string { return []string{"ring", "mesh", "dualstar", "zonal"} }
+
+// familyBase creates the vertex sets shared by all families: endStations
+// end stations (IDs 0..es-1) followed by switches switches.
+func familyBase(endStations, switches int) (*graph.Graph, []int) {
+	g := graph.New()
+	for i := 0; i < endStations; i++ {
+		g.AddVertex(fmt.Sprintf("es%d", i), graph.KindEndStation)
+	}
+	sw := make([]int, switches)
+	for i := range sw {
+		sw[i] = g.AddVertex(fmt.Sprintf("sw%d", i), graph.KindSwitch)
+	}
+	return g, sw
+}
+
+// ringFamily: switches in a cycle; ES i attaches to switches i mod n and
+// (i+1) mod n, so adjacent end stations share a switch and every ES's two
+// candidate attachments are ring neighbors.
+func ringFamily(endStations, switches int) (*Scenario, error) {
+	if switches < 3 {
+		return nil, fmt.Errorf("family ring: need at least 3 switches for a cycle")
+	}
+	g, sw := familyBase(endStations, switches)
+	for i := 0; i < switches; i++ {
+		if err := g.AddEdge(sw[i], sw[(i+1)%switches], 1); err != nil {
+			return nil, fmt.Errorf("family ring: backbone: %w", err)
+		}
+	}
+	for es := 0; es < endStations; es++ {
+		a, b := sw[es%switches], sw[(es+1)%switches]
+		if err := attach(g, es, a, b); err != nil {
+			return nil, fmt.Errorf("family ring: %w", err)
+		}
+	}
+	return familyScenario("ring", endStations, switches, g), nil
+}
+
+// meshFamily: complete switch backbone; ES attachment as in ringFamily.
+func meshFamily(endStations, switches int) (*Scenario, error) {
+	if switches < 2 {
+		return nil, fmt.Errorf("family mesh: need at least 2 switches")
+	}
+	g, sw := familyBase(endStations, switches)
+	for i := 0; i < switches; i++ {
+		for j := i + 1; j < switches; j++ {
+			if err := g.AddEdge(sw[i], sw[j], 1); err != nil {
+				return nil, fmt.Errorf("family mesh: backbone: %w", err)
+			}
+		}
+	}
+	for es := 0; es < endStations; es++ {
+		a, b := sw[es%switches], sw[(es+1)%switches]
+		if err := attach(g, es, a, b); err != nil {
+			return nil, fmt.Errorf("family mesh: %w", err)
+		}
+	}
+	return familyScenario("mesh", endStations, switches, g), nil
+}
+
+// dualStarFamily: sw0 and sw1 are linked hubs. With exactly two switches
+// every ES homes to both hubs; with more, switches 2..n-1 form an edge tier
+// each linked to both hubs, and ES i attaches to edge switch 2+(i mod (n-2))
+// plus hub i mod 2.
+func dualStarFamily(endStations, switches int) (*Scenario, error) {
+	if switches < 2 {
+		return nil, fmt.Errorf("family dualstar: need at least 2 switches (the hubs)")
+	}
+	g, sw := familyBase(endStations, switches)
+	if err := g.AddEdge(sw[0], sw[1], 1); err != nil {
+		return nil, fmt.Errorf("family dualstar: hub link: %w", err)
+	}
+	for i := 2; i < switches; i++ {
+		if err := g.AddEdge(sw[i], sw[0], 1); err != nil {
+			return nil, fmt.Errorf("family dualstar: edge uplink: %w", err)
+		}
+		if err := g.AddEdge(sw[i], sw[1], 1); err != nil {
+			return nil, fmt.Errorf("family dualstar: edge uplink: %w", err)
+		}
+	}
+	for es := 0; es < endStations; es++ {
+		var a, b int
+		if switches == 2 {
+			a, b = sw[0], sw[1]
+		} else {
+			a, b = sw[2+es%(switches-2)], sw[es%2]
+		}
+		if err := attach(g, es, a, b); err != nil {
+			return nil, fmt.Errorf("family dualstar: %w", err)
+		}
+	}
+	return familyScenario("dualstar", endStations, switches, g), nil
+}
+
+// zonalFamily models a zonal E/E architecture: the first two switches are a
+// central spine (linked to each other and to every zone switch); the
+// remaining switches are zone controllers arranged in a ring. ES i attaches
+// to zone switch i mod z and the next zone's switch.
+func zonalFamily(endStations, switches int) (*Scenario, error) {
+	if switches < 4 {
+		return nil, fmt.Errorf("family zonal: need at least 4 switches (2 spine + 2 zones)")
+	}
+	g, sw := familyBase(endStations, switches)
+	spine, zones := sw[:2], sw[2:]
+	if err := g.AddEdge(spine[0], spine[1], 1); err != nil {
+		return nil, fmt.Errorf("family zonal: spine link: %w", err)
+	}
+	for _, z := range zones {
+		if err := g.AddEdge(z, spine[0], 1); err != nil {
+			return nil, fmt.Errorf("family zonal: spine uplink: %w", err)
+		}
+		if err := g.AddEdge(z, spine[1], 1); err != nil {
+			return nil, fmt.Errorf("family zonal: spine uplink: %w", err)
+		}
+	}
+	if len(zones) > 2 {
+		for i := range zones {
+			u, v := zones[i], zones[(i+1)%len(zones)]
+			if !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v, 1); err != nil {
+					return nil, fmt.Errorf("family zonal: zone ring: %w", err)
+				}
+			}
+		}
+	}
+	z := len(zones)
+	for es := 0; es < endStations; es++ {
+		a, b := zones[es%z], zones[(es+1)%z]
+		if a == b { // z == 1 cannot happen (switches >= 4), but stay safe
+			b = spine[0]
+		}
+		if err := attach(g, es, a, b); err != nil {
+			return nil, fmt.Errorf("family zonal: %w", err)
+		}
+	}
+	return familyScenario("zonal", endStations, switches, g), nil
+}
+
+// attach gives end station es its two candidate switch links.
+func attach(g *graph.Graph, es, a, b int) error {
+	if err := g.AddEdge(es, a, 1); err != nil {
+		return fmt.Errorf("es %d: %w", es, err)
+	}
+	if err := g.AddEdge(es, b, 1); err != nil {
+		return fmt.Errorf("es %d: %w", es, err)
+	}
+	return nil
+}
+
+func familyScenario(family string, endStations, switches int, g *graph.Graph) *Scenario {
+	return &Scenario{
+		Name:        fmt.Sprintf("%s-%des-%dsw", family, endStations, switches),
+		Connections: g,
+		Net:         evalNetwork(),
+	}
+}

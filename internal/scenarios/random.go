@@ -19,13 +19,20 @@ type RandomOptions struct {
 	// SWLinkProb is the probability of each optional switch-switch link
 	// beyond the guaranteed connected backbone.
 	SWLinkProb float64
-	// MaxLength is the maximum cable length (lengths are uniform in
-	// [1, MaxLength]; 0 means unit lengths).
+	// MaxLength is the maximum cable length: lengths are drawn uniformly
+	// from [1, MaxLength]. 0 and 1 both mean unit lengths (explicitly — a
+	// degenerate interval, not an error); values in (0,1) or negative are
+	// rejected, because they would silently collapse to unit lengths and
+	// hide a typo'd option.
 	MaxLength float64
 	// BasePeriod and SlotsPerBase configure timing (defaults: 500 µs / 20).
 	BasePeriod   time.Duration
 	SlotsPerBase int
-	// Seed drives all randomness.
+	// Seed drives all randomness and must be non-zero: a zero seed is
+	// indistinguishable from an unset field, and a generator that silently
+	// defaults would hand two "different" experiments the same topology.
+	// Output is byte-stable: the same options always produce the same
+	// scenario, on every run and every platform (the golden test pins it).
 	Seed int64
 }
 
@@ -43,6 +50,12 @@ func Random(opts RandomOptions) (*Scenario, error) {
 	}
 	if opts.ESLinkProb < 0 || opts.ESLinkProb > 1 || opts.SWLinkProb < 0 || opts.SWLinkProb > 1 {
 		return nil, fmt.Errorf("random scenario: probabilities must be in [0,1]")
+	}
+	if opts.MaxLength < 0 || (opts.MaxLength > 0 && opts.MaxLength < 1) {
+		return nil, fmt.Errorf("random scenario: MaxLength %g outside {0} ∪ [1,∞) (lengths are uniform in [1, MaxLength]; 0 or 1 = unit lengths)", opts.MaxLength)
+	}
+	if opts.Seed == 0 {
+		return nil, fmt.Errorf("random scenario: seed must be non-zero (0 is indistinguishable from an unset option)")
 	}
 	net := evalNetwork()
 	if opts.BasePeriod > 0 {

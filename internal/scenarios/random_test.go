@@ -40,13 +40,37 @@ func TestRandomScenarioValidation(t *testing.T) {
 	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2, ESLinkProb: 2}); err == nil {
 		t.Error("probability > 1 accepted")
 	}
-	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2, BasePeriod: 7, SlotsPerBase: 2}); err == nil {
+	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2, Seed: 1, BasePeriod: 7, SlotsPerBase: 2}); err == nil {
 		t.Error("indivisible base period accepted")
+	}
+	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2, Seed: 1, MaxLength: 0.5}); err == nil {
+		t.Error("MaxLength in (0,1) accepted; it would silently collapse to unit lengths")
+	}
+	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2, Seed: 1, MaxLength: -2}); err == nil {
+		t.Error("negative MaxLength accepted")
+	}
+	if _, err := Random(RandomOptions{EndStations: 2, Switches: 2}); err == nil {
+		t.Error("zero seed accepted; it is indistinguishable from an unset option")
+	}
+	// 0 and 1 are both the documented unit-length settings.
+	for _, ml := range []float64{0, 1} {
+		s, err := Random(RandomOptions{EndStations: 2, Switches: 2, Seed: 1, MaxLength: ml})
+		if err != nil {
+			t.Fatalf("MaxLength %g rejected: %v", ml, err)
+		}
+		for _, e := range s.Connections.Edges() {
+			if e.Length != 1 {
+				t.Fatalf("MaxLength %g produced length %g", ml, e.Length)
+			}
+		}
 	}
 }
 
 func TestRandomScenarioProperties(t *testing.T) {
 	prop := func(seed int64) bool {
+		if seed == 0 {
+			seed = 1 // zero seeds are rejected by design
+		}
 		s, err := Random(RandomOptions{
 			EndStations: 4 + int(seed%5+5)%5, Switches: 2 + int(seed%3+3)%3,
 			ESLinkProb: 0.3, SWLinkProb: 0.4, MaxLength: 2, Seed: seed,

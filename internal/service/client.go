@@ -128,9 +128,16 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 func (c *Client) Submit(ctx context.Context, req Request) (Status, error) {
 	// The same canonicalization the server runs; it yields the fingerprint
 	// the accepted job will carry, which is what makes re-finding possible.
-	prep, err := prepare(req)
-	if err != nil {
-		return Status{}, err
+	// A delta request that references a server-side base cannot be
+	// fingerprinted locally (only the server holds the base spec); it is
+	// posted as-is, skipping the adopt-by-fingerprint rescue.
+	fingerprint := ""
+	if !req.IsDelta() || req.HasInlineProblem() {
+		fp, err := Fingerprint(req)
+		if err != nil {
+			return Status{}, err
+		}
+		fingerprint = fp
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -146,11 +153,11 @@ func (c *Client) Submit(ctx context.Context, req Request) (Status, error) {
 		if !retryableSubmit(err) || attempt >= c.retries() {
 			return Status{}, lastErr
 		}
-		if ambiguous {
+		if ambiguous && fingerprint != "" {
 			// The server may have accepted the job before the connection
 			// died; resubmitting would plan it twice. Adopt the existing
 			// job when the fingerprint resolves.
-			if st, ok := c.FindByFingerprint(ctx, prep.fingerprint); ok {
+			if st, ok := c.FindByFingerprint(ctx, fingerprint); ok {
 				return st, nil
 			}
 		}

@@ -74,6 +74,10 @@ func (a *apiServer) submit(w http.ResponseWriter, r *http.Request) {
 		// The request is well-formed but this exact job has panicked the
 		// planner repeatedly; re-running it cannot help.
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.Is(err, ErrBaseNotFound):
+		// A delta request whose base this server does not know and that
+		// carries no inline base spec to fall back on.
+		writeError(w, http.StatusNotFound, err.Error())
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err.Error())
 	case st.CacheHit:

@@ -129,15 +129,64 @@ func (n normalizedParams) config() core.Config {
 
 // Request is the body of POST /v1/jobs: a problem spec in the same JSON
 // form the CLIs exchange, planning knobs, and the certification switch.
+//
+// Incremental re-planning: instead of (or alongside) an inline Problem, a
+// request may reference a prior job via Base and describe the change via
+// Delta. The server resolves the base spec (from its job store, or the
+// inline Problem when both are present — then Problem is the BASE spec,
+// not the derived one), applies the delta, and warm-starts planning from
+// the base plan when it is still in the plan cache.
 type Request struct {
-	Problem serialize.ProblemJSON `json:"problem"`
-	Params  PlanParams            `json:"params,omitempty"`
+	Problem serialize.ProblemJSON `json:"problem,omitempty"`
+	// Base references the job whose spec (and cached plan) this request
+	// derives from: a 16-hex job ID or a 32-hex plan-cache fingerprint.
+	// Empty for from-scratch requests.
+	Base string `json:"base,omitempty"`
+	// Delta is the spec diff applied to the base problem. A nil Delta with
+	// a non-empty Base means "re-plan the base unchanged" (normally a pure
+	// cache hit).
+	Delta  *serialize.DeltaJSON `json:"delta,omitempty"`
+	Params PlanParams           `json:"params,omitempty"`
 	// Certify runs the independent certification audit on the winning
 	// plan before the job is marked done (also settable via ?certify=1).
 	Certify bool `json:"certify,omitempty"`
 	// CertifySamples is the Monte Carlo trial count of the audit
 	// (0 = 256, the certifier default).
 	CertifySamples int `json:"certifySamples,omitempty"`
+}
+
+// IsDelta reports whether the request references a base job instead of
+// being fully self-contained.
+func (r Request) IsDelta() bool { return r.Base != "" }
+
+// HasInlineProblem reports whether the request carries a problem spec of
+// its own (delta requests may rely entirely on the server-side base).
+func (r Request) HasInlineProblem() bool {
+	return len(r.Problem.Connections.Vertices) > 0
+}
+
+// Derive resolves a delta request into the self-contained request the
+// planner actually runs, given the base problem spec: the delta is applied
+// to baseProblem, and Base/Delta are cleared. Params and the certify
+// switches are kept from the delta request itself. Non-delta requests are
+// returned unchanged.
+func (r Request) Derive(baseProblem serialize.ProblemJSON) (Request, error) {
+	if !r.IsDelta() {
+		return r, nil
+	}
+	out := r
+	out.Base = ""
+	out.Delta = nil
+	if r.Delta == nil {
+		out.Problem = baseProblem
+		return out, nil
+	}
+	derived, err := serialize.ApplyDelta(baseProblem, *r.Delta)
+	if err != nil {
+		return Request{}, err
+	}
+	out.Problem = derived
+	return out, nil
 }
 
 // Progress is a job's live training progress, fed from the planner's
@@ -177,6 +226,13 @@ type Status struct {
 	// Fingerprint is the cache key over the canonicalized problem spec and
 	// planning configuration.
 	Fingerprint string `json:"fingerprint"`
+	// Base is the resolved base fingerprint for delta jobs (empty for
+	// from-scratch jobs).
+	Base string `json:"base,omitempty"`
+	// Warm reports the warm-start pruning outcome once planning began with
+	// a seed from the base plan; nil when the job ran cold (no base, base
+	// plan not cached, or the seed failed to build).
+	Warm *core.WarmStartInfo `json:"warm,omitempty"`
 }
 
 // Result is a finished job's outcome, served by GET /v1/jobs/{id}/result
@@ -204,11 +260,17 @@ type job struct {
 	certSamples int
 	timeout     time.Duration
 
-	// req is the original submission, journaled alongside non-terminal
-	// states so a restarted server can re-queue the job; attempts counts
-	// how many server lives have started it.
+	// req is the submission the planner runs — for delta requests, the
+	// DERIVED self-contained form. Journaled alongside non-terminal states
+	// so a restarted server can re-queue the job (and with done states so
+	// the spec can seed future deltas); attempts counts how many server
+	// lives have started it.
 	req      *Request
 	attempts int
+	// base is the resolved base fingerprint for delta jobs; warm is the
+	// base plan decoded against the derived problem (nil = plan cold).
+	base string
+	warm *core.Solution
 
 	mu              sync.Mutex
 	state           State
@@ -221,6 +283,9 @@ type job struct {
 	cancel          func() // non-nil while running
 	cancelRequested bool
 	result          *Result
+	// warmInfo is filled by the planner's OnWarmStart hook once the run
+	// actually seeded from the base plan.
+	warmInfo *core.WarmStartInfo
 	// lastBeat is the job's liveness heartbeat while running: bumped at
 	// start and on every planner Progress callback; the stuck-job watchdog
 	// fails jobs whose heartbeat goes quiet for Options.StuckTimeout.
@@ -256,6 +321,11 @@ func (j *job) status() Status {
 		Certify:     j.certify,
 		Attempts:    j.attempts,
 		Fingerprint: j.fingerprint,
+		Base:        j.base,
+	}
+	if j.warmInfo != nil {
+		w := *j.warmInfo
+		s.Warm = &w
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -317,7 +387,24 @@ func prepare(req Request) (prepared, error) {
 // plan-cache fingerprint Submit would assign to it — the problem identity
 // the fleet coordinator shards on and adopts by. Two requests share a
 // fingerprint exactly when a finished plan for one answers the other.
+//
+// For a delta request the fingerprint is that of the DERIVED problem, so
+// it only computes when the request carries its base spec inline; a
+// base-by-reference request must be resolved by a Manager first. The warm
+// start is deliberately not part of the fingerprint: warm and cold runs of
+// the same derived problem answer the same question, and an empty delta
+// must land on the base's own cache entry.
 func Fingerprint(req Request) (string, error) {
+	if req.IsDelta() {
+		if !req.HasInlineProblem() {
+			return "", fmt.Errorf("delta request has no inline base problem; only the serving manager can resolve base %q", req.Base)
+		}
+		derived, err := req.Derive(req.Problem)
+		if err != nil {
+			return "", fmt.Errorf("delta: %w", err)
+		}
+		req = derived
+	}
 	prep, err := prepare(req)
 	if err != nil {
 		return "", err

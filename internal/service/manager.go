@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/certify"
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/fault"
 	"repro/internal/obsv"
 	"repro/internal/serialize"
@@ -32,6 +33,11 @@ var (
 	// panicked the planner Options.PoisonPanics times — a reproducible
 	// crasher that re-running cannot fix (HTTP 422).
 	ErrPoisoned = errors.New("service: job fingerprint is quarantined after repeated panics")
+	// ErrBaseNotFound is returned for delta submissions whose base
+	// reference resolves to nothing this server knows — no job with that
+	// ID, no spec with that fingerprint — and that carry no inline base
+	// problem to fall back on (HTTP 404).
+	ErrBaseNotFound = errors.New("service: delta base not found")
 )
 
 // Options configures a Manager.
@@ -65,6 +71,20 @@ type Options struct {
 	// fingerprint has panicked this many times, further submissions of it
 	// are refused with ErrPoisoned (default 3).
 	PoisonPanics int
+	// VerdictCacheSize bounds the server-wide failure-analysis verdict
+	// cache every planning run shares (0 = 65536 entries, negative =
+	// disabled, falling back to each job's own AnalyzerCache). Verdict
+	// keys include the full problem context, so sharing across jobs is
+	// safe and never changes a run's trajectory; its payoff is delta
+	// re-planning, where most of a base plan's scenarios recur verbatim.
+	VerdictCacheSize int
+	// Progress, when non-nil, observes every job's per-epoch progress
+	// (after the job's own status/heartbeat bookkeeping). It is called
+	// outside all engine locks and — unlike the raw planner callback — a
+	// slow or blocking observer does not starve the job's heartbeat: the
+	// manager keeps beating on the job's behalf while the observer runs,
+	// so the stuck-job watchdog only fires on genuinely stuck planning.
+	Progress func(jobID string, es core.EpochStats)
 	// Fault, when non-nil, arms deterministic fault injection across the
 	// engine: filesystem faults in the record store and panic/hang/delay
 	// faults in the planning path (fault.PointPlan once per job run,
@@ -92,11 +112,16 @@ type Manager struct {
 	opt Options
 	met *metrics
 
+	// verdicts is the server-wide shared analyzer cache (nil when
+	// disabled); immutable after New.
+	verdicts *failure.Cache
+
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string           // submission order, for List
-	cache    map[string]*Result // fingerprint → finished result
-	panics   map[string]int     // fingerprint → contained planning panics
+	order    []string            // submission order, for List
+	cache    map[string]*Result  // fingerprint → finished result
+	specs    map[string]*Request // fingerprint → self-contained request spec, for delta bases
+	panics   map[string]int      // fingerprint → contained planning panics
 	draining bool
 	// recent is a ring of the last recentRunWindow run durations, feeding
 	// the Retry-After estimate; recentIdx is the next overwrite slot.
@@ -130,6 +155,9 @@ func New(opt Options) (*Manager, error) {
 	if opt.PoisonPanics <= 0 {
 		opt.PoisonPanics = 3
 	}
+	if opt.VerdictCacheSize == 0 {
+		opt.VerdictCacheSize = 65536
+	}
 	var recs []record
 	var quarantined []string
 	if opt.Dir != "" {
@@ -144,9 +172,13 @@ func New(opt Options) (*Manager, error) {
 		met:           newMetrics(opt.Metrics),
 		jobs:          make(map[string]*job),
 		cache:         make(map[string]*Result),
+		specs:         make(map[string]*Request),
 		panics:        make(map[string]int),
 		watchStop:     make(chan struct{}),
 		testBeforeRun: opt.testBeforeRun,
+	}
+	if opt.VerdictCacheSize > 0 {
+		m.verdicts = failure.NewCache(opt.VerdictCacheSize)
 	}
 	var pending []record
 	for _, rec := range recs {
@@ -177,9 +209,17 @@ func New(opt Options) (*Manager, error) {
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
 		// Re-seed the plan cache from done, uninterrupted results so a
-		// re-submission after restart is still a hit.
-		if rec.Status.State == StateDone && rec.Result != nil && !rec.Result.Interrupted && !rec.Status.CacheHit {
+		// re-submission after restart is still a hit. Cache-hit records
+		// count too: they carry a full copy of the finished result, and the
+		// record of the job that actually planned it may have been deleted —
+		// excluding them used to orphan the fingerprint after a restart.
+		if rec.Status.State == StateDone && rec.Result != nil && !rec.Result.Interrupted {
 			m.cache[rec.Status.Fingerprint] = rec.Result
+		}
+		// Re-seed the spec registry so the fingerprint keeps working as a
+		// delta base across restarts.
+		if rec.Status.State == StateDone && rec.Request != nil {
+			m.specs[rec.Status.Fingerprint] = rec.Request
 		}
 	}
 	// Size the queue so every journaled live job fits on top of the
@@ -244,6 +284,7 @@ func (m *Manager) requeue(rec record) {
 		j.req = rec.Request
 		j.state = StateQueued
 		j.progress.TotalEpochs = prep.cfg.MaxEpoch
+		m.specs[prep.fingerprint] = rec.Request
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -265,10 +306,39 @@ func (m *Manager) requeue(rec record) {
 
 // Submit validates a request and either answers it from the plan cache or
 // enqueues a new job. It returns the job's initial status snapshot.
+//
+// A delta request (Request.Base set) is first resolved into its derived
+// self-contained form: the base spec comes from the server's spec registry
+// (or the inline Problem), the delta is applied, and — when the base plan
+// is still in the plan cache — the job is armed to warm-start from it.
+// The job's fingerprint is that of the derived problem, so an empty delta
+// lands on the base's own cache entry and returns the base plan verbatim.
 func (m *Manager) Submit(req Request) (Status, error) {
+	baseFp := ""
+	var warmSol *serialize.SolutionJSON
+	if req.IsDelta() {
+		derived, fp, sol, err := m.resolveDelta(req)
+		if err != nil {
+			return Status{}, err
+		}
+		req, baseFp, warmSol = derived, fp, sol
+	}
 	prep, err := prepare(req)
 	if err != nil {
 		return Status{}, err
+	}
+	var warm *core.Solution
+	if warmSol != nil {
+		// A base plan that no longer decodes against the derived problem
+		// (e.g. it routed over a damaged link and DecodeSolution rejects the
+		// edge) degrades to a cold run instead of failing the submission:
+		// the warm start is an optimization, never a correctness gate.
+		if ws, werr := serialize.DecodeSolution(*warmSol, prep.prob.Connections); werr == nil {
+			warm = ws
+		} else {
+			m.met.incWarmDegraded()
+			m.emit(obsv.Event{Type: EventWarmDegraded, Msg: baseFp + ": " + werr.Error()})
+		}
 	}
 	j := &job{
 		id:          newJobID(),
@@ -279,6 +349,8 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		certSamples: prep.certSamples,
 		timeout:     prep.timeout,
 		req:         &req,
+		base:        baseFp,
+		warm:        warm,
 		state:       StateQueued,
 		submitted:   time.Now().UTC(),
 		terminal:    make(chan struct{}),
@@ -312,6 +384,7 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		close(j.terminal)
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
+		m.registerSpecLocked(j.fingerprint, &req)
 		m.mu.Unlock()
 		m.met.incCacheHit()
 		m.met.incDone()
@@ -323,6 +396,7 @@ func (m *Manager) Submit(req Request) (Status, error) {
 	case m.queue <- j:
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
+		m.registerSpecLocked(j.fingerprint, &req)
 		depth := len(m.queue)
 		m.mu.Unlock()
 		m.met.incCacheMiss()
@@ -339,6 +413,88 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		m.emit(obsv.Event{Type: EventRejected, V: map[string]float64{"queue_size": float64(m.opt.QueueSize)}})
 		return Status{}, ErrQueueFull
 	}
+}
+
+// registerSpecLocked records an accepted request's self-contained spec
+// under its fingerprint so later delta submissions can reference it.
+// Caller holds m.mu.
+func (m *Manager) registerSpecLocked(fp string, req *Request) {
+	if _, ok := m.specs[fp]; !ok {
+		m.specs[fp] = req
+	}
+}
+
+// resolveDelta turns a delta request into its derived self-contained form.
+// It returns the derived request, the resolved base fingerprint, and the
+// base's cached plan when one exists (nil = the job will run cold).
+//
+// Base resolution: a 16-hex value names a job on this server (whose
+// fingerprint is then used), a 32-hex value is a plan-cache fingerprint
+// directly. The base spec comes from the spec registry; a request that
+// also carries an inline Problem uses it as the base spec when the server
+// has none — that is what lets a fleet replica that never saw the base job
+// still plan the delta (cold) instead of failing it.
+//
+// The delta request inherits the base spec's Params (and certify switches)
+// when it leaves them unset, so an empty delta reproduces the base job's
+// fingerprint exactly and is answered from its cache entry.
+func (m *Manager) resolveDelta(req Request) (Request, string, *serialize.SolutionJSON, error) {
+	fp := req.Base
+	switch len(req.Base) {
+	case 16: // job ID
+		j := m.lookup(req.Base)
+		if j == nil {
+			if !req.HasInlineProblem() {
+				return Request{}, "", nil, fmt.Errorf("%w: no job %q", ErrBaseNotFound, req.Base)
+			}
+			fp = ""
+		} else {
+			fp = j.fingerprint
+		}
+	case 32: // plan-cache fingerprint
+	default:
+		return Request{}, "", nil, fmt.Errorf("base %q is neither a 16-hex job ID nor a 32-hex fingerprint", req.Base)
+	}
+
+	m.mu.Lock()
+	var spec *Request
+	var cached *Result
+	if fp != "" {
+		spec = m.specs[fp]
+		cached = m.cache[fp]
+	}
+	m.mu.Unlock()
+
+	var baseProblem serialize.ProblemJSON
+	switch {
+	case spec != nil:
+		baseProblem = spec.Problem
+	case req.HasInlineProblem():
+		baseProblem = req.Problem
+	default:
+		return Request{}, "", nil, fmt.Errorf("%w: fingerprint %s has no spec on this server and the request has no inline base problem", ErrBaseNotFound, fp)
+	}
+	if spec != nil {
+		if req.Params == (PlanParams{}) {
+			req.Params = spec.Params
+		}
+		if !req.Certify && spec.Certify {
+			req.Certify = true
+			if req.CertifySamples == 0 {
+				req.CertifySamples = spec.CertifySamples
+			}
+		}
+	}
+	derived, err := req.Derive(baseProblem)
+	if err != nil {
+		return Request{}, "", nil, fmt.Errorf("delta: %w", err)
+	}
+	m.met.incDelta()
+	var warmSol *serialize.SolutionJSON
+	if cached != nil && cached.Solution != nil && !cached.Interrupted {
+		warmSol = cached.Solution
+	}
+	return derived, fp, warmSol, nil
 }
 
 // Get returns a job's status snapshot.
@@ -662,6 +818,27 @@ func (m *Manager) planSafe(ctx context.Context, j *job) (res *Result, errMsg str
 func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 	cfg := j.cfg
 	cfg.Metrics = m.opt.Metrics // training series accumulate across jobs
+	if m.verdicts != nil {
+		// All jobs share the server-wide verdict cache; keys carry the full
+		// problem context, so cross-job hits are sound. Delta re-plans are
+		// the payoff: most of the base plan's scenarios recur verbatim.
+		cfg.SharedAnalyzerCache = m.verdicts
+	}
+	if j.warm != nil {
+		cfg.WarmStart = j.warm
+		cfg.OnWarmStart = func(info core.WarmStartInfo) {
+			j.mu.Lock()
+			j.lastBeat = time.Now()
+			j.warmInfo = &info
+			j.mu.Unlock()
+			m.met.incWarm()
+			m.emit(obsv.Event{Type: EventWarmStart, Msg: j.id, V: map[string]float64{
+				"seeded_links":  float64(info.SeededLinks),
+				"dropped_links": float64(info.DroppedLinks),
+				"seed_solved":   boolTo01(info.SeedSolved),
+			}})
+		}
+	}
 	cfg.Progress = func(es core.EpochStats) {
 		j.mu.Lock()
 		j.lastBeat = time.Now()
@@ -673,6 +850,17 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 			j.progress.GuaranteeMet = true
 		}
 		j.mu.Unlock()
+		if obs := m.opt.Progress; obs != nil {
+			// The observer runs outside every engine lock, and the job keeps
+			// its heartbeat through a proxy beater for as long as the
+			// observer blocks: a slow dashboard must not get a healthy job
+			// killed by the stuck-job watchdog. The planner itself holds no
+			// locks during Progress, so blocking here stalls only this job's
+			// training clock, never the engine.
+			stop := m.beatWhile(j)
+			defer stop()
+			obs(j.id, es)
+		}
 	}
 	if f := m.opt.Fault; f != nil {
 		cfg.ExploreHook = func(ctx context.Context, epoch, worker int) {
@@ -734,6 +922,40 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 	return res, ""
 }
 
+// beatWhile keeps j's watchdog heartbeat alive on the caller's behalf
+// until the returned stop function runs. Used around external observer
+// callbacks: the job is not stuck, it is waiting on the observer.
+func (m *Manager) beatWhile(j *job) func() {
+	if m.opt.StuckTimeout <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(m.opt.StuckTimeout / 4)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				j.mu.Lock()
+				j.lastBeat = time.Now()
+				j.mu.Unlock()
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // persist writes the job's current record when persistence is on: live
 // jobs are journaled with their request (crash recovery re-queues them),
 // terminal jobs keep only status and result. A store write failure (disk
@@ -747,7 +969,9 @@ func (m *Manager) persist(j *job) {
 	j.mu.Lock()
 	rec.Result = j.result
 	j.mu.Unlock()
-	if !rec.Status.State.Terminal() {
+	// Live jobs journal their request for crash recovery; done jobs keep it
+	// too, so the fingerprint's spec can seed delta bases across restarts.
+	if !rec.Status.State.Terminal() || rec.Status.State == StateDone {
 		rec.Request = j.req
 	}
 	if err := saveRecord(m.opt.Dir, rec, m.fsFaults()); err != nil {

@@ -38,6 +38,13 @@ const (
 	// EventStoreCorrupt records record files quarantined into corrupt/ at
 	// boot; Msg lists "file: reason" per quarantined file.
 	EventStoreCorrupt = "store_corrupt"
+	// EventWarmStart records a delta job whose planner actually seeded from
+	// the base plan (seeded/dropped link counts and seed_solved in V).
+	EventWarmStart = "job_warm_start"
+	// EventWarmDegraded records a delta job that fell back to a cold run
+	// because the cached base plan no longer decoded against the derived
+	// problem; Msg carries the base fingerprint and reason.
+	EventWarmDegraded = "job_warm_degraded"
 )
 
 // metrics bundles the nptsn_service_* instrument handles. A nil *metrics
@@ -56,6 +63,9 @@ type metrics struct {
 	stalled    *obsv.Counter
 	requeued   *obsv.Counter
 	poisoned   *obsv.Counter
+	deltas     *obsv.Counter
+	warm       *obsv.Counter
+	warmDeg    *obsv.Counter
 	queueDepth *obsv.Gauge
 	running    *obsv.Gauge
 	waitSecs   *obsv.Histogram
@@ -80,6 +90,9 @@ func newMetrics(reg *obsv.Registry) *metrics {
 		stalled:    reg.Counter("nptsn_service_jobs_stalled_total", "Running jobs the watchdog interrupted for missing progress heartbeats."),
 		requeued:   reg.Counter("nptsn_service_jobs_requeued_total", "Journaled live jobs re-queued after a restart."),
 		poisoned:   reg.Counter("nptsn_service_jobs_poisoned_total", "Fingerprints refused after repeated panics or exhausted restart attempts."),
+		deltas:     reg.Counter("nptsn_service_delta_jobs_total", "Submissions that referenced a base job and were resolved through the delta grammar."),
+		warm:       reg.Counter("nptsn_service_warm_starts_total", "Planning runs that seeded from a cached base plan."),
+		warmDeg:    reg.Counter("nptsn_service_warm_degraded_total", "Delta jobs that fell back to a cold run because the base plan no longer applied."),
 		queueDepth: reg.Gauge("nptsn_service_queue_depth", "Jobs waiting in the queue."),
 		running:    reg.Gauge("nptsn_service_jobs_running", "Jobs currently planning."),
 		waitSecs:   reg.Histogram("nptsn_service_wait_seconds", "Queue wait per job (submit to start).", obsv.DurationBuckets),
@@ -123,6 +136,10 @@ func (m *metrics) incPanic()     { m.safeInc(func() *obsv.Counter { return m.pan
 func (m *metrics) incStalled()   { m.safeInc(func() *obsv.Counter { return m.stalled }) }
 func (m *metrics) incRequeued()  { m.safeInc(func() *obsv.Counter { return m.requeued }) }
 func (m *metrics) incPoisoned()  { m.safeInc(func() *obsv.Counter { return m.poisoned }) }
+
+func (m *metrics) incDelta()        { m.safeInc(func() *obsv.Counter { return m.deltas }) }
+func (m *metrics) incWarm()         { m.safeInc(func() *obsv.Counter { return m.warm }) }
+func (m *metrics) incWarmDegraded() { m.safeInc(func() *obsv.Counter { return m.warmDeg }) }
 
 func (m *metrics) addSkipped(n int) {
 	if m != nil && n > 0 {

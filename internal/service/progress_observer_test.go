@@ -1,0 +1,65 @@
+package service
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// TestSlowProgressObserverDoesNotTripWatchdog is the S2 regression: an
+// external Options.Progress observer that blocks far longer than
+// StuckTimeout must not get a healthy job killed — the engine keeps the
+// job's heartbeat alive through a proxy beater while the observer runs.
+func TestSlowProgressObserverDoesNotTripWatchdog(t *testing.T) {
+	// The watchdog allowance must comfortably cover one training epoch of
+	// the tiny job (the planner only beats per epoch, and -race slows
+	// training several-fold), while the observer blocks for a multiple of
+	// it — the blocked window is what the proxy beater has to bridge.
+	const stuck = 750 * time.Millisecond
+	var calls atomic.Int64
+	m := newTestManager(t, Options{
+		StuckTimeout: stuck,
+		Progress: func(jobID string, es core.EpochStats) {
+			if calls.Add(1) == 1 {
+				time.Sleep(3 * stuck) // deliberately slower than the watchdog
+			}
+		},
+	})
+	st, err := m.Submit(tinyRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job with a slow observer finished %s (%q), want done",
+			final.State, final.Error)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("observer was never called")
+	}
+}
+
+// TestWatchdogStillCatchesHungJobWithObserver: the proxy beater must only
+// cover observer time — a genuinely hung planner (exploration livelock)
+// is still caught by the watchdog even when a Progress observer is
+// configured.
+func TestWatchdogStillCatchesHungJobWithObserver(t *testing.T) {
+	in := fault.New(1, fault.Rule{Point: fault.PointExplore, Kind: fault.KindHang, Prob: 1})
+	m := newTestManager(t, Options{
+		StuckTimeout: 250 * time.Millisecond,
+		Fault:        in,
+		Progress:     func(string, core.EpochStats) { time.Sleep(time.Millisecond) },
+	})
+	st, err := m.Submit(tinyRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "stalled") {
+		t.Fatalf("hung job = %s (%q), want failed/stalled", final.State, final.Error)
+	}
+}

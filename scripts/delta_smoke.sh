@@ -1,0 +1,180 @@
+#!/bin/sh
+# delta_smoke.sh — end-to-end smoke of the incremental re-planning path.
+# Boots nptsn-serve on an ephemeral port, plans a base job from the shipped
+# example problem, then submits three derived jobs against it over the wire:
+#   1. an empty delta by job ID     -> answered from the plan cache,
+#      bit-stable fingerprint identical to the base;
+#   2. a flow-removal delta         -> warm-started from the base plan
+#      (instant-solve: zero training epochs);
+#   3. an empty delta by base FINGERPRINT after a server restart -> the
+#      reseeded spec registry still resolves it to the cached base.
+# Exits 0 on success; any failure exits non-zero. Needs Go and curl.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -TERM "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "delta-smoke: building nptsn-serve"
+go build -o "$workdir/nptsn-serve" ./cmd/nptsn-serve
+
+start_server() {
+    rm -f "$workdir/addr"
+    "$workdir/nptsn-serve" \
+        -addr 127.0.0.1:0 \
+        -addr-file "$workdir/addr" \
+        -data-dir "$workdir/data" \
+        -verdict-cache 65536 \
+        >>"$workdir/server.log" 2>&1 &
+    server_pid=$!
+    i=0
+    while [ ! -s "$workdir/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "delta-smoke: server never published an address" >&2
+            cat "$workdir/server.log" >&2
+            exit 1
+        fi
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "delta-smoke: server exited during startup" >&2
+            cat "$workdir/server.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    base="http://$(cat "$workdir/addr")"
+}
+
+stop_server() {
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+}
+
+# json_field <json> <key>: first scalar value of "key" (string or number).
+json_field() {
+    printf '%s' "$1" | sed -n "s/.*\"$2\": *\"\{0,1\}\([0-9a-zA-Z.-]*\)\"\{0,1\}[,}]\{0,1\}.*/\1/p" | head -n 1
+}
+
+# wait_done <job-id>: poll the job until done; echoes the final status JSON.
+wait_done() {
+    i=0
+    while :; do
+        status=$(curl -sS "$base/v1/jobs/$1")
+        state=$(json_field "$status" state)
+        case "$state" in
+        done)
+            printf '%s' "$status"
+            return 0
+            ;;
+        failed | cancelled)
+            echo "delta-smoke: job $1 ended $state: $status" >&2
+            exit 1
+            ;;
+        esac
+        i=$((i + 1))
+        if [ "$i" -gt 600 ]; then
+            echo "delta-smoke: job $1 stuck in state '$state'" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+start_server
+echo "delta-smoke: server at $base"
+
+# Plan the base job.
+{
+    printf '{"problem": '
+    cat testdata/example-problem.json
+    printf ', "params": {"epochs": 2, "steps": 48, "k": 4, "mlpWidth": 16, "gcnLayers": 1, "seed": 2}}'
+} >"$workdir/base.json"
+submit=$(curl -sS -X POST --data-binary @"$workdir/base.json" "$base/v1/jobs")
+base_id=$(json_field "$submit" id)
+if [ -z "$base_id" ]; then
+    echo "delta-smoke: base submission returned no job id: $submit" >&2
+    exit 1
+fi
+base_status=$(wait_done "$base_id")
+base_fp=$(json_field "$base_status" fingerprint)
+if [ -z "$base_fp" ]; then
+    echo "delta-smoke: base job has no fingerprint: $base_status" >&2
+    exit 1
+fi
+echo "delta-smoke: base job $base_id done (fingerprint $base_fp)"
+
+# 1. Empty delta by job ID: a plan-cache hit with the base's fingerprint.
+empty=$(curl -sS -X POST -d "{\"base\": \"$base_id\"}" "$base/v1/jobs")
+case "$empty" in
+*'"cacheHit": true'* | *'"cacheHit":true'*) ;;
+*)
+    echo "delta-smoke: empty delta missed the plan cache: $empty" >&2
+    exit 1
+    ;;
+esac
+if [ "$(json_field "$empty" fingerprint)" != "$base_fp" ]; then
+    echo "delta-smoke: empty delta changed the fingerprint: $empty" >&2
+    exit 1
+fi
+echo "delta-smoke: empty delta served from the plan cache"
+
+# 2. Flow-removal delta: warm-starts from the base plan and instant-solves.
+delta=$(curl -sS -X POST -d "{\"base\": \"$base_id\", \"delta\": {\"removeFlows\": [0]}}" "$base/v1/jobs")
+delta_id=$(json_field "$delta" id)
+if [ -z "$delta_id" ]; then
+    echo "delta-smoke: delta submission returned no job id: $delta" >&2
+    exit 1
+fi
+delta_status=$(wait_done "$delta_id")
+case "$delta_status" in
+*'"seedSolved": true'* | *'"seedSolved":true'*) ;;
+*)
+    echo "delta-smoke: flow-removal delta did not instant-solve from the warm seed: $delta_status" >&2
+    exit 1
+    ;;
+esac
+result=$(curl -sS "$base/v1/jobs/$delta_id/result")
+case "$result" in
+*'"solution"'*) ;;
+*)
+    echo "delta-smoke: delta result has no solution: $result" >&2
+    exit 1
+    ;;
+esac
+if [ "$(json_field "$result" epochs)" != "0" ]; then
+    echo "delta-smoke: warm-started delta trained epochs: $result" >&2
+    exit 1
+fi
+echo "delta-smoke: flow-removal delta warm-started (0 training epochs)"
+
+# 3. Restart: the reseeded spec registry must still resolve the base by
+# fingerprint and answer the empty delta from the reloaded cache.
+stop_server
+start_server
+echo "delta-smoke: server restarted at $base"
+after=$(curl -sS -X POST -d "{\"base\": \"$base_fp\"}" "$base/v1/jobs")
+case "$after" in
+*'"cacheHit": true'* | *'"cacheHit":true'*) ;;
+*)
+    echo "delta-smoke: restart lost the base spec or plan cache: $after" >&2
+    exit 1
+    ;;
+esac
+if [ "$(json_field "$after" fingerprint)" != "$base_fp" ]; then
+    echo "delta-smoke: post-restart empty delta changed the fingerprint: $after" >&2
+    exit 1
+fi
+echo "delta-smoke: base survived the restart; empty delta by fingerprint cached"
+
+echo "delta-smoke: OK"
