@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-analyzer race-service chaos chaos-fleet vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz serve-smoke fleet-smoke delta-smoke
+.PHONY: all build test test-short race race-analyzer race-service chaos chaos-fleet vet lint bench bench-quick bench-json eval-micro eval-small examples coverage loc clean certify fuzz serve-smoke fleet-smoke delta-smoke pretrain-smoke
 
 all: build lint test
 
@@ -54,6 +54,14 @@ serve-smoke:
 delta-smoke:
 	sh scripts/delta_smoke.sh
 
+# Black-box smoke of the policy zoo fast path: pretrain one tiny scenario
+# into a fresh zoo with nptsn-pretrain, boot a zoo-armed nptsn-serve, and
+# serve that scenario's own spec through the inference-only path — asserting
+# provenance "zoo", zero training epochs, a passing certificate, the
+# nptsn_zoo_hits_total metric, and a SIGHUP manifest reload.
+pretrain-smoke:
+	sh scripts/pretrain_smoke.sh
+
 # Black-box failover drill of the planning fleet: coordinator + three
 # replicas on ephemeral ports, the job's home replica SIGKILLed mid-run,
 # completion asserted on a survivor with the death and handoff visible
@@ -84,15 +92,15 @@ bench-quick:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-# Machine-readable run of the analyzer + scheduler + warm-vs-cold delta
-# benchmarks. Writes
+# Machine-readable run of the analyzer + scheduler + warm-vs-cold delta +
+# zoo-inference benchmarks. Writes
 # BENCH_<n>.json with the next free index so successive runs are kept
 # side by side for before/after comparison.
 bench-json:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	out=BENCH_$$n.json; \
 	$(GO) test -run xxx -json \
-		-bench 'BenchmarkFailureAnalysisORION|BenchmarkFailureAnalysisORIONEngine|BenchmarkScheduler|BenchmarkPolicyForward|BenchmarkDeltaColdStart|BenchmarkDeltaWarmStart' \
+		-bench 'BenchmarkFailureAnalysisORION|BenchmarkFailureAnalysisORIONEngine|BenchmarkScheduler|BenchmarkPolicyForward|BenchmarkDeltaColdStart|BenchmarkDeltaWarmStart|BenchmarkZooInference' \
 		-benchmem . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	echo "wrote $$out"
 
@@ -118,6 +126,7 @@ certify:
 fuzz:
 	$(GO) test ./internal/serialize -run '^$$' -fuzz FuzzProblemSpec -fuzztime 20s
 	$(GO) test ./internal/serialize -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 20s
+	$(GO) test ./internal/zoo -run '^$$' -fuzz FuzzZooManifest -fuzztime 20s
 
 coverage:
 	$(GO) test -cover ./...

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/scenarios"
 	"repro/internal/serialize"
 	"repro/internal/tsn"
+	"repro/internal/zoo"
 )
 
 // microCfg is the scaled-down training budget used by the figure benches.
@@ -816,6 +818,64 @@ func BenchmarkDeltaColdStart(b *testing.B) {
 		}
 	}
 	b.ReportMetric(steps/float64(b.N), "envsteps/op")
+}
+
+// BenchmarkZooInference answers the same delta through the policy-zoo
+// fast path: a greedy inference-only rollout of the policy pretrained on
+// the base instance — no PPO, no gradients. Compare envsteps/op and ns/op
+// against BenchmarkDeltaColdStart for the amortization the zoo buys.
+func BenchmarkZooInference(b *testing.B) {
+	derived, _ := deltaBenchInit(b)
+	weights := zooBenchWeights(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var steps float64
+	for i := 0; i < b.N; i++ {
+		sol, stats, err := zoo.Rollout(ctx, derived, microCfg(1), weights, zoo.RolloutOptions{Streams: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol == nil {
+			b.Fatal("zoo rollout did not solve")
+		}
+		steps += float64(stats.EnvSteps)
+	}
+	b.ReportMetric(steps/float64(b.N), "envsteps/op")
+}
+
+var zooBench struct {
+	once    sync.Once
+	err     error
+	weights [][]float64
+}
+
+// zooBenchWeights pretrains one policy for the delta instance's geometry,
+// exactly as an nptsn-pretrain sweep covering this grid point would have —
+// the training cost is paid once at init and amortized over every serve.
+func zooBenchWeights(b *testing.B) [][]float64 {
+	b.Helper()
+	derived, _ := deltaBenchInit(b)
+	zooBench.once.Do(func() {
+		pl, err := core.NewPlanner(derived, microCfg(1))
+		if err != nil {
+			zooBench.err = err
+			return
+		}
+		report, err := pl.Plan()
+		if err != nil {
+			zooBench.err = err
+			return
+		}
+		if report.Best == nil {
+			zooBench.err = fmt.Errorf("zoo bench: pretraining did not solve")
+			return
+		}
+		zooBench.weights = report.FinalWeights
+	})
+	if zooBench.err != nil {
+		b.Fatal(zooBench.err)
+	}
+	return zooBench.weights
 }
 
 // BenchmarkDeltaWarmStart plans the same delta warm-started from the base

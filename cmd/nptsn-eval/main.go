@@ -25,6 +25,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/scenarios"
 	"repro/internal/serialize"
+	"repro/internal/zoo"
 )
 
 func main() {
@@ -65,7 +66,7 @@ func scaleConfig(scale string, seed int64) (core.Config, error) {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nptsn-eval", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 5a, 5b, 5c, warm or all")
+		fig       = fs.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 5a, 5b, 5c, warm, zoo or all (zoo needs -zoo)")
 		scale     = fs.String("scale", "micro", "training budget: micro, small or paper")
 		cases     = fs.Int("cases", 3, "test cases per flow count (paper: 10)")
 		flowsCSV  = fs.String("flows", "10,20,30", "comma-separated flow counts (paper: 10,20,30,40,50)")
@@ -84,6 +85,12 @@ func run(args []string, out io.Writer) error {
 		warmES     = fs.Int("warm-es", 8, "end stations for -fig warm")
 		warmSW     = fs.Int("warm-sw", 4, "switches for -fig warm")
 		warmSteps  = fs.Int("warm-steps", 3, "churn-trace steps (re-plans) for -fig warm")
+
+		zooPath   = fs.String("zoo", "", "policy zoo directory for -fig zoo (populate with nptsn-pretrain at the same -scale geometry)")
+		zooFamily = fs.String("zoo-family", "mesh", "scenario family for -fig zoo's churn trace")
+		zooES     = fs.Int("zoo-es", 4, "end stations for -fig zoo")
+		zooSW     = fs.Int("zoo-sw", 4, "switches for -fig zoo")
+		zooSteps  = fs.Int("zoo-steps", 3, "churn-trace steps for -fig zoo")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +134,9 @@ func run(args []string, out io.Writer) error {
 
 	wantFig4 := *fig == "all" || strings.HasPrefix(*fig, "4")
 	wantWarm := *fig == "all" || *fig == "warm"
+	// The zoo measurement needs a pretrained zoo on disk, so "all" only
+	// includes it when -zoo is set.
+	wantZoo := *fig == "zoo" || (*fig == "all" && *zooPath != "")
 	wantFig5 := map[string]bool{
 		"5a": *fig == "all" || *fig == "5a",
 		"5b": *fig == "all" || *fig == "5b",
@@ -268,6 +278,38 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		res, err := eval.RunWarmCold(trace, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.Render())
+		fmt.Fprintln(out)
+	}
+
+	if wantZoo {
+		if *zooPath == "" {
+			return fmt.Errorf("-fig zoo needs -zoo (populate one with nptsn-pretrain)")
+		}
+		z, quarantined, err := zoo.Open(*zooPath)
+		if err != nil {
+			return err
+		}
+		for _, q := range quarantined {
+			fmt.Fprintf(out, "zoo quarantined: %s\n", q)
+		}
+		s, err := scenarios.Family(*zooFamily, *zooES, *zooSW)
+		if err != nil {
+			return err
+		}
+		trace, err := scenarios.Churn(scenarios.ChurnOptions{
+			Scenario: s, BaseFlows: 4, Steps: *zooSteps,
+			AddsPerStep: 1, RemovesPerStep: 1, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := eval.RunZooChurn(trace, eval.ZooChurnOptions{
+			Zoo: z, Cfg: cfg, CertifySamples: *certSamp,
+		})
 		if err != nil {
 			return err
 		}

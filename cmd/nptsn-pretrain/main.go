@@ -1,0 +1,203 @@
+// Command nptsn-pretrain populates a policy zoo: it sweeps the
+// parameterized scenario families (ring, mesh, dualstar, zonal), trains
+// one NPTSN policy per scenario instance, and persists the trained
+// weights under the zoo's checksummed manifest, keyed by network geometry
+// and problem features. A zoo-armed nptsn-serve (or fleet) then answers
+// matching submissions by inference-only greedy rollout — certified, with
+// zero training epochs — instead of training from scratch.
+//
+//	nptsn-pretrain -zoo /var/lib/nptsn/zoo -families ring,mesh -es 4,6 -sw 3 -epochs 32
+//
+// The sweep is deterministic: the same flags always produce the same
+// policies (and the same policy IDs, so re-running is idempotent).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nbf"
+	"repro/internal/scenarios"
+	"repro/internal/serialize"
+	"repro/internal/zoo"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nptsn-pretrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nptsn-pretrain", flag.ContinueOnError)
+	var (
+		zooDir   = fs.String("zoo", "", "zoo directory to populate (required)")
+		families = fs.String("families", strings.Join(scenarios.FamilyNames(), ","), "comma-separated scenario families to sweep")
+		esList   = fs.String("es", "4,6", "comma-separated end-station counts")
+		swList   = fs.String("sw", "4", "comma-separated switch counts")
+		flows    = fs.Int("flows", 4, "TT flows per scenario instance")
+		goal     = fs.Float64("r", 1e-6, "reliability goal R")
+		recovery = fs.String("recovery", "stateless-greedy", "NBF recovery mechanism")
+		epochs   = fs.Int("epochs", 32, "training epochs per policy")
+		steps    = fs.Int("steps", 256, "environment steps per epoch")
+		k        = fs.Int("k", 16, "SOAG path-addition actions")
+		mlpWidth = fs.Int("mlp-width", 256, "actor/critic hidden width")
+		gcn      = fs.Int("gcn-layers", 2, "graph-convolution layers")
+		gcnHid   = fs.Int("gcn-hidden", core.DefaultConfig().GCNHidden, "per-node GCN hidden width (part of the weight geometry — match the serving config)")
+		workers  = fs.Int("workers", 1, "exploration workers per training run")
+		seed     = fs.Int64("seed", 1, "training and flow-generation seed")
+		keepAll  = fs.Bool("keep-unsolved", false, "store policies whose training never found a valid plan (certification still gates them at serve time)")
+		specsDir = fs.String("dump-specs", "", "also write each swept instance's problem spec to <dir>/<scenario>.json (submit one to a zoo-armed server to exercise the fast path)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *zooDir == "" {
+		return fmt.Errorf("-zoo is required")
+	}
+
+	reg := nbf.NewRegistry()
+	mech, err := reg.New(*recovery)
+	if err != nil {
+		return err
+	}
+	esCounts, err := parseInts(*esList)
+	if err != nil {
+		return fmt.Errorf("-es: %w", err)
+	}
+	swCounts, err := parseInts(*swList)
+	if err != nil {
+		return fmt.Errorf("-sw: %w", err)
+	}
+
+	z, quarantined, err := zoo.Open(*zooDir)
+	if err != nil {
+		return err
+	}
+	for _, q := range quarantined {
+		fmt.Fprintf(out, "quarantined: %s\n", q)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxEpoch = *epochs
+	cfg.MaxStep = *steps
+	cfg.K = *k
+	cfg.MLPHidden = []int{*mlpWidth, *mlpWidth}
+	cfg.GCNLayers = *gcn
+	cfg.GCNHidden = *gcnHid
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+
+	added, skipped := 0, 0
+	for _, fam := range strings.Split(*families, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		for _, es := range esCounts {
+			for _, sw := range swCounts {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				s, err := scenarios.Family(fam, es, sw)
+				if err != nil {
+					// Family constraints (e.g. ring needs >= 3 switches):
+					// skip the infeasible grid point, keep sweeping.
+					fmt.Fprintf(out, "skip %s-%des-%dsw: %v\n", fam, es, sw, err)
+					skipped++
+					continue
+				}
+				prob := s.Problem(s.RandomFlows(*flows, *seed), mech, *goal)
+				if *specsDir != "" {
+					if err := dumpSpec(*specsDir, s.Name, prob, *recovery); err != nil {
+						return fmt.Errorf("%s: %w", s.Name, err)
+					}
+				}
+				start := time.Now()
+				planner, err := core.NewPlanner(prob, cfg)
+				if err != nil {
+					return fmt.Errorf("%s: %w", s.Name, err)
+				}
+				report, err := planner.PlanContext(ctx)
+				if err != nil {
+					return fmt.Errorf("%s: %w", s.Name, err)
+				}
+				solved := report.Best != nil
+				if !solved && !*keepAll {
+					fmt.Fprintf(out, "skip %s: training found no valid plan in %d epochs (%s)\n",
+						s.Name, len(report.Epochs), time.Since(start).Round(time.Millisecond))
+					skipped++
+					continue
+				}
+				geo, err := zoo.GeometryOf(prob, cfg)
+				if err != nil {
+					return fmt.Errorf("%s: %w", s.Name, err)
+				}
+				entry := zoo.Entry{
+					Name:          s.Name,
+					Geometry:      geo,
+					Features:      zoo.FeaturesOf(prob),
+					TrainedEpochs: len(report.Epochs),
+					CreatedAtUnix: time.Now().Unix(),
+				}
+				if solved {
+					entry.BestCost = report.Best.Cost
+				}
+				stored, err := z.Add(entry, report.FinalWeights)
+				if err != nil {
+					return fmt.Errorf("%s: %w", s.Name, err)
+				}
+				added++
+				fmt.Fprintf(out, "added %s: policy %s, %d epochs, best cost %.2f (%s)\n",
+					s.Name, stored.ID[:12], len(report.Epochs), entry.BestCost,
+					time.Since(start).Round(time.Millisecond))
+			}
+		}
+	}
+	fmt.Fprintf(out, "zoo %s: %d policies (%d added, %d skipped this sweep)\n", *zooDir, z.Len(), added, skipped)
+	return nil
+}
+
+// dumpSpec writes one swept instance's problem spec as JSON.
+func dumpSpec(dir, name string, prob *core.Problem, recovery string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	spec := serialize.EncodeProblem(prob, recovery)
+	return serialize.WriteFileAtomic(filepath.Join(dir, name+".json"), func(w io.Writer) error {
+		return serialize.WriteJSON(w, spec)
+	})
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/serialize"
 	"repro/internal/service"
+	"repro/internal/zoo"
 )
 
 func main() {
@@ -65,6 +66,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fleetID      = fs.String("fleet-id", "", "stable replica identity on the fleet ring (default: the advertised address); reuse it across restarts to keep this replica's keys")
 		fleetAdv     = fs.String("fleet-advertise", "", "base URL the coordinator reaches this replica at (default: http://<bound address>)")
 		fleetBeat    = fs.Duration("fleet-heartbeat", 0, "heartbeat pace before the coordinator's registration answer overrides it (0 = 1s)")
+		zooDir       = fs.String("zoo", "", "policy zoo directory (from nptsn-pretrain); arms the inference-only fast path — the manifest is re-read on SIGHUP, so replicas can share one zoo")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +96,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "nptsn-serve: %s\n", injector)
 	}
 
+	var z *zoo.Zoo
+	if *zooDir != "" {
+		var quarantined []string
+		var err error
+		z, quarantined, err = zoo.Open(*zooDir)
+		if err != nil {
+			return err
+		}
+		for _, q := range quarantined {
+			fmt.Fprintf(out, "nptsn-serve: zoo quarantined %s\n", q)
+		}
+		fmt.Fprintf(out, "nptsn-serve: zoo %s loaded (%d policies)\n", *zooDir, z.Len())
+	}
+
 	mgr, err := service.New(service.Options{
 		Workers:          *workers,
 		QueueSize:        *queueSize,
@@ -105,9 +121,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Metrics:          reg,
 		Events:           sink,
 		Fault:            injector,
+		Zoo:              z,
 	})
 	if err != nil {
 		return err
+	}
+
+	// SIGHUP re-reads the zoo manifest: a shared zoo directory repopulated
+	// by nptsn-pretrain reaches every replica without a restart.
+	if z != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				n, err := mgr.ReloadZoo()
+				if err != nil {
+					fmt.Fprintf(out, "nptsn-serve: zoo reload failed: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(out, "nptsn-serve: zoo reloaded (%d policies)\n", n)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nbf"
+	"repro/internal/scenarios"
+	"repro/internal/serialize"
+	"repro/internal/zoo"
+)
+
+func TestRunZooChurn(t *testing.T) {
+	s, err := scenarios.Family("mesh", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One add + one remove per step keeps the flow count (and hence the
+	// weight geometry) constant, so every step is a lookup candidate.
+	trace, err := scenarios.Churn(scenarios.ChurnOptions{
+		Scenario: s, BaseFlows: 3, Steps: 2,
+		AddsPerStep: 1, RemovesPerStep: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := microCfg(1)
+	cfg.MaxEpoch = 4
+
+	// Pretrain one policy on the trace's base instance.
+	baseProb, err := serialize.DecodeProblem(trace.Base, nbf.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlanner(baseProb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := pl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best == nil {
+		t.Fatal("base training found no plan; raise the budget")
+	}
+	z, _, err := zoo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := zoo.GeometryOf(baseProb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Add(zoo.Entry{
+		Name: s.Name, Geometry: geo, Features: zoo.FeaturesOf(baseProb),
+		TrainedEpochs: len(report.Epochs), BestCost: report.Best.Cost,
+	}, report.FinalWeights); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunZooChurn(trace, ZooChurnOptions{Zoo: z, Cfg: cfg, CertifySamples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("cases = %d, want 2", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		switch c.Outcome {
+		case "zoo":
+			if c.Policy != s.Name {
+				t.Errorf("step %d: hit attributed to %q, want %q", c.Step, c.Policy, s.Name)
+			}
+			if c.ZooEnvSteps <= 0 {
+				t.Errorf("step %d: hit recorded %d rollout steps", c.Step, c.ZooEnvSteps)
+			}
+		case "reject":
+			if c.Policy == "" {
+				t.Errorf("step %d: reject without a matched policy", c.Step)
+			}
+		case "miss":
+			t.Errorf("step %d: geometry-stable churn produced a lookup miss", c.Step)
+		default:
+			t.Errorf("step %d: unknown outcome %q", c.Step, c.Outcome)
+		}
+		if !c.ColdSolved {
+			t.Errorf("step %d: cold comparison run produced no solution", c.Step)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Zoo inference fast path", "origin", "zoo hit rate", "sum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

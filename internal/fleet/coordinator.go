@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/obsv"
 	"repro/internal/service"
+	"repro/internal/zoo"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -94,6 +95,13 @@ type Options struct {
 	// Metrics receives the nptsn_fleet_* series. Nil disables metrics.
 	Events  obsv.Sink
 	Metrics *obsv.Registry
+	// Zoo, when non-nil, is the coordinator's read-only view of the shared
+	// policy zoo the replicas serve from (typically the same directory,
+	// re-read on SIGHUP everywhere). Zoo-eligible submissions short-circuit
+	// shard routing: they need no replica-local plan or warm cache, so the
+	// coordinator spreads them round-robin across alive replicas instead of
+	// anchoring them on a home shard.
+	Zoo *zoo.Zoo
 }
 
 func (o *Options) withDefaults() Options {
@@ -218,6 +226,9 @@ type Coordinator struct {
 	// busy guards the background refresh/failover pass: the monitor skips
 	// a tick rather than piling a second network sweep on a slow one.
 	busy atomic.Bool
+
+	// zooRR rotates zoo-routed placements across alive replicas.
+	zooRR atomic.Uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -410,7 +421,18 @@ func (c *Coordinator) Submit(ctx context.Context, req service.Request) (JobStatu
 		}
 	}
 
-	order, home := c.route(routeFp)
+	// Zoo short-circuit, checked before shard routing: a submission the
+	// shared policy zoo can answer needs no home shard's plan or warm
+	// cache — any replica serves it at inference cost — so it spreads
+	// round-robin instead of hashing onto the ring.
+	zooRouted := service.ZooEligible(c.opt.Zoo, req)
+	var order []*replica
+	var home homeInfo
+	if zooRouted {
+		order, home = c.routeZoo(routeFp)
+	} else {
+		order, home = c.route(routeFp)
+	}
 	if len(order) == 0 {
 		return JobStatus{}, ErrNoReplicas
 	}
@@ -446,6 +468,11 @@ func (c *Coordinator) Submit(ctx context.Context, req service.Request) (JobStatu
 		}
 		if adopted {
 			c.met.incAdopted()
+		}
+		if zooRouted {
+			c.met.incZooRouted()
+			c.emit(obsv.Event{Type: EventZooRouted, Msg: j.id,
+				V: map[string]float64{"replicas_skipped": boolTo01(rep.id != home.id)}})
 		}
 		if rep.id != home.id {
 			// The home shard did not take the job: count why.
@@ -596,6 +623,24 @@ func (c *Coordinator) route(fp string) ([]*replica, homeInfo) {
 		}
 	}
 	return append(alive, suspect...), home
+}
+
+// routeZoo returns the routable replicas for a zoo-eligible submission:
+// the same alive-then-suspect candidates route would produce, rotated by
+// a round-robin counter instead of anchored on the fingerprint's home
+// shard. The reported home is the rotation's first candidate, so the
+// home-shard-miss accounting (hedged/fallback/delta-fallback) stays quiet
+// for zoo-routed jobs — there is no home to miss.
+func (c *Coordinator) routeZoo(fp string) ([]*replica, homeInfo) {
+	order, home := c.route(fp)
+	if len(order) == 0 {
+		return order, home
+	}
+	k := int((c.zooRR.Add(1) - 1) % uint64(len(order)))
+	rotated := make([]*replica, 0, len(order))
+	rotated = append(rotated, order[k:]...)
+	rotated = append(rotated, order[:k]...)
+	return rotated, homeInfo{id: rotated[0].id, state: rotated[0].state}
 }
 
 // place puts one fingerprint's work on one replica, idempotently: the

@@ -1,0 +1,78 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/failure"
+)
+
+// Envelope is the checksummed on-disk frame shared by artifacts that are
+// read back as untrusted input (job records, policy-zoo files): a format
+// version, a content digest, and the JSON payload those cover. A torn
+// write that survives the atomic rename — truncated or bit-flipped content
+// — is caught by the digest at load time instead of being misread.
+type Envelope struct {
+	Version int             `json:"version"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// envelopeSum digests a payload under a caller-chosen domain prefix, with
+// the same 128-bit content hash the plan cache keys on. The domain keeps
+// sums from one artifact family from verifying another's.
+func envelopeSum(domain string, payload []byte) string {
+	d := failure.NewDigest()
+	d.Str(domain)
+	d.Bytes(payload)
+	return d.Sum()
+}
+
+// SealEnvelope frames v for writing: compact-JSON payload plus a digest
+// over those exact bytes, under domain and version.
+func SealEnvelope(domain string, version int, v interface{}) (Envelope, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{Version: version, Sum: envelopeSum(domain, payload), Payload: payload}, nil
+}
+
+// WriteEnvelope seals v and writes the indented envelope to w.
+func WriteEnvelope(w io.Writer, domain string, version int, v interface{}) error {
+	env, err := SealEnvelope(domain, version, v)
+	if err != nil {
+		return err
+	}
+	return WriteJSON(w, env)
+}
+
+// OpenEnvelope verifies data against domain and version and decodes the
+// payload into v. Every failure mode names what was wrong — callers
+// surface the reason next to the quarantined file. The envelope is written
+// indented, which re-formats the embedded payload; the checksum is defined
+// over the compact form, so the payload is re-compacted before summing.
+func OpenEnvelope(data []byte, domain string, version int, v interface{}) error {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("not an envelope: %v", err)
+	}
+	if env.Version != version {
+		return fmt.Errorf("envelope version %d, this build reads version %d", env.Version, version)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return fmt.Errorf("envelope payload: %v", err)
+	}
+	if got := envelopeSum(domain, compact.Bytes()); got != env.Sum {
+		return fmt.Errorf("checksum mismatch (stored %s, computed %s): torn write or manual edit", env.Sum, got)
+	}
+	dec := json.NewDecoder(bytes.NewReader(env.Payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("envelope payload: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type envPayload struct {
+	Name  string    `json:"name"`
+	Vals  []float64 `json:"vals"`
+	Count int       `json:"count"`
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := envPayload{Name: "p", Vals: []float64{1.5, -2.25}, Count: 3}
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "test-domain", 7, in); err != nil {
+		t.Fatal(err)
+	}
+	var out envPayload
+	if err := OpenEnvelope(buf.Bytes(), "test-domain", 7, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || len(out.Vals) != 2 || out.Vals[1] != -2.25 {
+		t.Fatalf("round trip changed payload: %+v", out)
+	}
+}
+
+func TestEnvelopeRejectsWrongDomain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "domain-a", 1, envPayload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var out envPayload
+	err := OpenEnvelope(buf.Bytes(), "domain-b", 1, &out)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("cross-domain open: got %v, want checksum mismatch", err)
+	}
+}
+
+func TestEnvelopeRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "d", 1, envPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	var out envPayload
+	err := OpenEnvelope(buf.Bytes(), "d", 2, &out)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew: got %v, want version error", err)
+	}
+}
+
+func TestEnvelopeRejectsTamperedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "d", 1, envPayload{Name: "honest", Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(buf.Bytes(), []byte("honest"), []byte("forged"), 1)
+	var out envPayload
+	err := OpenEnvelope(tampered, "d", 1, &out)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("tampered payload: got %v, want checksum mismatch", err)
+	}
+}
+
+func TestEnvelopeRejectsUnknownPayloadFields(t *testing.T) {
+	// Seal a payload with an extra field, then decode into a struct that
+	// lacks it: the strict decoder must refuse rather than silently drop.
+	type wide struct {
+		Name  string `json:"name"`
+		Extra int    `json:"extra"`
+	}
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "d", 1, wide{Name: "x", Extra: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Name string `json:"name"`
+	}
+	if err := OpenEnvelope(buf.Bytes(), "d", 1, &out); err == nil {
+		t.Fatal("unknown payload field silently accepted")
+	}
+}
+
+func TestEnvelopeRejectsGarbage(t *testing.T) {
+	var out envPayload
+	for _, data := range [][]byte{nil, []byte(``), []byte(`{`), []byte(`[]`), []byte(`{"version":1}`)} {
+		if err := OpenEnvelope(data, "d", 1, &out); err == nil {
+			t.Fatalf("garbage %q accepted", data)
+		}
+	}
+}
+
+// TestEnvelopeChecksumIgnoresIndentation pins the re-compaction step:
+// WriteEnvelope stores the payload indented (WriteJSON), but the checksum
+// is over the compact form, so whitespace differences never read as
+// corruption.
+func TestEnvelopeChecksumIgnoresIndentation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "d", 1, envPayload{Name: "ws", Vals: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The indented form on disk must decode...
+	var out envPayload
+	if err := OpenEnvelope(buf.Bytes(), "d", 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	// ...and so must a re-compacted copy of the same envelope.
+	compact := bytes.ReplaceAll(bytes.ReplaceAll(buf.Bytes(), []byte("\n"), nil), []byte("  "), nil)
+	if err := OpenEnvelope(compact, "d", 1, &out); err != nil {
+		t.Fatalf("compact re-encoding rejected: %v", err)
+	}
+}

@@ -46,6 +46,24 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Provenance values: where a job's plan came from. Result.Provenance
+// records how the plan was COMPUTED (zoo, warm, trained) and is preserved
+// verbatim when the plan cache re-serves it; Status.Provenance addition-
+// ally reports "cache" for jobs answered from the cache without running.
+const (
+	// ProvenanceZoo marks a plan produced by an inference-only greedy
+	// rollout of a pretrained zoo policy — zero training epochs, accepted
+	// by the certifier.
+	ProvenanceZoo = "zoo"
+	// ProvenanceWarm marks a plan trained warm-started from a base plan.
+	ProvenanceWarm = "warm"
+	// ProvenanceCache marks a job answered from the plan cache; the
+	// attached Result keeps the original computation's provenance.
+	ProvenanceCache = "cache"
+	// ProvenanceTrained marks a plan trained from scratch.
+	ProvenanceTrained = "trained"
+)
+
 // PlanParams are the per-job training-budget knobs, mirroring the nptsn
 // CLI flags. Zero values take the CLI defaults; GCNLayers and
 // AnalyzerCache are pointers because 0 is a meaningful setting for both
@@ -111,6 +129,12 @@ func (p PlanParams) normalized() normalizedParams {
 	}
 	return n
 }
+
+// EffectiveConfig resolves the parameters to the planner configuration a
+// job submitted with them trains under, every default applied. Pretraining
+// pipelines use it to shape zoo policies so that serve-time geometry
+// lookups match what the submitting request will induce.
+func (p PlanParams) EffectiveConfig() core.Config { return p.normalized().config() }
 
 // config builds the planner configuration for the normalized knobs.
 func (n normalizedParams) config() core.Config {
@@ -233,6 +257,13 @@ type Status struct {
 	// a seed from the base plan; nil when the job ran cold (no base, base
 	// plan not cached, or the seed failed to build).
 	Warm *core.WarmStartInfo `json:"warm,omitempty"`
+	// Provenance reports where this job's answer came from: "zoo", "warm",
+	// "cache" or "trained" (empty while the job has no answer yet).
+	Provenance string `json:"provenance,omitempty"`
+	// Chain is the ordered attempt chain the job went through ("zoo",
+	// "warm", "cold"): a zoo rollout whose certificate failed falls back
+	// to training, and both attempts stay visible here.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // Result is a finished job's outcome, served by GET /v1/jobs/{id}/result
@@ -247,6 +278,10 @@ type Result struct {
 	Solution     *serialize.SolutionJSON `json:"solution,omitempty"`
 	Certificate  *certify.Certificate    `json:"certificate,omitempty"`
 	RunSeconds   float64                 `json:"runSeconds"`
+	// Provenance records how the plan was computed ("zoo", "warm",
+	// "trained"); plan-cache re-serves preserve it verbatim, so a client
+	// can always attribute the plan's origin.
+	Provenance string `json:"provenance,omitempty"`
 }
 
 // job is the manager's internal mutable job record.
@@ -293,6 +328,11 @@ type job struct {
 	// stalled marks a job the watchdog cancelled; the terminal transition
 	// maps it to StateFailed rather than StateCancelled.
 	stalled bool
+	// provenance is where the job's answer came from (Provenance*
+	// constants); chain is the ordered list of planning stages attempted
+	// ("zoo", "warm", "cold").
+	provenance string
+	chain      []string
 
 	// terminal is closed exactly once when the job reaches a terminal
 	// state; drain and tests wait on it.
@@ -322,6 +362,8 @@ func (j *job) status() Status {
 		Attempts:    j.attempts,
 		Fingerprint: j.fingerprint,
 		Base:        j.base,
+		Provenance:  j.provenance,
+		Chain:       append([]string(nil), j.chain...),
 	}
 	if j.warmInfo != nil {
 		w := *j.warmInfo
@@ -336,6 +378,23 @@ func (j *job) status() Status {
 		s.FinishedAt = &t
 	}
 	return s
+}
+
+// noteAttempt appends one planning stage to the job's attempt chain and
+// bumps the liveness heartbeat (each stage is fresh work as far as the
+// stuck-job watchdog is concerned).
+func (j *job) noteAttempt(stage string) {
+	j.mu.Lock()
+	j.chain = append(j.chain, stage)
+	j.lastBeat = time.Now()
+	j.mu.Unlock()
+}
+
+// setProvenance records where the job's answer came from.
+func (j *job) setProvenance(p string) {
+	j.mu.Lock()
+	j.provenance = p
+	j.mu.Unlock()
 }
 
 // prepared bundles everything Submit derives from a request before the

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obsv"
 	"repro/internal/serialize"
+	"repro/internal/zoo"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -98,11 +99,22 @@ type Options struct {
 	// constants). Unlike the planner's sink, an emission error does not
 	// abort anything; it is counted on nptsn_service_event_errors_total.
 	Events obsv.Sink
+	// Zoo, when non-nil, arms the inference-only fast path: before
+	// training a job, the manager looks up the nearest geometry-compatible
+	// pretrained policy, rolls it out greedily, and serves the plan with
+	// zero training epochs when the certifier accepts it. A rejected or
+	// missing candidate falls back to warm/cold training; the attempt
+	// chain is recorded on the job's status.
+	Zoo *zoo.Zoo
 
 	// testBeforeRun seeds Manager.testBeforeRun before the worker pool
 	// starts — the only way for tests to intercept jobs re-queued from the
 	// journal during New, which may begin running before New returns.
 	testBeforeRun func(*job)
+	// testZooTamper, when set by tests, mutates the zoo rollout's candidate
+	// solution before the accept gate — the deterministic way to force a
+	// certificate failure and exercise the zoo → warm/cold fallback.
+	testZooTamper func(*core.Solution)
 }
 
 // Manager is the planning job engine: a bounded queue feeding a fixed
@@ -136,6 +148,8 @@ type Manager struct {
 	// running and before planning starts — the hook tests use to hold a
 	// job in the running state deterministically.
 	testBeforeRun func(*job)
+	// testZooTamper mirrors Options.testZooTamper.
+	testZooTamper func(*core.Solution)
 }
 
 // New builds a Manager, loads persisted records when Options.Dir is set
@@ -176,6 +190,10 @@ func New(opt Options) (*Manager, error) {
 		panics:        make(map[string]int),
 		watchStop:     make(chan struct{}),
 		testBeforeRun: opt.testBeforeRun,
+		testZooTamper: opt.testZooTamper,
+	}
+	if opt.Zoo != nil {
+		m.met.setZooSize(opt.Zoo.Len())
 	}
 	if opt.VerdictCacheSize > 0 {
 		m.verdicts = failure.NewCache(opt.VerdictCacheSize)
@@ -196,6 +214,8 @@ func New(opt Options) (*Manager, error) {
 			progress:    rec.Status.Progress,
 			errMsg:      rec.Status.Error,
 			cacheHit:    rec.Status.CacheHit,
+			provenance:  rec.Status.Provenance,
+			chain:       rec.Status.Chain,
 			result:      rec.Result,
 			terminal:    make(chan struct{}),
 		}
@@ -369,10 +389,13 @@ func (m *Manager) Submit(req Request) (Status, error) {
 	if res, ok := m.cache[j.fingerprint]; ok {
 		// Cache hit: the job is born terminal, carrying a copy of the
 		// finished result under its own ID.
+		// The copied result keeps its original Provenance (how the plan was
+		// computed); the job's own status says "cache".
 		r := *res
 		r.JobID = j.id
 		j.state = StateDone
 		j.cacheHit = true
+		j.provenance = ProvenanceCache
 		j.finished = j.submitted
 		j.result = &r
 		j.progress = Progress{
@@ -815,7 +838,23 @@ func (m *Manager) planSafe(ctx context.Context, j *job) (res *Result, errMsg str
 
 // plan runs the planner (and optionally the certifier) for one job,
 // returning the result and an error message ("" on success).
+//
+// The attempt chain is zoo → warm → cold: a zoo-armed manager first tries
+// an inference-only rollout of the nearest pretrained policy (certified
+// plan with zero training epochs on success); a miss or a rejected
+// candidate falls through to training, warm-started when the job carries a
+// base plan.
 func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
+	if m.opt.Zoo != nil {
+		if res, ok := m.zooAttempt(ctx, j); ok {
+			return res, ""
+		}
+	}
+	if j.warm != nil {
+		j.noteAttempt("warm")
+	} else {
+		j.noteAttempt("cold")
+	}
 	cfg := j.cfg
 	cfg.Metrics = m.opt.Metrics // training series accumulate across jobs
 	if m.verdicts != nil {
@@ -876,6 +915,11 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 	if err != nil {
 		return nil, err.Error()
 	}
+	prov := ProvenanceTrained
+	if j.warm != nil {
+		prov = ProvenanceWarm
+	}
+	j.setProvenance(prov)
 	res := &Result{
 		JobID:        j.id,
 		Fingerprint:  j.fingerprint,
@@ -883,6 +927,7 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 		Epochs:       len(report.Epochs),
 		Interrupted:  report.Interrupted,
 		RunSeconds:   time.Since(start).Seconds(),
+		Provenance:   prov,
 	}
 	if report.Best != nil {
 		// Verification runs on a fresh context: the job's deadline bounds
@@ -920,6 +965,136 @@ func (m *Manager) plan(ctx context.Context, j *job) (*Result, string) {
 		}
 	}
 	return res, ""
+}
+
+// zooRolloutStreams is how many independent greedy attempts a zoo rollout
+// runs per job — enough to ride out one unlucky construction order, cheap
+// next to a single training epoch.
+const zooRolloutStreams = 4
+
+// zooAttempt tries to answer the job from the policy zoo: nearest
+// geometry-compatible policy by feature distance, greedy inference-only
+// rollout, then the accept gate — plan verification plus the full
+// certification audit, run unconditionally (a transferred policy's plan
+// is never trusted on the planner's own say-so, certify switch or not).
+// Returns (result, true) only for a certified plan; every other outcome
+// is recorded (miss or reject) and falls back to training.
+func (m *Manager) zooAttempt(ctx context.Context, j *job) (*Result, bool) {
+	geo, err := zoo.GeometryOf(j.prob, j.cfg)
+	if err != nil {
+		// A problem the SOAG rejects would have failed prepare already;
+		// treat it as a miss rather than failing the job here.
+		m.met.incZooMiss()
+		return nil, false
+	}
+	match, ok := m.opt.Zoo.Lookup(geo, zoo.FeaturesOf(j.prob))
+	if !ok {
+		m.met.incZooMiss()
+		m.emit(obsv.Event{Type: EventZooMiss, Msg: j.id})
+		return nil, false
+	}
+	j.noteAttempt("zoo")
+	start := time.Now()
+	reject := func(reason string) (*Result, bool) {
+		m.met.incZooReject()
+		m.met.observeZoo(time.Since(start))
+		m.emit(obsv.Event{Type: EventZooReject, Msg: j.id + ": " + reason,
+			V: map[string]float64{"distance": match.Distance}})
+		return nil, false
+	}
+
+	cfg := j.cfg
+	if m.verdicts != nil {
+		cfg.SharedAnalyzerCache = m.verdicts
+	}
+	sol, stats, err := zoo.Rollout(ctx, j.prob, cfg, match.Weights, zoo.RolloutOptions{
+		Streams: zooRolloutStreams,
+		Workers: cfg.Workers,
+	})
+	m.met.addZooSteps(stats.EnvSteps)
+	if err != nil {
+		return reject("rollout: " + err.Error())
+	}
+	if sol == nil {
+		return reject("no stream solved within the rollout budget")
+	}
+	if m.testZooTamper != nil {
+		m.testZooTamper(sol)
+	}
+	if err := core.VerifySolutionContext(context.Background(), j.prob, sol); err != nil {
+		return reject("verification: " + err.Error())
+	}
+	// One beat before the audit, as in the training path: certification
+	// emits no epoch progress.
+	j.mu.Lock()
+	j.lastBeat = time.Now()
+	j.mu.Unlock()
+	c := &certify.Certifier{
+		Prob: j.prob,
+		Sol:  sol,
+		Opt: certify.Options{
+			Samples:         j.certSamples,
+			Seed:            j.cfg.Seed,
+			AnalyzerWorkers: j.cfg.AnalyzerWorkers,
+		},
+	}
+	cert, err := c.Certify(ctx)
+	if err != nil {
+		return reject("certification audit: " + err.Error())
+	}
+	if !cert.OK() {
+		return reject("candidate plan failed independent certification")
+	}
+
+	j.setProvenance(ProvenanceZoo)
+	encoded := serialize.EncodeSolution(sol)
+	res := &Result{
+		JobID:        j.id,
+		Fingerprint:  j.fingerprint,
+		GuaranteeMet: true,
+		Cost:         sol.Cost,
+		Epochs:       0,
+		Solution:     &encoded,
+		Certificate:  cert,
+		RunSeconds:   time.Since(start).Seconds(),
+		Provenance:   ProvenanceZoo,
+	}
+	j.mu.Lock()
+	j.progress.BestCost = sol.Cost
+	j.progress.GuaranteeMet = true
+	j.progress.Solutions = stats.Solved
+	j.mu.Unlock()
+	m.met.incZooHit()
+	m.met.observeZoo(time.Since(start))
+	m.emit(obsv.Event{Type: EventZooHit, Msg: j.id + " " + match.Entry.ID, V: map[string]float64{
+		"env_steps": float64(stats.EnvSteps),
+		"distance":  match.Distance,
+		"seconds":   time.Since(start).Seconds(),
+	}})
+	return res, true
+}
+
+// ReloadZoo re-reads the zoo directory from disk — the SIGHUP/boot path
+// that lets replicas sharing one zoo pick up newly pretrained policies.
+// Quarantined files are reported exactly like boot-time store corruption.
+// It returns the number of usable policies, and 0 with a nil error when
+// the manager has no zoo.
+func (m *Manager) ReloadZoo() (int, error) {
+	if m.opt.Zoo == nil {
+		return 0, nil
+	}
+	quarantined, err := m.opt.Zoo.Reload()
+	if err != nil {
+		return 0, err
+	}
+	if len(quarantined) > 0 {
+		m.met.addZooCorrupt(len(quarantined))
+		m.emit(obsv.Event{Type: EventZooCorrupt, Msg: strings.Join(quarantined, "; "),
+			V: map[string]float64{"files": float64(len(quarantined))}})
+	}
+	n := m.opt.Zoo.Len()
+	m.met.setZooSize(n)
+	return n, nil
 }
 
 // beatWhile keeps j's watchdog heartbeat alive on the caller's behalf

@@ -45,6 +45,22 @@ const (
 	// because the cached base plan no longer decoded against the derived
 	// problem; Msg carries the base fingerprint and reason.
 	EventWarmDegraded = "job_warm_degraded"
+	// EventZooHit records a job answered by an inference-only rollout of a
+	// pretrained zoo policy, accepted by the certifier (env_steps, the
+	// feature distance and the rollout wall time in V; Msg is "jobID
+	// policyID").
+	EventZooHit = "job_zoo_hit"
+	// EventZooMiss records a zoo lookup that found no geometry-compatible
+	// policy; the job proceeds to warm/cold training.
+	EventZooMiss = "job_zoo_miss"
+	// EventZooReject records a zoo rollout whose candidate plan did not
+	// survive the accept gate (no solution, failed verification, or a
+	// failed certificate); Msg carries the job ID and reason, and the job
+	// falls back to warm/cold training.
+	EventZooReject = "job_zoo_reject"
+	// EventZooCorrupt records zoo files quarantined into the zoo's
+	// corrupt/ dir at boot or reload; Msg lists "file: reason" lines.
+	EventZooCorrupt = "zoo_corrupt"
 )
 
 // metrics bundles the nptsn_service_* instrument handles. A nil *metrics
@@ -66,10 +82,17 @@ type metrics struct {
 	deltas     *obsv.Counter
 	warm       *obsv.Counter
 	warmDeg    *obsv.Counter
+	zooHits    *obsv.Counter
+	zooMisses  *obsv.Counter
+	zooRejects *obsv.Counter
+	zooSteps   *obsv.Counter
+	zooCorrupt *obsv.Counter
 	queueDepth *obsv.Gauge
+	zooSize    *obsv.Gauge
 	running    *obsv.Gauge
 	waitSecs   *obsv.Histogram
 	runSecs    *obsv.Histogram
+	zooSecs    *obsv.Histogram
 }
 
 func newMetrics(reg *obsv.Registry) *metrics {
@@ -93,10 +116,17 @@ func newMetrics(reg *obsv.Registry) *metrics {
 		deltas:     reg.Counter("nptsn_service_delta_jobs_total", "Submissions that referenced a base job and were resolved through the delta grammar."),
 		warm:       reg.Counter("nptsn_service_warm_starts_total", "Planning runs that seeded from a cached base plan."),
 		warmDeg:    reg.Counter("nptsn_service_warm_degraded_total", "Delta jobs that fell back to a cold run because the base plan no longer applied."),
+		zooHits:    reg.Counter("nptsn_zoo_hits_total", "Jobs answered by a certified inference-only rollout of a pretrained zoo policy (zero training epochs)."),
+		zooMisses:  reg.Counter("nptsn_zoo_misses_total", "Zoo lookups that found no geometry-compatible policy."),
+		zooRejects: reg.Counter("nptsn_zoo_rejects_total", "Zoo rollouts whose candidate plan failed the accept gate (no solution, verification, or certificate); the job fell back to training."),
+		zooSteps:   reg.Counter("nptsn_zoo_env_steps_total", "Environment steps spent in zoo rollouts — the inference cost that replaces training."),
+		zooCorrupt: reg.Counter("nptsn_zoo_corrupt_total", "Zoo files quarantined into the zoo's corrupt/ dir at boot or reload."),
 		queueDepth: reg.Gauge("nptsn_service_queue_depth", "Jobs waiting in the queue."),
+		zooSize:    reg.Gauge("nptsn_zoo_policies", "Usable policies in the zoo after the last load or reload."),
 		running:    reg.Gauge("nptsn_service_jobs_running", "Jobs currently planning."),
 		waitSecs:   reg.Histogram("nptsn_service_wait_seconds", "Queue wait per job (submit to start).", obsv.DurationBuckets),
 		runSecs:    reg.Histogram("nptsn_service_run_seconds", "Planning wall-clock per job (start to finish).", obsv.DurationBuckets),
+		zooSecs:    reg.Histogram("nptsn_zoo_rollout_seconds", "Wall-clock per zoo rollout attempt (lookup to accept-gate verdict).", obsv.DurationBuckets),
 	}
 }
 
@@ -140,6 +170,34 @@ func (m *metrics) incPoisoned()  { m.safeInc(func() *obsv.Counter { return m.poi
 func (m *metrics) incDelta()        { m.safeInc(func() *obsv.Counter { return m.deltas }) }
 func (m *metrics) incWarm()         { m.safeInc(func() *obsv.Counter { return m.warm }) }
 func (m *metrics) incWarmDegraded() { m.safeInc(func() *obsv.Counter { return m.warmDeg }) }
+
+func (m *metrics) incZooHit()    { m.safeInc(func() *obsv.Counter { return m.zooHits }) }
+func (m *metrics) incZooMiss()   { m.safeInc(func() *obsv.Counter { return m.zooMisses }) }
+func (m *metrics) incZooReject() { m.safeInc(func() *obsv.Counter { return m.zooRejects }) }
+
+func (m *metrics) addZooSteps(n int) {
+	if m != nil && n > 0 {
+		m.zooSteps.Add(float64(n))
+	}
+}
+
+func (m *metrics) addZooCorrupt(n int) {
+	if m != nil && n > 0 {
+		m.zooCorrupt.Add(float64(n))
+	}
+}
+
+func (m *metrics) setZooSize(n int) {
+	if m != nil {
+		m.zooSize.Set(float64(n))
+	}
+}
+
+func (m *metrics) observeZoo(d time.Duration) {
+	if m != nil {
+		m.zooSecs.Observe(d.Seconds())
+	}
+}
 
 func (m *metrics) addSkipped(n int) {
 	if m != nil && n > 0 {

@@ -1,0 +1,39 @@
+package service
+
+import "repro/internal/zoo"
+
+// ZooEligible reports whether z holds a geometry-compatible pretrained
+// policy for the request — i.e. whether the zoo fast path could serve it
+// without training. The fleet coordinator uses this to short-circuit
+// shard routing: a zoo-eligible job needs no replica-local plan or warm
+// cache, so it can be placed on any alive replica.
+//
+// Delta requests are eligible only when they carry their base spec inline
+// (the coordinator materializes tracked bases before asking); any request
+// that fails validation is simply not eligible — Submit will surface the
+// real error.
+func ZooEligible(z *zoo.Zoo, req Request) bool {
+	if z == nil || z.Len() == 0 {
+		return false
+	}
+	if req.IsDelta() {
+		if !req.HasInlineProblem() {
+			return false
+		}
+		derived, err := req.Derive(req.Problem)
+		if err != nil {
+			return false
+		}
+		req = derived
+	}
+	prep, err := prepare(req)
+	if err != nil {
+		return false
+	}
+	geo, err := zoo.GeometryOf(prep.prob, prep.cfg)
+	if err != nil {
+		return false
+	}
+	_, ok := z.Lookup(geo, zoo.FeaturesOf(prep.prob))
+	return ok
+}

@@ -1,0 +1,152 @@
+// Package zoo is the pretrained-policy store behind the serving fast
+// path: policies trained across scenarios.Families are persisted under a
+// checksummed manifest, keyed by the network geometry their weights were
+// shaped for and a problem-feature vector for nearest-neighbour lookup.
+// At serve time a matching policy is rolled out greedily — no PPO — and
+// the certifier decides whether the transferred plan is trustworthy.
+package zoo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/serialize"
+)
+
+// Geometry pins every dimension the GCN+MLP weight shapes depend on: a
+// policy's weights import only into networks built for the exact same
+// geometry, so zoo lookup filters on Geometry equality before ranking by
+// feature distance.
+type Geometry struct {
+	Vertices         int   `json:"vertices"`
+	FeatureDim       int   `json:"featureDim"`
+	ParamDim         int   `json:"paramDim"`
+	ActionSpace      int   `json:"actionSpace"`
+	GCNLayers        int   `json:"gcnLayers"`
+	GCNHidden        int   `json:"gcnHidden"`
+	EmbeddingPerNode int   `json:"embeddingPerNode"`
+	MLPHidden        []int `json:"mlpHidden"`
+	K                int   `json:"k"`
+	PerFlow          bool  `json:"perFlow,omitempty"`
+	UseGAT           bool  `json:"useGat,omitempty"`
+}
+
+// Key canonicalizes the geometry into a digest string, the zoo's exact-
+// match index key.
+func (g Geometry) Key() string {
+	d := failure.NewDigest()
+	d.Str("nptsn-zoo-geometry-v1")
+	d.Int(g.Vertices)
+	d.Int(g.FeatureDim)
+	d.Int(g.ParamDim)
+	d.Int(g.ActionSpace)
+	d.Int(g.GCNLayers)
+	d.Int(g.GCNHidden)
+	d.Int(g.EmbeddingPerNode)
+	d.Int(len(g.MLPHidden))
+	for _, h := range g.MLPHidden {
+		d.Int(h)
+	}
+	d.Int(g.K)
+	d.Bool(g.PerFlow)
+	d.Bool(g.UseGAT)
+	return d.Sum()
+}
+
+// GeometryOf derives the weight geometry a (problem, config) pair induces,
+// by building the same SOAG and encoder the planner would.
+func GeometryOf(prob *core.Problem, cfg core.Config) (Geometry, error) {
+	soag, err := core.NewSOAG(prob, cfg.K)
+	if err != nil {
+		return Geometry{}, fmt.Errorf("zoo: geometry: %w", err)
+	}
+	enc := core.NewEncoderWithOptions(prob, cfg.K, cfg.PerFlowEncoding)
+	return Geometry{
+		Vertices:         prob.NumVertices(),
+		FeatureDim:       enc.FeatureDim(),
+		ParamDim:         enc.ParamDim(),
+		ActionSpace:      soag.ActionSpaceSize(),
+		GCNLayers:        cfg.GCNLayers,
+		GCNHidden:        cfg.GCNHidden,
+		EmbeddingPerNode: cfg.EmbeddingPerNode,
+		MLPHidden:        append([]int(nil), cfg.MLPHidden...),
+		K:                cfg.K,
+		PerFlow:          cfg.PerFlowEncoding,
+		UseGAT:           cfg.UseGAT,
+	}, nil
+}
+
+// Features is the problem-feature vector a zoo lookup ranks candidates by:
+// instance sizes, the reliability goal, and a topology-family signature.
+// Two problems with equal Geometry can still differ here (a ring and a
+// mesh with the same node counts induce the same weight shapes), which is
+// exactly what the distance metric arbitrates.
+type Features struct {
+	EndStations     int     `json:"endStations"`
+	Switches        int     `json:"switches"`
+	Links           int     `json:"links"`
+	Flows           int     `json:"flows"`
+	ReliabilityGoal float64 `json:"reliabilityGoal"`
+	// Topology is a failure.Digest over the connection graph's shape —
+	// vertex kinds in ID order plus edge endpoints, deliberately blind to
+	// cable lengths and names — so instances of one scenario family share
+	// a signature across parameterizations that keep the wiring.
+	Topology string `json:"topology"`
+}
+
+// FeaturesOf extracts the lookup features of a problem.
+func FeaturesOf(prob *core.Problem) Features {
+	g := serialize.EncodeGraph(prob.Connections)
+	d := failure.NewDigest()
+	d.Str("nptsn-zoo-topology-v1")
+	d.Int(len(g.Vertices))
+	for _, v := range g.Vertices {
+		d.Int(v.ID)
+		d.Str(v.Kind)
+	}
+	d.Int(len(g.Edges))
+	for _, e := range g.Edges {
+		d.Int(e.U)
+		d.Int(e.V)
+	}
+	return Features{
+		EndStations:     len(prob.EndStations()),
+		Switches:        len(prob.Switches()),
+		Links:           len(prob.Connections.Edges()),
+		Flows:           len(prob.Flows),
+		ReliabilityGoal: prob.ReliabilityGoal,
+		Topology:        d.Sum(),
+	}
+}
+
+// topologyMismatchPenalty dominates every size term, so a same-family
+// policy always outranks a foreign-family one, while a foreign family
+// remains reachable when it is the only geometry-compatible candidate.
+const topologyMismatchPenalty = 16
+
+// Distance is the lookup metric between two feature vectors: relative
+// differences of the size terms, the absolute reliability-goal gap, and a
+// fixed penalty for a topology-signature mismatch. Zero means the
+// instances are indistinguishable to the zoo.
+func (f Features) Distance(o Features) float64 {
+	sum := relDiff(f.EndStations, o.EndStations) +
+		relDiff(f.Switches, o.Switches) +
+		relDiff(f.Links, o.Links) +
+		relDiff(f.Flows, o.Flows) +
+		math.Abs(f.ReliabilityGoal-o.ReliabilityGoal)
+	if f.Topology != o.Topology {
+		sum += topologyMismatchPenalty
+	}
+	return sum
+}
+
+// relDiff is |a-b| normalized by the larger magnitude, in [0, 1].
+func relDiff(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(float64(a)), math.Abs(float64(b)))
+	return math.Abs(float64(a)-float64(b)) / den
+}

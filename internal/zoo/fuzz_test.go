@@ -1,0 +1,89 @@
+package zoo
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serialize"
+)
+
+// FuzzZooManifest feeds arbitrary bytes through the zoo's two untrusted
+// decode paths — the manifest and a manifest-referenced policy file. A
+// zoo directory is writable by operators and shared between replicas, so
+// corrupt, truncated or adversarial files of any shape must come back as
+// quarantine decisions, never as a panic or a failed boot.
+func FuzzZooManifest(f *testing.F) {
+	// Seed with a structurally valid manifest so the fuzzer starts from
+	// the interesting region of the input space rather than pure noise.
+	id := strings.Repeat("ab", 16)
+	valid := manifest{Entries: []Entry{{
+		ID:   id,
+		Name: "seed",
+		Geometry: Geometry{Vertices: 6, FeatureDim: 7, ParamDim: 10, ActionSpace: 6,
+			GCNLayers: 1, GCNHidden: 8, EmbeddingPerNode: 2, MLPHidden: []int{16, 16}, K: 4},
+		Features: Features{EndStations: 4, Switches: 2, Links: 9, Flows: 3, ReliabilityGoal: 1e-6, Topology: "t"},
+	}}}
+	var buf bytes.Buffer
+	if err := serialize.WriteEnvelope(&buf, manifestDomain, manifestVersion, valid); err != nil {
+		f.Fatal(err)
+	}
+	manifestBytes := buf.Bytes()
+	f.Add(manifestBytes)
+
+	var pbuf bytes.Buffer
+	if err := serialize.WriteEnvelope(&pbuf, policyDomain, policyVersion,
+		policyRecord{ID: id, Weights: [][]float64{{1, 2}, {3}}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pbuf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"sum":"00","payload":{}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+
+	// Two reusable zoo directories per worker process: one where the fuzz
+	// input plays the manifest, one where it plays the policy file a valid
+	// manifest references. Open may quarantine (rename) the input file;
+	// the next exec simply rewrites it.
+	manifestDir := f.TempDir()
+	policyDir := f.TempDir()
+	if err := os.MkdirAll(filepath.Join(policyDir, policiesDir), 0o755); err != nil {
+		f.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(policyDir, manifestName), manifestBytes, 0o644); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := os.WriteFile(filepath.Join(manifestDir, manifestName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		z, _, err := Open(manifestDir)
+		if err != nil {
+			t.Fatalf("corrupt manifest failed open instead of quarantining: %v", err)
+		}
+		// Whatever decoded must be internally consistent: every surviving
+		// entry has resident weights.
+		for _, e := range z.Entries() {
+			if m, ok := z.Lookup(e.Geometry, e.Features); ok && len(m.Weights) == 0 {
+				t.Fatalf("entry %s survived without weights", e.ID)
+			}
+		}
+
+		// Same bytes as the policy file behind a healthy manifest. Open
+		// quarantines the manifest only when the policy fails, so restore
+		// the manifest for the next exec if it was moved.
+		if err := os.WriteFile(filepath.Join(policyDir, policiesDir, id+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(policyDir); err != nil {
+			t.Fatalf("corrupt policy failed open instead of quarantining: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(policyDir, manifestName), manifestBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

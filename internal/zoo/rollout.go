@@ -1,0 +1,239 @@
+package zoo
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+)
+
+// RolloutOptions tunes the inference-only rollout.
+type RolloutOptions struct {
+	// Streams is the number of independent greedy construction attempts,
+	// each from its own deterministically seeded environment (default 1).
+	// More streams buy robustness against a single unlucky construction
+	// order at pure-inference cost.
+	Streams int
+	// MaxSteps is the per-stream environment step budget (default: the
+	// config's MaxStep, else 256).
+	MaxSteps int
+	// Workers bounds rollout concurrency; streams are partitioned
+	// round-robin, so the per-stream trajectory — and hence the returned
+	// plan — is bit-identical for every worker count (default 1).
+	Workers int
+	// Unbatched evaluates each observation on its own forward call instead
+	// of batching a worker's live streams; trajectories are identical
+	// either way (the differential suite asserts it).
+	Unbatched bool
+	// Seed offsets the stream environment seeds; zero uses the config's.
+	Seed int64
+}
+
+// RolloutStats reports what a rollout spent and found.
+type RolloutStats struct {
+	// Streams is the number of attempts run, Solved how many found a
+	// guarantee-satisfying plan.
+	Streams, Solved int
+	// EnvSteps is the total environment steps across all streams — the
+	// inference cost that replaces training.
+	EnvSteps int
+}
+
+// stream is one greedy construction attempt.
+type stream struct {
+	idx   int
+	env   *core.Env
+	steps int
+	done  bool
+}
+
+// Rollout runs a pretrained policy greedily — masked argmax, no PPO, no
+// gradient work — over Streams independent environments and returns the
+// cheapest solution found (nil when no stream solved). The caller owns
+// certification: a zoo policy's plan is a *candidate* until the certifier
+// accepts it.
+//
+// Determinism: stream s always runs in an environment seeded
+// opt.Seed + s*104729 + 2 (the planner's worker-env schedule), actions are
+// argmax with lowest-index tie-break, and the global winner is the lowest
+// cost with the lowest stream index as tie-break — so the returned plan is
+// bit-identical across worker counts and batched vs unbatched forwards.
+func Rollout(ctx context.Context, prob *core.Problem, cfg core.Config, weights [][]float64, opt RolloutOptions) (*core.Solution, RolloutStats, error) {
+	if opt.Streams <= 0 {
+		opt.Streams = 1
+	}
+	if opt.MaxSteps <= 0 {
+		if cfg.MaxStep > 0 {
+			opt.MaxSteps = cfg.MaxStep
+		} else {
+			opt.MaxSteps = 256
+		}
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.Workers > opt.Streams {
+		opt.Workers = opt.Streams
+	}
+	if opt.Seed == 0 {
+		opt.Seed = cfg.Seed
+	}
+
+	// One shared verdict cache across streams: hits return exactly what
+	// the simulation would recompute, so sharing never changes a
+	// trajectory (the same contract the planner relies on).
+	cache := cfg.SharedAnalyzerCache
+	if cache == nil && cfg.AnalyzerCacheSize > 0 {
+		cache = failure.NewCache(cfg.AnalyzerCacheSize)
+	}
+
+	streams := make([]*stream, opt.Streams)
+	for s := range streams {
+		env, err := core.NewEnvWithCache(prob, cfg, opt.Seed+int64(s)*104729+2, cache)
+		if err != nil {
+			return nil, RolloutStats{}, fmt.Errorf("zoo: rollout env: %w", err)
+		}
+		streams[s] = &stream{idx: s, env: env}
+	}
+
+	// Per-worker network replicas: the Nets forward scratch is not
+	// goroutine-safe, and each replica imports the same weights, so every
+	// worker computes identical logits for identical observations.
+	makeNets := func() (*core.Nets, error) {
+		soag, err := core.NewSOAG(prob, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		enc := core.NewEncoderWithOptions(prob, cfg.K, cfg.PerFlowEncoding)
+		nets, err := core.NewNets(rand.New(rand.NewSource(cfg.Seed)), enc, soag.ActionSpaceSize(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := nets.ImportWeights(weights); err != nil {
+			return nil, fmt.Errorf("geometry mismatch: %w", err)
+		}
+		return nets, nil
+	}
+
+	errs := make([]error, opt.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		var owned []*stream
+		for s := w; s < opt.Streams; s += opt.Workers {
+			owned = append(owned, streams[s])
+		}
+		wg.Add(1)
+		go func(w int, owned []*stream) {
+			defer wg.Done()
+			nets, err := makeNets()
+			if err != nil {
+				errs[w] = fmt.Errorf("zoo: rollout nets: %w", err)
+				return
+			}
+			errs[w] = runStreams(ctx, nets, owned, opt.MaxSteps, !opt.Unbatched)
+		}(w, owned)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, RolloutStats{}, err
+		}
+	}
+
+	stats := RolloutStats{Streams: opt.Streams}
+	var best *core.Solution
+	for _, s := range streams {
+		stats.EnvSteps += s.steps
+		sol := s.env.Best()
+		if sol == nil {
+			continue
+		}
+		stats.Solved++
+		// Lowest cost wins; the loop's ascending stream order makes the
+		// lowest stream index the tie-break.
+		if best == nil || sol.Cost < best.Cost {
+			best = sol
+		}
+	}
+	return best, stats, nil
+}
+
+// runStreams drives one worker's streams to completion. In batched mode
+// the live streams advance in lockstep through one ForwardPolicyValueBatch
+// per step; row i of the batch is bit-identical to a single forward of
+// obs[i], so batching never changes a stream's trajectory.
+func runStreams(ctx context.Context, nets *core.Nets, streams []*stream, maxSteps int, batched bool) error {
+	n := len(streams)
+	obs := make([]*core.Obs, 0, n)
+	live := make([]*stream, 0, n)
+	logits := make([][]float64, n)
+	for i := range logits {
+		logits[i] = make([]float64, nets.ActionSpace())
+	}
+	values := make([]float64, n)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		obs, live = obs[:0], live[:0]
+		for _, s := range streams {
+			if !s.done {
+				live = append(live, s)
+				obs = append(obs, s.env.Observation())
+			}
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		if batched {
+			nets.ForwardPolicyValueBatch(obs, logits[:len(live)], values[:len(live)])
+		} else {
+			for i := range live {
+				// ForwardPolicy returns borrowed scratch; copy before the
+				// next forward overwrites it.
+				copy(logits[i], nets.ForwardPolicy(obs[i]))
+			}
+		}
+		for i, s := range live {
+			action := greedyAction(logits[i], s.env.Mask())
+			if action < 0 {
+				// No valid action from this state: the attempt is spent.
+				s.done = true
+				continue
+			}
+			_, outcome, err := s.env.StepContext(ctx, action)
+			if err != nil {
+				return err
+			}
+			s.steps++
+			// The first recorded solution ends the stream — greedy
+			// reconstruction is deterministic, so further budget would
+			// retrace the same path.
+			if outcome == core.OutcomeSolved || s.steps >= maxSteps {
+				s.done = true
+			}
+		}
+	}
+}
+
+// greedyAction is the rollout's action rule: argmax over unmasked logits
+// with the lowest index winning ties, -1 when everything is masked. It is
+// the hot-path kernel the alloc guard covers — no allocation, no bounds
+// surprises.
+func greedyAction(logits []float64, mask []bool) int {
+	best := -1
+	var bestV float64
+	for i, ok := range mask {
+		if !ok {
+			continue
+		}
+		if best < 0 || logits[i] > bestV {
+			best, bestV = i, logits[i]
+		}
+	}
+	return best
+}

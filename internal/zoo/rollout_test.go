@@ -1,0 +1,190 @@
+package zoo
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/raceflag"
+	"repro/internal/serialize"
+)
+
+// solutionBytes canonicalizes a solution for bit-identity comparison.
+func solutionBytes(t testing.TB, sol *core.Solution) []byte {
+	t.Helper()
+	if sol == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := serialize.WriteJSON(&buf, serialize.EncodeSolution(sol)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRolloutDeterministicAcrossWorkersAndBatching is the differential
+// suite behind the rollout's contract: the same policy and spec must
+// produce a bit-identical plan whatever the worker count, and whether
+// observations are batched through ForwardPolicyValueBatch or evaluated
+// one forward at a time.
+func TestRolloutDeterministicAcrossWorkersAndBatching(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyCfg()
+	weights := trainedWeights(t)
+	const streams = 4
+
+	type variant struct {
+		workers   int
+		unbatched bool
+	}
+	var variants []variant
+	for _, w := range []int{1, 2, 4} {
+		variants = append(variants, variant{w, false}, variant{w, true})
+	}
+
+	var refSol []byte
+	var refStats RolloutStats
+	for i, v := range variants {
+		sol, stats, err := Rollout(context.Background(), prob, cfg, weights, RolloutOptions{
+			Streams:   streams,
+			Workers:   v.workers,
+			Unbatched: v.unbatched,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d unbatched=%v: %v", v.workers, v.unbatched, err)
+		}
+		if sol == nil {
+			t.Fatalf("workers=%d unbatched=%v: rollout found no plan", v.workers, v.unbatched)
+		}
+		got := solutionBytes(t, sol)
+		if i == 0 {
+			refSol, refStats = got, stats
+			continue
+		}
+		if !bytes.Equal(got, refSol) {
+			t.Errorf("workers=%d unbatched=%v: plan differs from workers=%d unbatched=%v reference",
+				v.workers, v.unbatched, variants[0].workers, variants[0].unbatched)
+		}
+		if stats != refStats {
+			t.Errorf("workers=%d unbatched=%v: stats %+v, reference %+v", v.workers, v.unbatched, stats, refStats)
+		}
+	}
+}
+
+// TestRolloutReproducible re-runs the same rollout end to end: repeated
+// invocations must spend exactly the same work.
+func TestRolloutReproducible(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyCfg()
+	weights := trainedWeights(t)
+	_, statsA, err := Rollout(context.Background(), prob, cfg, weights, RolloutOptions{Streams: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsB, err := Rollout(context.Background(), prob, cfg, weights, RolloutOptions{Streams: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsA != statsB {
+		t.Fatalf("same seed diverged: %+v vs %+v", statsA, statsB)
+	}
+}
+
+// TestRolloutRejectsForeignGeometry pins the error path the service's
+// fallback chain depends on: weights shaped for another geometry must be
+// refused, not silently misapplied.
+func TestRolloutRejectsForeignGeometry(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyCfg()
+	_, _, err := Rollout(context.Background(), prob, cfg, [][]float64{{1, 2, 3}}, RolloutOptions{})
+	if err == nil {
+		t.Fatal("foreign-geometry weights accepted")
+	}
+}
+
+// TestGreedyActionAllocFree guards the rollout hot path: action selection
+// runs once per environment step per stream and must not allocate.
+func TestGreedyActionAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	logits := []float64{0.3, -1.2, 2.5, 0.0, -0.4, 1.1}
+	mask := []bool{true, false, true, true, false, true}
+	var got int
+	if n := testing.AllocsPerRun(100, func() {
+		got = greedyAction(logits, mask)
+	}); n != 0 {
+		t.Errorf("greedyAction: %v allocs/op in steady state, want 0", n)
+	}
+	if got != 2 {
+		t.Fatalf("greedyAction picked %d, want 2", got)
+	}
+}
+
+func TestGreedyActionRules(t *testing.T) {
+	cases := []struct {
+		logits []float64
+		mask   []bool
+		want   int
+	}{
+		{[]float64{5, 1, 2}, []bool{false, true, true}, 2},    // masked max skipped
+		{[]float64{1, 1, 1}, []bool{true, true, true}, 0},     // lowest index wins ties
+		{[]float64{3, 9, 4}, []bool{false, false, false}, -1}, // all masked
+		{[]float64{-2, -1}, []bool{true, true}, 1},            // negatives compare correctly
+	}
+	for i, c := range cases {
+		if got := greedyAction(c.logits, c.mask); got != c.want {
+			t.Errorf("case %d: got %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// TestRolloutStreamSeedsFollowPlannerSchedule pins the seed schedule to
+// the planner's worker-env layout, so a zoo rollout explores the same
+// environment sequence a training run with the same seed would.
+func TestRolloutStreamSeedsFollowPlannerSchedule(t *testing.T) {
+	prob := tinyProblem(t)
+	cfg := tinyCfg()
+	weights := trainedWeights(t)
+	// Stream 0 with base seed 5 must equal stream 0 with Seed option 5:
+	// the option only offsets the base, not the schedule.
+	solA, _, err := Rollout(context.Background(), prob, cfg, weights, RolloutOptions{Streams: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 5
+	solB, _, err := Rollout(context.Background(), prob, cfg2, weights, RolloutOptions{Streams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := solutionBytes(t, solA), solutionBytes(t, solB)
+	if !bytes.Equal(a, b) {
+		t.Fatal("explicit Seed option and config seed produced different plans")
+	}
+}
+
+func BenchmarkGreedyAction(b *testing.B) {
+	logits := make([]float64, 64)
+	mask := make([]bool, 64)
+	for i := range logits {
+		logits[i] = float64((i * 7919) % 97)
+		mask[i] = i%3 != 0
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if greedyAction(logits, mask) < 0 {
+			b.Fatal("unexpected all-masked")
+		}
+	}
+}
+
+// Example of the rollout's cost accounting used in docs; keeps the stats
+// fields exercised under `go vet`-style example checking.
+func ExampleRolloutStats() {
+	s := RolloutStats{Streams: 4, Solved: 4, EnvSteps: 44}
+	fmt.Printf("%d/%d streams solved in %d env steps\n", s.Solved, s.Streams, s.EnvSteps)
+	// Output: 4/4 streams solved in 44 env steps
+}

@@ -1,0 +1,310 @@
+package zoo
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"repro/internal/failure"
+	"repro/internal/serialize"
+)
+
+// On-disk layout of a zoo directory:
+//
+//	manifest.json          — checksummed envelope over the entry index
+//	policies/<id>.json     — checksummed envelope over one weight snapshot
+//	corrupt/               — quarantined files that failed to decode
+//
+// Both file kinds reuse the serialize envelope discipline (version +
+// content digest over the compact payload, atomic rename on write), so a
+// shared zoo directory can be read by many replicas and re-read on SIGHUP
+// without ever observing a half-written file.
+const (
+	manifestVersion = 1
+	policyVersion   = 1
+
+	manifestDomain = "nptsn-zoo-manifest-v1"
+	policyDomain   = "nptsn-zoo-policy-v1"
+
+	manifestName   = "manifest.json"
+	policiesDir    = "policies"
+	corruptDirName = "corrupt"
+)
+
+// Entry is one pretrained policy in the manifest.
+type Entry struct {
+	// ID names the policy file (policies/<id>.json); 32 hex digits derived
+	// from the geometry, features and weights at Add time.
+	ID string `json:"id"`
+	// Name is the human-readable provenance, typically the scenario name
+	// the policy was trained on ("ring-6es-3sw").
+	Name string `json:"name"`
+	// Geometry pins the weight shapes; lookups filter on its Key.
+	Geometry Geometry `json:"geometry"`
+	// Features locates the training instance for nearest-neighbour
+	// ranking.
+	Features Features `json:"features"`
+	// TrainedEpochs and BestCost record how the policy was produced.
+	TrainedEpochs int     `json:"trainedEpochs"`
+	BestCost      float64 `json:"bestCost"`
+	// CreatedAtUnix is the Add time in Unix seconds.
+	CreatedAtUnix int64 `json:"createdAtUnix"`
+}
+
+// manifest is the payload inside manifest.json's envelope.
+type manifest struct {
+	Entries []Entry `json:"entries"`
+}
+
+// policyRecord is the payload inside a policy file's envelope.
+type policyRecord struct {
+	ID      string      `json:"id"`
+	Weights [][]float64 `json:"weights"`
+}
+
+var policyNameRE = regexp.MustCompile(`^[0-9a-f]{32}\.json$`)
+
+// Match is a successful zoo lookup: the chosen entry, its weights (shared,
+// callers must not mutate) and its feature distance to the query.
+type Match struct {
+	Entry    Entry
+	Weights  [][]float64
+	Distance float64
+}
+
+// Zoo is an in-memory view of a zoo directory: the manifest entries whose
+// policy files decoded cleanly, with their weights resident. It is safe
+// for concurrent Lookup/Add/Reload — replicas share one directory and
+// re-read it on SIGHUP.
+type Zoo struct {
+	dir string
+
+	mu      sync.RWMutex
+	entries []Entry
+	weights map[string][][]float64
+}
+
+// Open reads (or initializes) a zoo directory. Corrupt files — torn
+// writes caught by the envelope checksum, truncated JSON, foreign files,
+// manifest entries whose policy file is missing or undecodable — are
+// moved into corrupt/ and reported in quarantined ("name: reason" lines);
+// they never fail the open, because one bad file must not take a booting
+// server down.
+func Open(dir string) (*Zoo, []string, error) {
+	z := &Zoo{dir: dir}
+	quarantined, err := z.Reload()
+	if err != nil {
+		return nil, nil, err
+	}
+	return z, quarantined, nil
+}
+
+// Dir returns the zoo's directory.
+func (z *Zoo) Dir() string { return z.dir }
+
+// Len returns the number of usable policies.
+func (z *Zoo) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.entries)
+}
+
+// Entries returns a copy of the usable manifest entries.
+func (z *Zoo) Entries() []Entry {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return append([]Entry(nil), z.entries...)
+}
+
+// Reload re-reads the manifest and every referenced policy file from
+// disk, replacing the in-memory view — the SIGHUP/boot path that lets
+// replicas pick up a repopulated shared zoo. Undecodable files are
+// quarantined and reported, exactly like Open.
+func (z *Zoo) Reload() ([]string, error) {
+	if err := os.MkdirAll(filepath.Join(z.dir, policiesDir), 0o755); err != nil {
+		return nil, fmt.Errorf("zoo: dir: %w", err)
+	}
+	var quarantined []string
+
+	var man manifest
+	manPath := filepath.Join(z.dir, manifestName)
+	data, err := os.ReadFile(manPath)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh directory: empty zoo.
+	case err != nil:
+		return nil, fmt.Errorf("zoo: manifest: %w", err)
+	default:
+		if decErr := serialize.OpenEnvelope(data, manifestDomain, manifestVersion, &man); decErr != nil {
+			if qErr := quarantine(z.dir, manifestName); qErr != nil {
+				return nil, fmt.Errorf("zoo: quarantine manifest: %w", qErr)
+			}
+			quarantined = append(quarantined, manifestName+": "+decErr.Error())
+			man = manifest{}
+		}
+	}
+
+	entries := make([]Entry, 0, len(man.Entries))
+	weights := make(map[string][][]float64, len(man.Entries))
+	for _, e := range man.Entries {
+		name := e.ID + ".json"
+		var reason string
+		if !policyNameRE.MatchString(name) {
+			reason = "manifest entry with malformed policy ID"
+		} else if w, loadErr := readPolicy(z.dir, e.ID); loadErr != nil {
+			reason = loadErr.Error()
+			if qErr := quarantine(filepath.Join(z.dir, policiesDir), name); qErr != nil && !os.IsNotExist(qErr) {
+				return nil, fmt.Errorf("zoo: quarantine %s: %w", name, qErr)
+			}
+		} else {
+			entries = append(entries, e)
+			weights[e.ID] = w
+			continue
+		}
+		quarantined = append(quarantined, filepath.Join(policiesDir, name)+": "+reason)
+	}
+	// Stray policy files not referenced by the manifest are left in place:
+	// they are harmless (never looked up) and may belong to a concurrent
+	// writer that has not yet published its manifest update.
+
+	z.mu.Lock()
+	z.entries = entries
+	z.weights = weights
+	z.mu.Unlock()
+	return quarantined, nil
+}
+
+// readPolicy loads and verifies one policy file.
+func readPolicy(dir, id string) ([][]float64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, policiesDir, id+".json"))
+	if err != nil {
+		return nil, err
+	}
+	var rec policyRecord
+	if err := serialize.OpenEnvelope(data, policyDomain, policyVersion, &rec); err != nil {
+		return nil, err
+	}
+	if rec.ID != id {
+		return nil, fmt.Errorf("policy file claims ID %q", rec.ID)
+	}
+	if len(rec.Weights) == 0 {
+		return nil, fmt.Errorf("policy without weights")
+	}
+	return rec.Weights, nil
+}
+
+// quarantine moves one undecodable file into dir/corrupt/.
+func quarantine(dir, name string) error {
+	qdir := filepath.Join(dir, corruptDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	return os.Rename(filepath.Join(dir, name), filepath.Join(qdir, name))
+}
+
+// Add persists a new policy — weights first, manifest second, both under
+// atomic checksummed writes — and folds it into the in-memory view. The
+// entry's ID is derived from its content; CreatedAtUnix is the caller's
+// clock (kept explicit so tests and deterministic sweeps control it). Add
+// returns the stored entry.
+func (z *Zoo) Add(e Entry, weights [][]float64) (Entry, error) {
+	if len(weights) == 0 {
+		return Entry{}, fmt.Errorf("zoo: refusing to add a policy without weights")
+	}
+	e.ID = entryID(e, weights)
+
+	if err := os.MkdirAll(filepath.Join(z.dir, policiesDir), 0o755); err != nil {
+		return Entry{}, fmt.Errorf("zoo: dir: %w", err)
+	}
+	rec := policyRecord{ID: e.ID, Weights: weights}
+	path := filepath.Join(z.dir, policiesDir, e.ID+".json")
+	if err := serialize.WriteFileAtomic(path, func(w io.Writer) error {
+		return serialize.WriteEnvelope(w, policyDomain, policyVersion, rec)
+	}); err != nil {
+		return Entry{}, fmt.Errorf("zoo: policy: %w", err)
+	}
+
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	replaced := false
+	for i := range z.entries {
+		if z.entries[i].ID == e.ID {
+			z.entries[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		z.entries = append(z.entries, e)
+		sort.Slice(z.entries, func(i, k int) bool { return z.entries[i].ID < z.entries[k].ID })
+	}
+	if z.weights == nil {
+		z.weights = make(map[string][][]float64)
+	}
+	z.weights[e.ID] = weights
+	if err := z.writeManifestLocked(); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// writeManifestLocked persists the current entry index; z.mu must be held.
+func (z *Zoo) writeManifestLocked() error {
+	man := manifest{Entries: z.entries}
+	err := serialize.WriteFileAtomic(filepath.Join(z.dir, manifestName), func(w io.Writer) error {
+		return serialize.WriteEnvelope(w, manifestDomain, manifestVersion, man)
+	})
+	if err != nil {
+		return fmt.Errorf("zoo: manifest: %w", err)
+	}
+	return nil
+}
+
+// entryID digests an entry's identity — geometry, features, name and the
+// weights themselves — into the 32-hex policy ID, so re-adding the same
+// trained policy is idempotent and distinct trainings never collide.
+func entryID(e Entry, weights [][]float64) string {
+	d := failure.NewDigest()
+	d.Str("nptsn-zoo-entry-v1")
+	d.Str(e.Name)
+	d.Str(e.Geometry.Key())
+	d.Str(e.Features.Topology)
+	d.Int(e.Features.EndStations)
+	d.Int(e.Features.Switches)
+	d.Int(e.Features.Links)
+	d.Int(e.Features.Flows)
+	d.Float(e.Features.ReliabilityGoal)
+	d.Int(len(weights))
+	for _, row := range weights {
+		d.Int(len(row))
+		for _, v := range row {
+			d.Float(v)
+		}
+	}
+	return d.Sum()
+}
+
+// Lookup returns the nearest usable policy whose geometry matches exactly
+// (weights only import into identically shaped networks), ranked by
+// feature distance with the entry ID as the deterministic tie-break. The
+// second return is false when no geometry-compatible policy exists.
+func (z *Zoo) Lookup(geo Geometry, f Features) (Match, bool) {
+	key := geo.Key()
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	best := Match{Distance: -1}
+	for _, e := range z.entries {
+		if e.Geometry.Key() != key {
+			continue
+		}
+		d := f.Distance(e.Features)
+		if best.Distance < 0 || d < best.Distance || (d == best.Distance && e.ID < best.Entry.ID) {
+			best = Match{Entry: e, Weights: z.weights[e.ID], Distance: d}
+		}
+	}
+	return best, best.Distance >= 0
+}

@@ -1,0 +1,365 @@
+package zoo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/asil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nbf"
+	"repro/internal/tsn"
+)
+
+// tinyProblem is the zoo tests' problem fixture: 4 end stations, 2
+// optional switches, full ES-SW plus SW-SW candidate links, 3 unicast
+// flows — the same shape internal/core and internal/service train on in
+// milliseconds.
+func tinyProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex("", graph.KindEndStation)
+	}
+	for i := 0; i < 2; i++ {
+		g.AddVertex("", graph.KindSwitch)
+	}
+	for es := 0; es < 4; es++ {
+		for sw := 4; sw < 6; sw++ {
+			if err := g.AddEdge(es, sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(4, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	net := tsn.DefaultNetwork()
+	mkFlow := func(id, src, dst int) tsn.Flow {
+		return tsn.Flow{ID: id, Src: src, Dsts: []int{dst}, Period: net.BasePeriod, Deadline: net.BasePeriod, FrameSize: 64}
+	}
+	prob := &core.Problem{
+		Connections:     g,
+		Net:             net,
+		Flows:           tsn.FlowSet{mkFlow(0, 0, 1), mkFlow(1, 2, 3), mkFlow(2, 1, 2)},
+		NBF:             &nbf.StatelessRecovery{MaxAlternatives: 3},
+		ReliabilityGoal: 1e-6,
+		Library:         asil.DefaultLibrary(),
+		MaxESDegree:     2,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatalf("tiny problem invalid: %v", err)
+	}
+	return prob
+}
+
+// tinyCfg is a milliseconds-scale training budget matched to tinyProblem.
+func tinyCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxEpoch = 2
+	cfg.MaxStep = 24
+	cfg.K = 4
+	cfg.MLPHidden = []int{16, 16}
+	cfg.GCNLayers = 1
+	cfg.AnalyzerCacheSize = 1024
+	cfg.Seed = 11
+	return cfg
+}
+
+// trainedWeights trains one tiny policy and memoizes it: several tests
+// need real, rollout-capable weights and training twice buys nothing.
+var trainedOnce struct {
+	sync.Once
+	weights [][]float64
+	err     error
+}
+
+func trainedWeights(t testing.TB) [][]float64 {
+	t.Helper()
+	trainedOnce.Do(func() {
+		pl, err := core.NewPlanner(tinyProblem(t), tinyCfg())
+		if err != nil {
+			trainedOnce.err = err
+			return
+		}
+		report, err := pl.Plan()
+		if err != nil {
+			trainedOnce.err = err
+			return
+		}
+		if report.Best == nil {
+			trainedOnce.err = errNoPlan
+			return
+		}
+		trainedOnce.weights = report.FinalWeights
+	})
+	if trainedOnce.err != nil {
+		t.Fatalf("training the fixture policy: %v", trainedOnce.err)
+	}
+	return trainedOnce.weights
+}
+
+var errNoPlan = &noPlanError{}
+
+type noPlanError struct{}
+
+func (*noPlanError) Error() string { return "fixture training found no plan; raise the budget" }
+
+// fakeEntry builds a manifest entry with a distinctive fabricated geometry
+// and features — store tests don't need real networks.
+func fakeEntry(name string, vertices, flows int) (Entry, [][]float64) {
+	e := Entry{
+		Name: name,
+		Geometry: Geometry{
+			Vertices: vertices, FeatureDim: 7, ParamDim: 10, ActionSpace: 6,
+			GCNLayers: 2, GCNHidden: 8, EmbeddingPerNode: 2, MLPHidden: []int{16, 16}, K: 4,
+		},
+		Features: Features{
+			EndStations: vertices - 2, Switches: 2, Links: 9, Flows: flows,
+			ReliabilityGoal: 1e-6, Topology: "t-" + name,
+		},
+		TrainedEpochs: 3,
+		BestCost:      42,
+		CreatedAtUnix: 1700000000,
+	}
+	w := [][]float64{{float64(vertices), float64(flows)}, {0.5}}
+	return e, w
+}
+
+func TestZooAddPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	z, quarantined, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 0 || z.Len() != 0 {
+		t.Fatalf("fresh dir: quarantined=%v len=%d", quarantined, z.Len())
+	}
+	e, w := fakeEntry("ring-4es-3sw", 7, 4)
+	stored, err := z.Add(e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored.ID) != 32 {
+		t.Fatalf("entry ID %q, want 32 hex digits", stored.ID)
+	}
+
+	// A second process opening the same directory sees the policy.
+	z2, quarantined, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("reopen quarantined %v", quarantined)
+	}
+	if z2.Len() != 1 {
+		t.Fatalf("reopen: %d policies, want 1", z2.Len())
+	}
+	m, ok := z2.Lookup(e.Geometry, e.Features)
+	if !ok {
+		t.Fatal("lookup missed the stored policy")
+	}
+	if m.Entry.ID != stored.ID || m.Distance != 0 {
+		t.Fatalf("lookup got %s at distance %v", m.Entry.ID, m.Distance)
+	}
+	if len(m.Weights) != 2 || m.Weights[0][0] != 7 {
+		t.Fatalf("weights did not round-trip: %v", m.Weights)
+	}
+}
+
+func TestZooAddIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	z, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, w := fakeEntry("mesh-4es-2sw", 6, 3)
+	a, err := z.Add(e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := z.Add(e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("same content produced IDs %s and %s", a.ID, b.ID)
+	}
+	if z.Len() != 1 {
+		t.Fatalf("%d entries after double add, want 1", z.Len())
+	}
+}
+
+func TestZooLookupFiltersGeometryAndRanksByDistance(t *testing.T) {
+	dir := t.TempDir()
+	z, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, nearW := fakeEntry("near", 7, 4)
+	far, farW := fakeEntry("far", 7, 4)
+	far.Features.Flows = 40 // same geometry, distant features
+	foreign, foreignW := fakeEntry("foreign", 9, 4)
+	foreign.Features = near.Features // identical features, incompatible shapes
+	for _, add := range []struct {
+		e Entry
+		w [][]float64
+	}{{near, nearW}, {far, farW}, {foreign, foreignW}} {
+		if _, err := z.Add(add.e, add.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, ok := z.Lookup(near.Geometry, near.Features)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if m.Entry.Name != "near" {
+		t.Fatalf("lookup chose %q, want the nearest same-geometry entry", m.Entry.Name)
+	}
+	// A geometry with no entries at all must miss, even with feature-
+	// identical entries of other shapes present.
+	empty := near.Geometry
+	empty.K = 99
+	if _, ok := z.Lookup(empty, near.Features); ok {
+		t.Fatal("lookup matched across incompatible geometry")
+	}
+}
+
+func TestZooTopologyMismatchDominatesSizeTerms(t *testing.T) {
+	// Same family at a different size must outrank a foreign family at the
+	// exact size: the penalty dominates every normalized size term.
+	query := Features{EndStations: 6, Switches: 3, Links: 20, Flows: 8, ReliabilityGoal: 1e-6, Topology: "ring"}
+	sameFamily := Features{EndStations: 4, Switches: 3, Links: 14, Flows: 4, ReliabilityGoal: 1e-6, Topology: "ring"}
+	foreign := query
+	foreign.Topology = "mesh"
+	if d1, d2 := query.Distance(sameFamily), query.Distance(foreign); d1 >= d2 {
+		t.Fatalf("same-family distance %v >= foreign-family %v", d1, d2)
+	}
+}
+
+func TestZooQuarantinesCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{ not an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	z, quarantined, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt manifest must not fail open: %v", err)
+	}
+	if z.Len() != 0 {
+		t.Fatalf("corrupt manifest yielded %d entries", z.Len())
+	}
+	if len(quarantined) != 1 || !strings.HasPrefix(quarantined[0], manifestName+":") {
+		t.Fatalf("quarantined = %v", quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, corruptDirName, manifestName)); err != nil {
+		t.Fatalf("manifest not moved to corrupt/: %v", err)
+	}
+	// The zoo stays writable after quarantining: Add starts a new manifest.
+	e, w := fakeEntry("recovered", 7, 4)
+	if _, err := z.Add(e, w); err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != 1 {
+		t.Fatalf("add after quarantine: %d entries", z.Len())
+	}
+}
+
+func TestZooQuarantinesCorruptPolicy(t *testing.T) {
+	dir := t.TempDir()
+	z, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, keepW := fakeEntry("keep", 7, 4)
+	if _, err := z.Add(keep, keepW); err != nil {
+		t.Fatal(err)
+	}
+	bad, badW := fakeEntry("bad", 7, 9)
+	stored, err := z.Add(bad, badW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: flip a byte inside the stored policy file.
+	path := filepath.Join(dir, policiesDir, stored.ID+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	quarantined, err := z.Reload()
+	if err != nil {
+		t.Fatalf("corrupt policy must not fail reload: %v", err)
+	}
+	if len(quarantined) != 1 || !strings.Contains(quarantined[0], stored.ID) {
+		t.Fatalf("quarantined = %v", quarantined)
+	}
+	if z.Len() != 1 {
+		t.Fatalf("%d entries survived, want the 1 healthy one", z.Len())
+	}
+	if m, ok := z.Lookup(keep.Geometry, keep.Features); !ok || m.Entry.Name != "keep" {
+		t.Fatalf("healthy entry lost: ok=%v", ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, policiesDir, corruptDirName, stored.ID+".json")); err != nil {
+		t.Fatalf("policy not moved to corrupt/: %v", err)
+	}
+}
+
+func TestZooQuarantinesMissingPolicyFile(t *testing.T) {
+	dir := t.TempDir()
+	z, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, w := fakeEntry("vanishing", 7, 4)
+	stored, err := z.Add(e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, policiesDir, stored.ID+".json")); err != nil {
+		t.Fatal(err)
+	}
+	quarantined, err := z.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != 0 || len(quarantined) != 1 {
+		t.Fatalf("len=%d quarantined=%v", z.Len(), quarantined)
+	}
+}
+
+func TestGeometryOfMatchesTrainedShapes(t *testing.T) {
+	// The geometry derived from (problem, config) must accept the weights
+	// training under that config produced — the invariant zoo lookups and
+	// rollouts rest on.
+	prob := tinyProblem(t)
+	cfg := tinyCfg()
+	geo, err := GeometryOf(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Vertices != 6 || geo.K != cfg.K || geo.ActionSpace != 2+cfg.K {
+		t.Fatalf("geometry %+v", geo)
+	}
+	weights := trainedWeights(t)
+	dir := t.TempDir()
+	z, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Add(Entry{Name: "tiny", Geometry: geo, Features: FeaturesOf(prob)}, weights); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := z.Lookup(geo, FeaturesOf(prob))
+	if !ok || m.Distance != 0 {
+		t.Fatalf("self lookup: ok=%v distance=%v", ok, m.Distance)
+	}
+}

@@ -1,0 +1,166 @@
+#!/bin/sh
+# pretrain_smoke.sh — end-to-end smoke of the policy zoo fast path.
+# Sweeps one tiny scenario family with nptsn-pretrain into a fresh zoo
+# directory, boots nptsn-serve with -zoo, and submits the swept instance's
+# own spec over the wire, asserting the job is answered by inference:
+#   provenance "zoo", zero training epochs, a passing certificate attached.
+# Also exercises the SIGHUP manifest reload replicas sharing a zoo rely on.
+# Exits 0 on success; any failure exits non-zero. Needs Go and curl.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -TERM "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "pretrain-smoke: building nptsn-pretrain and nptsn-serve"
+go build -o "$workdir/nptsn-pretrain" ./cmd/nptsn-pretrain
+go build -o "$workdir/nptsn-serve" ./cmd/nptsn-serve
+
+# 1. Populate the zoo with one tiny family sweep (mesh, 4 ES, 2 SW).
+"$workdir/nptsn-pretrain" \
+    -zoo "$workdir/zoo" \
+    -dump-specs "$workdir/specs" \
+    -families mesh -es 4 -sw 2 -flows 3 \
+    -epochs 2 -steps 48 -k 4 -mlp-width 16 -gcn-layers 1 -seed 2 \
+    >"$workdir/pretrain.log" 2>&1 || {
+    echo "pretrain-smoke: pretrain sweep failed" >&2
+    cat "$workdir/pretrain.log" >&2
+    exit 1
+}
+grep -q "added mesh-4es-2sw" "$workdir/pretrain.log" || {
+    echo "pretrain-smoke: sweep did not add the expected policy" >&2
+    cat "$workdir/pretrain.log" >&2
+    exit 1
+}
+echo "pretrain-smoke: zoo populated ($(ls "$workdir/zoo/policies" | wc -l | tr -d ' ') policy files)"
+
+# 2. Boot a zoo-armed server.
+"$workdir/nptsn-serve" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$workdir/addr" \
+    -zoo "$workdir/zoo" \
+    >"$workdir/server.log" 2>&1 &
+server_pid=$!
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "pretrain-smoke: server never published an address" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "pretrain-smoke: server exited during startup" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+base="http://$(cat "$workdir/addr")"
+grep -q "zoo .* loaded (1 policies)" "$workdir/server.log" || {
+    echo "pretrain-smoke: server did not load the zoo" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+}
+echo "pretrain-smoke: server at $base (zoo armed)"
+
+# json_field <json> <key>: first scalar value of "key" (string or number).
+json_field() {
+    printf '%s' "$1" | sed -n "s/.*\"$2\": *\"\{0,1\}\([0-9a-zA-Z.-]*\)\"\{0,1\}[,}]\{0,1\}.*/\1/p" | head -n 1
+}
+
+# 3. Submit the swept instance's own spec with matching geometry knobs.
+{
+    printf '{"problem": '
+    cat "$workdir/specs/mesh-4es-2sw.json"
+    printf ', "params": {"epochs": 2, "steps": 48, "k": 4, "mlpWidth": 16, "gcnLayers": 1, "seed": 2}}'
+} >"$workdir/job.json"
+submit=$(curl -sS -X POST --data-binary @"$workdir/job.json" "$base/v1/jobs")
+job_id=$(json_field "$submit" id)
+if [ -z "$job_id" ]; then
+    echo "pretrain-smoke: submission returned no job id: $submit" >&2
+    exit 1
+fi
+
+i=0
+while :; do
+    status=$(curl -sS "$base/v1/jobs/$job_id")
+    state=$(json_field "$status" state)
+    case "$state" in
+    done) break ;;
+    failed | cancelled)
+        echo "pretrain-smoke: job ended $state: $status" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "pretrain-smoke: job stuck in state '$state'" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# 4. The job must have been answered by the zoo: provenance "zoo", zero
+# training epochs, certificate attached.
+if [ "$(json_field "$status" provenance)" != "zoo" ]; then
+    echo "pretrain-smoke: job not served from the zoo: $status" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+fi
+result=$(curl -sS "$base/v1/jobs/$job_id/result")
+if [ "$(json_field "$result" epochs)" != "0" ]; then
+    echo "pretrain-smoke: zoo-served job trained epochs: $result" >&2
+    exit 1
+fi
+case "$result" in
+*'"certificate"'*) ;;
+*)
+    echo "pretrain-smoke: zoo result carries no certificate: $result" >&2
+    exit 1
+    ;;
+esac
+case "$result" in
+*'"solution"'*) ;;
+*)
+    echo "pretrain-smoke: zoo result has no solution: $result" >&2
+    exit 1
+    ;;
+esac
+echo "pretrain-smoke: job $job_id served from the zoo (0 training epochs, certified)"
+
+# 5. Zoo hits land in the metrics.
+metrics=$(curl -sS "$base/metrics")
+case "$metrics" in
+*'nptsn_zoo_hits_total 1'*) ;;
+*)
+    echo "pretrain-smoke: nptsn_zoo_hits_total did not record the hit" >&2
+    exit 1
+    ;;
+esac
+
+# 6. SIGHUP re-reads the shared manifest without a restart.
+kill -HUP "$server_pid"
+i=0
+until grep -q "zoo reloaded (1 policies)" "$workdir/server.log"; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "pretrain-smoke: SIGHUP did not reload the zoo" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "pretrain-smoke: SIGHUP manifest reload OK"
+
+echo "pretrain-smoke: OK"
